@@ -1,0 +1,27 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each ``test_fig*.py`` file regenerates one table or figure from the
+paper's section 4: it runs the workload under every measured
+configuration, prints the same rows the paper reports, asserts the
+*shape* of the result (who wins, roughly by how much), and writes the
+table to ``benchmarks/results/`` for EXPERIMENTS.md.
+
+Absolute numbers differ from the paper (the substrate is a simulator and
+the implementation is Python); the assertions encode only the relative
+claims the paper makes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit_table(name: str, table: str, capsys) -> None:
+    """Print a results table past pytest's capture and save it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    with capsys.disabled():
+        print()
+        print(table)

@@ -1,0 +1,70 @@
+"""Figure 6: the Modified Andrew Benchmark.
+
+Paper's result: Local 4.7s-ish, NFS/UDP ~5.3s, NFS/TCP ~5.6s, SFS ~5.9s
+(bars per phase; exact totals from the text: "SFS is only 11%
+(0.6 seconds) slower than NFS 3 over UDP").  Also from section 4.3:
+disabling encryption improves MAB by only ~0.2 seconds — the user-level
+implementation, not cryptography, is the cost.
+
+Shape asserted: Local fastest overall; SFS within ~40% of NFS/UDP
+(the paper's 11%, with slack for Python crypto); the encryption delta is
+a small fraction of the SFS-NFS gap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import LOCAL, NFS_TCP, NFS_UDP, SFS, SFS_NOENC, make_setup
+from repro.bench.mab import PHASES, run_mab
+from repro.bench.timing import format_table
+
+from conftest import emit_table
+
+CONFIGS = [LOCAL, NFS_UDP, NFS_TCP, SFS, SFS_NOENC]
+
+_results: dict[str, object] = {}
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_fig6_mab(config, benchmark):
+    setup = make_setup(config)
+    result = benchmark.pedantic(lambda: run_mab(setup), rounds=1, iterations=1)
+    _results[config] = result
+    assert set(result.phases) == set(PHASES)
+
+
+def test_fig6_report(benchmark, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert set(_results) == set(CONFIGS)
+    rows = []
+    for name in CONFIGS:
+        result = _results[name]
+        rows.append(tuple(
+            [name] + [result.phases[p].total for p in PHASES] + [result.total]
+        ))
+    table = format_table(
+        "Figure 6: Modified Andrew Benchmark, seconds per phase",
+        ["File system"] + PHASES + ["total"],
+        rows,
+    )
+    emit_table("fig6_mab", table, capsys)
+
+    total = {name: _results[name].total for name in CONFIGS}
+    # The network file systems cannot beat the local one end to end.
+    assert total[LOCAL] < total[NFS_UDP]
+    assert total[LOCAL] < total[SFS]
+    # "SFS is only 11% slower than NFS 3 over UDP" — enhanced caching
+    # keeps it competitive.  Allow generous slack for Python crypto and
+    # wall-clock noise.
+    assert total[SFS] < 1.6 * total[NFS_UDP]
+    # Encryption accounts for a minority of the total (~0.2s of 5.9s in
+    # the paper; a few percent here).
+    encryption_delta = total[SFS] - total[SFS_NOENC]
+    assert encryption_delta < 0.35 * total[SFS]
+    # SFS's lease caching keeps the attribute phase competitive with NFS
+    # even though SFS's per-RPC latency is several times higher.
+    sfs_attr = _results[SFS].phases["attributes"].total
+    nfs_attr = _results[NFS_UDP].phases["attributes"].total
+    latency_ratio = 2.0  # conservative floor from figure 5
+    assert sfs_attr < latency_ratio * nfs_attr

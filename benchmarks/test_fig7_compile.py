@@ -1,0 +1,60 @@
+"""Figure 7: compiling the GENERIC FreeBSD 3.3 kernel.
+
+Paper's rows:
+
+    System        Time (seconds)
+    Local              140
+    NFS 3 (UDP)        178
+    NFS 3 (TCP)        207
+    SFS                197
+
+i.e. SFS lands *between* the two NFS transports: 16% slower than
+NFS/UDP, 5% faster than NFS/TCP, and (section 4.3) "disabling software
+encryption in SFS sped up the compile by only 3 seconds or 1.5%".
+
+Shape asserted: Local < NFS/UDP < SFS; SFS within 2x of NFS/UDP; the
+encryption delta is small relative to total time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import LOCAL, NFS_TCP, NFS_UDP, SFS, SFS_NOENC, make_setup
+from repro.bench.compile import run_compile
+from repro.bench.timing import format_table
+
+from conftest import emit_table
+
+CONFIGS = [LOCAL, NFS_UDP, NFS_TCP, SFS, SFS_NOENC]
+
+_results: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_fig7_compile(config, benchmark):
+    setup = make_setup(config)
+    result = benchmark.pedantic(
+        lambda: run_compile(setup), rounds=1, iterations=1
+    )
+    _results[config] = result.seconds
+    assert result.seconds > 0
+
+
+def test_fig7_report(benchmark, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert set(_results) == set(CONFIGS)
+    rows = [(name, _results[name]) for name in CONFIGS]
+    table = format_table(
+        "Figure 7: compiling the GENERIC kernel (synthetic)",
+        ["System", "Time (seconds)"],
+        rows,
+    )
+    emit_table("fig7_compile", table, capsys)
+
+    assert _results[LOCAL] < _results[NFS_UDP]
+    assert _results[NFS_UDP] < _results[SFS]
+    assert _results[SFS] < 2.0 * _results[NFS_UDP]
+    # "only 3 seconds or 1.5%": encryption is a small share of the build.
+    delta = _results[SFS] - _results[SFS_NOENC]
+    assert delta < 0.25 * _results[SFS]

@@ -1,0 +1,69 @@
+"""Figure 8: Sprite LFS small-file benchmark (create/read/unlink 1,000
+1-KB files; scaled count here).
+
+Paper's shape: on *create*, SFS performs about the same as NFS/UDP
+(attribute caching makes up for its latency); on *read*, SFS is ~3x
+slower than NFS/UDP (latency-bound); *unlink* is dominated by
+synchronous disk writes so all network file systems perform roughly the
+same.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import LOCAL, NFS_TCP, NFS_UDP, SFS, make_setup
+from repro.bench.sprite import SMALL_PHASES, run_small_file
+from repro.bench.timing import format_table
+
+from conftest import emit_table
+
+CONFIGS = [LOCAL, NFS_UDP, NFS_TCP, SFS]
+_COUNT = 250
+
+_results: dict[str, object] = {}
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_fig8_smallfile(config, benchmark):
+    setup = make_setup(config)
+    result = benchmark.pedantic(
+        lambda: run_small_file(setup, count=_COUNT), rounds=1, iterations=1
+    )
+    _results[config] = result
+
+
+def test_fig8_report(benchmark, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert set(_results) == set(CONFIGS)
+    rows = []
+    for name in CONFIGS:
+        result = _results[name]
+        rows.append(tuple(
+            [name] + [result.phases[p].total for p in SMALL_PHASES]
+        ))
+    table = format_table(
+        f"Figure 8: Sprite LFS small-file benchmark "
+        f"({_COUNT} x 1 KB files), seconds per phase",
+        ["File system"] + SMALL_PHASES,
+        rows,
+    )
+    emit_table("fig8_smallfile", table, capsys)
+
+    def phase(name, p):
+        return _results[name].phases[p].total
+
+    # Create: attribute caching keeps SFS within ~2x of NFS/UDP (paper:
+    # "about the same").
+    assert phase(SFS, "create") < 2.0 * phase(NFS_UDP, "create")
+    # Read: SFS suffers from its increased latency (paper: 3x slower).
+    assert phase(SFS, "read") > 1.1 * phase(NFS_UDP, "read")
+    # Unlink: synchronous disk writes dominate, so the gap between SFS
+    # and NFS narrows compared to the read phase.
+    read_ratio = phase(SFS, "read") / phase(NFS_UDP, "read")
+    unlink_ratio = phase(SFS, "unlink") / phase(NFS_UDP, "unlink")
+    assert unlink_ratio < read_ratio
+    # Local wins every phase.
+    for p in SMALL_PHASES:
+        assert phase(LOCAL, p) <= phase(NFS_UDP, p)
+        assert phase(LOCAL, p) <= phase(SFS, p)

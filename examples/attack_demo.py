@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The threat model, demonstrated (paper section 2.1.2).
+
+"SFS assumes that malicious parties entirely control the network.
+Attackers can intercept packets, tamper with them, and inject new
+packets onto the network.  Under these assumptions, SFS ensures that
+attackers can do no worse than delay the file system's operation."
+
+We put adversaries directly on the wire and watch SFS reduce each attack
+to denial of service, then show the two classic failures SFS prevents:
+impersonating a server (the HostID catches it) and the multi-user cache
+attack that AFS suffers from (section 5.1).
+"""
+
+from repro import World
+from repro.core import proto
+from repro.core.client import SecurityError, ServerSession
+from repro.core.keyneg import EphemeralKeyCache
+from repro.core.pathnames import SelfCertifyingPath, make_path
+from repro.crypto.rabin import generate_key
+from repro.fs import Cred, pathops
+from repro.rpc.peer import RpcTimeout
+from repro.sim.network import RecordingAdversary, TamperAdversary
+
+
+def main() -> None:
+    # --- tampering on the wire --------------------------------------------
+    world = World()
+    server = world.add_server("target.example.com")
+    path = server.export_fs()
+    pathops.write_file(server.fs, "/file", b"integrity matters")
+    client = world.add_client("victim")
+    client.new_agent("user", 1000)
+    proc = client.process(uid=1000)
+    print("clean read:", proc.read_file(f"{path}/file"))
+
+    # Now every record after connection setup gets a flipped bit.
+    world.adversary_factory = lambda: TamperAdversary(target_index=6)
+    client2 = world.add_client("victim2")
+    client2.new_agent("user", 1000)
+    proc2 = client2.process(uid=1000)
+    try:
+        proc2.read_file(f"{path}/file")
+        print("BUG: tampered read returned data")
+    except OSError as exc:
+        print(f"tampered record -> MAC failure -> dropped -> {exc.strerror}")
+        print("(attack degraded to denial of service, never bad data)")
+    world.adversary_factory = None
+
+    # --- eavesdropping learns nothing -------------------------------------
+    recorder = RecordingAdversary()
+    world.adversary_factory = lambda: recorder
+    client3 = world.add_client("victim3")
+    client3.new_agent("user", 1000)
+    proc3 = client3.process(uid=1000)
+    secret = b"the secret contents of my file"
+    pathops.write_file(server.fs, "/secret", secret)
+    proc3.read_file(f"{path}/secret")
+    wire = b"".join(record for _dir, record in recorder.transcript)
+    assert secret not in wire, "plaintext leaked onto the wire!"
+    print(f"eavesdropper captured {len(wire)} bytes; plaintext absent")
+    world.adversary_factory = None
+
+    # --- impersonation: the HostID catches a wrong key ----------------------
+    # Mallory hijacks target.example.com's address and answers every
+    # CONNECT (whatever HostID it asks for) with her own key.
+    mallory_world = World(seed=321)
+    mallory = mallory_world.add_server("target.example.com")
+    mallory.export_fs()  # a different key -> different HostID
+    mallory.master.config.prepend_rule(
+        "hijack-everything", "default", lambda service, hostid, ext: True
+    )
+    link = mallory_world.connector("target.example.com",
+                                   proto.SERVICE_FILESERVER)
+    try:
+        ServerSession.connect(
+            link, path,  # the REAL server's self-certifying pathname
+            EphemeralKeyCache(mallory_world.rng), mallory_world.rng,
+        )
+        print("BUG: impersonation succeeded")
+    except SecurityError as exc:
+        print(f"impersonation rejected: {exc}")
+
+    # --- the AFS conundrum (paper section 5.1) ------------------------------
+    # Two users who disagree about a server's key end up at *different*
+    # file names, so they can never poison each other's caches.
+    real_key = generate_key(768, mallory_world.rng)
+    fake_key = generate_key(768, mallory_world.rng)
+    path_real = make_path("shared.example.com", real_key.public_key)
+    path_fake = make_path("shared.example.com", fake_key.public_key)
+    assert str(path_real) != str(path_fake)
+    print("two keys for one hostname give two distinct pathnames:")
+    print(f"  {path_real}")
+    print(f"  {path_fake}")
+    print("-> users sharing a client cache can never collide")
+
+
+if __name__ == "__main__":
+    main()

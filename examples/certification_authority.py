@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Certification authorities as file systems (paper section 2.4).
+
+A CA in SFS is "nothing more than an ordinary file system serving
+symbolic links" — served with the read-only dialect so its contents are
+proven by signatures precomputed offline, it keeps no online private
+key, and untrusted mirrors can serve it.
+
+This example builds "Verisign" as an SFS CA, certifies two companies,
+installs the CA on a client, and resolves human-readable names through
+it — including via the agent's certification path, so users can type
+``/sfs/acme`` and land on the right HostID.
+"""
+
+from repro import World
+from repro.fs import pathops
+from repro.keymgmt import (
+    CertificationAuthority,
+    install_link,
+    set_certification_path,
+)
+
+
+def main() -> None:
+    world = World()
+
+    # Two companies run SFS servers.
+    acme = world.add_server("acme.com")
+    acme_path = acme.export_fs()
+    pathops.write_file(acme.fs, "/catalog", b"ACME: anvils, rockets\n")
+
+    initech = world.add_server("initech.com")
+    initech_path = initech.export_fs()
+    pathops.write_file(initech.fs, "/catalog", b"Initech: TPS reports\n")
+
+    # Verisign certifies them: just symlinks in a file system.
+    verisign = CertificationAuthority("verisign.com", world.rng)
+    verisign.certify("acme", acme_path)
+    verisign.certify("initech", initech_path)
+
+    # Publication signs the tree ONCE, offline.  The image can then be
+    # served by anyone -- including machines Verisign does not trust:
+    # verisign.com's DNS simply points at the mirror box.
+    image = verisign.publish_image()
+    mirror_host = world.add_server("mirror.example.net")
+    ca_path = mirror_host.master.add_ro_export(image.replicate())
+    world.route("verisign.com", mirror_host)
+    print(f"CA published:   {ca_path}")
+    print(f"  (served from an untrusted mirror; contents are signed)")
+
+    # Client administrators install one link to the CA...
+    client = world.add_client("desktop")
+    install_link(client.root_process(), "/verisign", ca_path)
+    agent = client.new_agent("bob", uid=1000)
+    proc = client.process(uid=1000)
+
+    # ...and users browse by human-readable name.
+    print(f"/verisign ->    {proc.readdir('/verisign')}")
+    print(f"acme catalog:   {proc.read_file('/verisign/acme/catalog')!r}")
+
+    # With /verisign on bob's certification path, even bare names under
+    # /sfs resolve through the CA: the agent manufactures the symlink.
+    set_certification_path(agent, ["/verisign"])
+    print(f"via /sfs/acme:  {proc.read_file('/sfs/acme/catalog')!r}")
+    print(f"/sfs for bob:   {proc.readdir('/sfs')}")
+
+    # The CA's "interactive queries" property: decertify + republish and
+    # new lookups stop resolving (no certificate lifetime to wait out).
+    verisign.decertify("initech")
+    image2 = verisign.publish_image()
+    print(f"initech decertified; republished serial {image2.serial}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The egalitarian namespace: a file server in a dorm room.
+
+"Though SFS gives every file the same name on every client, no one
+controls the global namespace; everyone has the right to add a new
+server to this namespace. ... anyone with an Internet address or domain
+name should be able to create a new file server without consulting or
+registering with any authority."  (paper sections 2.1.3, 2.2)
+
+Bob sets up an SFS server on his dorm machine in three steps — generate
+a key, export a directory, done — and mails the resulting pathname to a
+friend at another university.  The friend pastes the path; cryptography
+does the rest.  No admin at either school was involved, and Verisign
+never heard about any of it.
+"""
+
+from repro import World
+from repro.fs import Cred, pathops
+from repro.keymgmt import bookmark, cd_bookmark
+
+
+def main() -> None:
+    world = World()
+
+    # --- Bob's dorm machine --------------------------------------------
+    # Step 1-3: key pair, export, (the daemon would now be running).
+    dorm = world.add_server("bobs-pc.dorm.university.edu")
+    path = dorm.export_fs()
+    bob = dorm.add_user("bob", uid=1000)
+    pub = pathops.mkdirs(dorm.fs, "/pub")
+    dorm.fs.setattr(pub.ino, Cred(0, 0), uid=1000, gid=100)
+    pathops.write_file(dorm.fs, "/pub/mixtape.txt",
+                       b"01. self-certifying pathnames (extended mix)\n")
+    dorm.fs.setattr(
+        pathops.resolve(dorm.fs, "/pub/mixtape.txt").ino,
+        Cred(0, 0), uid=1000,
+    )
+    print("bob's server is up; nobody was asked for permission")
+    print(f"the e-mail he sends:  'check out {path}/pub'")
+
+    # --- a friend at another school --------------------------------------
+    friend_machine = world.add_client("friend-laptop.other.edu")
+    friend_machine.new_agent("pat", uid=5000)  # no account on bob's box
+    pat = friend_machine.process(uid=5000)
+
+    # Paste the pathname from the e-mail.  Anonymous access suffices for
+    # bob's world-readable /pub.
+    mixtape = pat.read_file(f"{path}/pub/mixtape.txt")
+    print(f"pat reads: {mixtape!r}")
+
+    # pwd shows the full self-certifying pathname; bookmark it.
+    root = friend_machine.root_process()
+    root.makedirs("/home/u5000")
+    root.chown("/home/u5000", 5000, 100)
+    pat.chdir(f"{path}/pub")
+    print("pat's pwd:", pat.getcwd())
+    link = bookmark(pat)
+    print("bookmarked as:", link)
+
+    # Days later: "cd bobs-pc.dorm.university.edu" goes straight back,
+    # still authenticated by the HostID inside the bookmark.
+    pat.chdir("/")
+    cwd = cd_bookmark(pat, "bobs-pc.dorm.university.edu")
+    print("cd via bookmark ->", cwd)
+
+    # Bob, meanwhile, can use his OWN account remotely with full rights,
+    # because servers authenticate users, not machines.
+    bob_at_library = world.add_client("library-kiosk")
+    bob_proc = bob_at_library.login_user("bob", bob.key, uid=1000)
+    bob_proc.write_file(f"{path}/pub/news.txt", b"track 2 coming soon\n")
+    print("bob updates his server from the library:",
+          pat.read_file(f"{path}/pub/news.txt"))
+
+
+if __name__ == "__main__":
+    main()

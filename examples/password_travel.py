@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The travelling-user scenario from the paper (section 2.4).
+
+"Suppose a user from MIT travels to a research laboratory and wishes to
+access files back at MIT.  The user runs the command
+`sfskey add alice@sfs.lcs.mit.edu`.  The command prompts him for a
+single password.  He types it, and the command completes successfully.
+... The process involves no system administrators, no certification
+authorities, and no need for this user to have to think about anything
+like public keys or self-certifying pathnames."
+
+Under the hood: SRP negotiates a strong session key from the weak
+password without exposing it to off-line guessing; the server's
+self-certifying pathname and alice's eksblowfish-encrypted private key
+come back over that channel; the agent loads the key and drops a
+``sfs.lcs.mit.edu`` symlink into /sfs.
+"""
+
+from repro import World
+from repro.core import sfskey
+from repro.fs import Cred, pathops
+
+
+def main() -> None:
+    world = World()
+
+    # --- at MIT: the server and alice's enrolment -----------------------
+    server = world.add_server("sfs.lcs.mit.edu")
+    path = server.export_fs()
+    home = pathops.mkdirs(server.fs, "/home/alice")
+    pathops.write_file(server.fs, "/home/alice/thesis.tex",
+                       b"\\chapter{Self-certifying pathnames}")
+    server.authserver._unix_passwords["alice"] = "alices-unix-pw"
+
+    enrolment = sfskey.prepare_enrolment(
+        "alice", b"correct horse battery staple", world.rng
+    )
+    sfskey.register(world.connector, "sfs.lcs.mit.edu", enrolment,
+                    "alices-unix-pw", world.rng)
+    record = server.authserver.local_db.lookup_user("alice")
+    server.fs.setattr(home.ino, Cred(0, 0), uid=record.uid, gid=100)
+    print(f"alice enrolled at MIT with uid {record.uid}")
+    print("the server stores only: SRP verifier + encrypted private key")
+
+    # --- at the research lab: one password, nothing else ----------------
+    lab_machine = world.add_client("lab-machine")
+    agent = lab_machine.new_agent("alice", record.uid)
+    result = sfskey.add(
+        world.connector, agent, "alice", "sfs.lcs.mit.edu",
+        b"correct horse battery staple", world.rng,
+    )
+    print(f"sfskey add -> {result.pathname}")
+    print(f"agent now holds {agent.key_count} private key(s)")
+
+    # Alice types the friendly name; the agent's symlink redirects to
+    # the self-certifying pathname, and her downloaded key logs her in.
+    proc = lab_machine.process(uid=record.uid)
+    thesis = proc.read_file("/sfs/sfs.lcs.mit.edu/home/alice/thesis.tex")
+    print(f"read via friendly name: {thesis!r}")
+
+    # The wrong password gets nothing -- and learns nothing usable for
+    # an off-line guessing attack.
+    eve_agent = lab_machine.new_agent("eve", 6000)
+    try:
+        sfskey.add(world.connector, eve_agent, "alice", "sfs.lcs.mit.edu",
+                   b"12345", world.rng)
+        raise SystemExit("BUG: wrong password accepted")
+    except sfskey.SfsKeyError as exc:
+        print(f"wrong password: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: a secure global file system in twenty lines.
+
+Builds a world with one SFS server and one client, and shows the core
+idea of the paper: the *name* of the file system authenticates the
+server.  No certificates, no realms, no client configuration — the
+HostID inside /sfs/Location:HostID commits to the server's public key.
+"""
+
+from repro import World
+from repro.fs import pathops, Cred
+
+
+def main() -> None:
+    world = World()
+
+    # Anyone with a domain name can run a server: generate a key,
+    # export a file system, and the self-certifying pathname exists on
+    # every client in the world.
+    server = world.add_server("sfs.lcs.mit.edu")
+    path = server.export_fs()
+    print(f"server exported:  {path}")
+    print(f"  Location = {path.location}")
+    print(f"  HostID   = {path.hostid_text}  (SHA-1 of the public key)")
+
+    # Server-side account setup: alice gets a uid and a key pair, plus
+    # a home directory.
+    alice = server.add_user("alice", uid=1000)
+    home = pathops.mkdirs(server.fs, "/home/alice")
+    server.fs.setattr(home.ino, Cred(0, 0), uid=1000, gid=100)
+
+    # A client machine anywhere on the Internet.  Alice's agent holds
+    # her private key; the kernel + sfscd handle everything else.
+    client = world.add_client("laptop")
+    proc = client.login_user("alice", alice.key, uid=1000)
+
+    # First access automounts: connect, verify HostID, negotiate session
+    # keys, authenticate alice through her agent -- all transparent.
+    proc.write_file(f"{path}/home/alice/notes.txt",
+                    b"my first self-certifying file\n")
+    data = proc.read_file(f"{path}/home/alice/notes.txt")
+    print(f"read back:        {data!r}")
+
+    # The /sfs directory shows (only) what this user has referenced.
+    print(f"/sfs for alice:   {proc.readdir('/sfs')}")
+
+    # pwd inside SFS prints the full self-certifying pathname.
+    proc.chdir(f"{path}/home/alice")
+    print(f"pwd:              {proc.getcwd()}")
+
+    # Another local user without credentials gets anonymous access only.
+    mallory = client.process(uid=6666)
+    try:
+        mallory.write_file(f"{path}/home/alice/evil.txt", b"hax")
+        raise SystemExit("BUG: anonymous write succeeded")
+    except OSError as exc:
+        print(f"anonymous write:  denied ({exc.strerror})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The read-only dialect: signed file systems on untrusted mirrors.
+
+A software vendor publishes a release tree, signing it offline.  Mirrors
+— including ones the vendor has never heard of — serve the image.  A
+tampering mirror is caught by the client on the first corrupted byte,
+because every block is verified against the signed Merkle root.
+"""
+
+from repro import World
+from repro.core.readonly import publish
+from repro.crypto.rabin import generate_key
+from repro.fs import pathops
+from repro.fs.memfs import MemFs
+
+
+def main() -> None:
+    world = World()
+
+    # --- the vendor, offline ---------------------------------------------
+    vendor_key = generate_key(768, world.rng)
+    release = MemFs()
+    pathops.write_file(release, "/v1.0/sfs.tar", b"\x1f\x8b" + b"S" * 20000)
+    pathops.write_file(release, "/v1.0/CHECKSUMS", b"(self-verifying!)\n")
+    pathops.symlink(release, "/latest", "v1.0")
+    image = publish(release, vendor_key, "releases.example.org")
+    print(f"published {len(image.store)} signed blobs; "
+          f"root serial {image.serial}")
+    print("the private key now goes back in the safe - servers never see it")
+
+    # --- honest mirror: DNS points the release name at a volunteer box --
+    mirror = world.add_server("mirror-7.volunteer.net")
+    ro_path = mirror.master.add_ro_export(image.replicate())
+    world.route("releases.example.org", mirror)
+    client = world.add_client("downloader")
+    client.new_agent("user", 1000)
+    proc = client.process(uid=1000)
+    tar = proc.read_file(f"{ro_path}/latest/sfs.tar")
+    print(f"downloaded {len(tar)} bytes through /latest symlink, verified")
+
+    # --- malicious mirror: an attacker hijacks the DNS name ----------------
+    evil_image = image.replicate()
+    # Corrupt the largest blob (the tarball) in the mirror's store.
+    biggest = max(evil_image.store, key=lambda d: len(evil_image.store[d]))
+    blob = bytearray(evil_image.store[biggest])
+    blob[100] ^= 0xFF
+    evil_image.store[biggest] = bytes(blob)
+    evil = world.add_server("evil-mirror.net")
+    evil.master.add_ro_export(evil_image)
+    world.route("releases.example.org", evil)
+
+    client2 = world.add_client("downloader2")
+    client2.new_agent("user", 1000)
+    proc2 = client2.process(uid=1000)
+    try:
+        proc2.read_file(f"{ro_path}/latest/sfs.tar")
+        raise SystemExit("BUG: tampered download accepted")
+    except OSError:
+        print("tampered mirror detected: blob failed its digest check")
+        print("(controlling DNS gains the attacker nothing)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Remote login with proxy agents (paper section 2.5.1).
+
+"Proxy agents could forward authentication requests to other SFS agents.
+We hope to build a remote login utility similar to ssh that acts as a
+proxy SFS agent.  That way, users can automatically access their files
+when logging in to a remote machine."
+
+Alice ssh-es from her laptop to a lab workstation.  Her private keys
+never leave the laptop: the workstation's client master forwards signing
+requests back over the (simulated) ssh channel, and her home agent keeps
+a full audit trail of every key operation, including the machine path
+each request travelled.
+
+We also show the split-key variant: the agent itself holds only half the
+key, with an online key-half server holding the other half — stealing
+either machine alone reveals nothing.
+"""
+
+from repro import World
+from repro.core.agentproxy import AgentServer, RemoteAgent
+from repro.core.splitkey import KeyHalfServer, SplitKeyAgent, SplitKeyPair
+from repro.fs import Cred, pathops
+from repro.rpc.peer import RpcPeer
+from repro.sim.network import link_pair
+
+
+def main() -> None:
+    world = World()
+
+    # Alice's files live on the department server.
+    server = world.add_server("sfs.lcs.mit.edu")
+    path = server.export_fs()
+    alice = server.add_user("alice", uid=1000)
+    home = pathops.mkdirs(server.fs, "/home/alice")
+    server.fs.setattr(home.ino, Cred(0, 0), uid=1000, gid=100)
+
+    # Her laptop runs her agent, which holds the private key.
+    laptop = world.add_client("laptop")
+    home_agent = laptop.new_agent("alice", 1000)
+    home_agent.add_key(alice.key)
+
+    # "ssh workstation": an RPC channel from the workstation back to the
+    # laptop's agent — the ssh agent-forwarding channel.
+    agent_end, workstation_end = link_pair(world.clock)
+    AgentServer(home_agent, RpcPeer(agent_end, "laptop-agentd"))
+    proxy = RemoteAgent(RpcPeer(workstation_end, "sshd"),
+                        "alice", hop="workstation.lab.example.org")
+
+    workstation = world.add_client("workstation")
+    workstation.sfscd.attach_agent(1000, proxy)
+    shell = workstation.process(uid=1000)
+
+    # Alice's files appear on the workstation with no keys copied there.
+    shell.write_file(f"{path}/home/alice/lab-notes", b"from the lab\n")
+    print("wrote from the workstation:",
+          shell.read_file(f"{path}/home/alice/lab-notes"))
+    print("file owner uid:", shell.stat(f"{path}/home/alice/lab-notes").uid)
+
+    # The laptop's audit trail recorded the proxied signature + its path.
+    for entry in home_agent.audit_log:
+        print(f"audit: {entry.operation}: {entry.detail}")
+
+    # --- split keys: the agent does not even hold a whole key ----------
+    bob = server.add_user("bob", uid=2000)
+    bob_home = pathops.mkdirs(server.fs, "/home/bob")
+    server.fs.setattr(bob_home.ino, Cred(0, 0), uid=2000, gid=100)
+
+    pair = SplitKeyPair.split(bob.key, world.rng)
+    half_server = KeyHalfServer()
+    half_server.store(pair)
+    split_agent = SplitKeyAgent("bob", pair.agent_share, half_server)
+    laptop.sfscd.attach_agent(2000, split_agent)
+    bob_shell = laptop.process(uid=2000)
+    bob_shell.write_file(f"{path}/home/bob/secure", b"signed by half a key")
+    print("split-key write ok; half-server requests:", half_server.requests)
+
+    # Revoking the server half instantly disables the agent share.
+    half_server.drop(pair.agent_share)
+    laptop.sfscd.detach_agent(2000)
+    laptop.sfscd.attach_agent(2000, split_agent)
+    try:
+        c2 = world.add_client("second-machine")
+        c2.sfscd.attach_agent(2000, split_agent)
+        c2.process(uid=2000).write_file(f"{path}/home/bob/more", b"x")
+        print("NOTE: anonymous fallback prevented the write:")
+    except OSError as exc:
+        print(f"after key-half revocation: {exc.strerror}")
+
+
+if __name__ == "__main__":
+    main()

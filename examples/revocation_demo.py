@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Key revocation and HostID blocking (paper section 2.6).
+
+Demonstrates all three mechanisms:
+
+1. a *revocation certificate* served by the (compromised) server itself,
+2. a revocation directory checked by the user's agent (the Verisign
+   "all of the above" pattern), and
+3. per-user *HostID blocking*, which needs no certificate at all.
+
+Plus the recovery path: a *forwarding pointer* redirecting an old
+pathname to a new one, and the rule that a revocation always overrules
+a forwarding pointer.
+"""
+
+from repro import World
+from repro.core import revocation
+from repro.fs import pathops
+from repro.keymgmt import CertificationAuthority, set_revocation_directories
+from repro.keymgmt.manual import install_link
+
+
+def main() -> None:
+    world = World()
+
+    # --- 1. server-announced revocation ---------------------------------
+    server = world.add_server("compromised.example.com")
+    path = server.export_fs()
+    pathops.write_file(server.fs, "/data", b"old contents")
+    key = server.master.rw_export(path.hostid).key
+
+    cert = revocation.make_revocation_certificate(
+        key, "compromised.example.com"
+    )
+    server.master.set_revocation(path.hostid, cert)
+    print(f"owner revoked {path.mount_name[:40]}...")
+
+    client = world.add_client("c1")
+    client.new_agent("user", 1000)
+    proc = client.process(uid=1000)
+    try:
+        proc.read_file(f"{path}/data")
+        raise SystemExit("BUG: revoked path readable")
+    except OSError:
+        link = proc.readlink(f"/sfs/{path.mount_name}")
+        print(f"revoked path is now a symlink to {link!r}")
+
+    # --- 2. revocation directories via a CA ------------------------------
+    world2 = World(seed=99)
+    victim = world2.add_server("victim.example.org")
+    victim_path = victim.export_fs()
+    victim_key = victim.master.rw_export(victim_path.hostid).key
+
+    ca = CertificationAuthority("revoker.net", world2.rng)
+    cert2 = revocation.make_revocation_certificate(
+        victim_key, "victim.example.org"
+    )
+    # Anyone may submit: the certificate authenticates itself.
+    where = ca.publish_revocation(cert2)
+    print(f"revocation filed at {where} (submitter identity irrelevant)")
+
+    mirror = world2.add_server("ca-mirror.net")
+    ca_path = mirror.master.add_ro_export(ca.publish_image())
+    world2.route("revoker.net", mirror)
+    c2 = world2.add_client("c2")
+    install_link(c2.root_process(), "/revoker", ca_path)
+    agent = c2.new_agent("user", 1000)
+    set_revocation_directories(agent, ["/revoker/revocations"])
+    proc2 = c2.process(uid=1000)
+    try:
+        proc2.readdir(str(victim_path))
+        raise SystemExit("BUG: agent ignored the revocation directory")
+    except OSError:
+        print("agent found the certificate and refused the mount")
+
+    # --- 3. per-user HostID blocking ---------------------------------------
+    innocent = world2.add_server("fine.example.org")
+    fine_path = innocent.export_fs()
+    pathops.write_file(innocent.fs, "/hello", b"hi")
+    paranoid = c2.new_agent("paranoid", 2000)
+    paranoid.block_hostid(fine_path.hostid)
+    blocked_proc = c2.process(uid=2000)
+    try:
+        blocked_proc.read_file(f"{fine_path}/hello")
+        raise SystemExit("BUG: blocked HostID accessible")
+    except OSError:
+        print("paranoid user blocked the HostID for themselves...")
+    other = c2.new_agent("other", 3000)
+    other_proc = c2.process(uid=3000)
+    print(f"...but another user still reads: "
+          f"{other_proc.read_file(f'{fine_path}/hello')!r}")
+
+    # --- 4. forwarding pointers -------------------------------------------
+    world3 = World(seed=123)
+    old = world3.add_server("old-name.com")
+    old_path = old.export_fs()
+    new = world3.add_server("new-name.com")
+    new_path = new.export_fs()
+    pathops.write_file(new.fs, "/moved", b"we moved!")
+    old_key = old.master.rw_export(old_path.hostid).key
+    pointer = revocation.make_forwarding_pointer(
+        old_key, "old-name.com", str(new_path)
+    )
+    old.master.set_forwarding_pointer(old_path.hostid, pointer)
+    c3 = world3.add_client("c3")
+    c3.new_agent("user", 1000)
+    proc3 = c3.process(uid=1000)
+    print(f"old name follows pointer: "
+          f"{proc3.read_file(f'{old_path}/moved')!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment lacks the `wheel` package, so PEP 660 editable
+installs (which need bdist_wheel) fail; this shim lets
+``pip install -e .`` use setuptools' legacy develop path.  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""SFS: a secure network file system with self-certifying pathnames.
+
+A from-scratch Python reproduction of *Separating key management from
+file system security* (Mazieres, Kaminsky, Kaashoek, Witchel — SOSP '99),
+including every substrate the paper's system depends on: the
+cryptographic primitives (SHA-1, ARC4, Blowfish/eksblowfish,
+Rabin-Williams, SRP, the DSS PRG), XDR and Sun RPC, NFS version 3 with an
+in-memory Unix file system, a simulated kernel/disk/network, and the SFS
+protocols themselves — self-certifying pathnames, the secure channel,
+modular user authentication, agents, the authserver, revocation, the
+read-only dialect, and the key-management schemes built on top.
+
+Quick start::
+
+    from repro import World
+
+    world = World()
+    server = world.add_server("sfs.lcs.mit.edu")
+    path = server.export_fs()
+    alice = server.add_user("alice", uid=1000)
+    client = world.add_client("laptop")
+    proc = client.login_user("alice", alice.key, uid=1000)
+    proc.makedirs(f"{path}/home/alice")
+    proc.write_file(f"{path}/home/alice/hello", b"self-certifying!")
+"""
+
+from . import core, crypto, fs, kernel, nfs3, rpc, sim
+from .core import (
+    Agent,
+    AuthServer,
+    MountError,
+    SecurityError,
+    SelfCertifyingPath,
+    SfsClientDaemon,
+    SfsServerMaster,
+    compute_hostid,
+    make_path,
+    parse_path,
+    publish,
+)
+from .kernel import ClientMachine, Kernel, KernelError, Process, ServerMachine, World
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Agent",
+    "AuthServer",
+    "ClientMachine",
+    "Kernel",
+    "KernelError",
+    "MountError",
+    "Process",
+    "SecurityError",
+    "SelfCertifyingPath",
+    "ServerMachine",
+    "SfsClientDaemon",
+    "SfsServerMaster",
+    "World",
+    "__version__",
+    "compute_hostid",
+    "core",
+    "crypto",
+    "fs",
+    "kernel",
+    "make_path",
+    "nfs3",
+    "parse_path",
+    "publish",
+    "rpc",
+    "sim",
+]

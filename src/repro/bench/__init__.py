@@ -1,0 +1,37 @@
+"""Benchmark harness regenerating every figure in the paper's section 4."""
+
+from . import compile as compile_bench
+from . import mab, micro, setups, sprite, timing
+from .setups import (
+    ALL_CONFIGS,
+    LOCAL,
+    NFS_TCP,
+    NFS_UDP,
+    PAPER_CONFIGS,
+    SFS,
+    SFS_NOENC,
+    BenchSetup,
+    make_setup,
+)
+from .timing import Measurement, Timer, format_table
+
+__all__ = [
+    "ALL_CONFIGS",
+    "BenchSetup",
+    "LOCAL",
+    "Measurement",
+    "NFS_TCP",
+    "NFS_UDP",
+    "PAPER_CONFIGS",
+    "SFS",
+    "SFS_NOENC",
+    "Timer",
+    "compile_bench",
+    "format_table",
+    "mab",
+    "make_setup",
+    "micro",
+    "setups",
+    "sprite",
+    "timing",
+]

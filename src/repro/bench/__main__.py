@@ -1,0 +1,119 @@
+"""Command-line runner: regenerate every figure from the paper.
+
+    python -m repro.bench            # all figures, default scales
+    python -m repro.bench fig5 fig8  # a subset
+    python -m repro.bench --quick    # reduced workload sizes
+
+Prints the same rows/series the paper's section 4 reports.  Absolute
+numbers reflect the Python simulator; the *shape* (who wins, by roughly
+what factor) is the reproduction target — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import compile_bench, mab, micro, sprite
+from .setups import LOCAL, NFS_TCP, NFS_UDP, SFS, SFS_NOENC, make_setup
+from .timing import format_table
+
+MICRO_CONFIGS = [NFS_UDP, NFS_TCP, SFS, SFS_NOENC]
+APP_CONFIGS = [LOCAL, NFS_UDP, NFS_TCP, SFS]
+
+
+def run_fig5(quick: bool) -> str:
+    ops = 100 if quick else 200
+    size = (1 << 20) if quick else (2 << 20)
+    rows = []
+    for name in MICRO_CONFIGS:
+        result = micro.run_micro(make_setup(name), ops=ops, size=size)
+        rows.append((name, result.latency_usec, result.throughput_mbs))
+    return format_table(
+        "Figure 5: micro-benchmarks for basic operations",
+        ["File system", "Latency (usec)", "Throughput (MB/s)"], rows,
+    )
+
+
+def run_fig6(quick: bool) -> str:
+    rows = []
+    for name in APP_CONFIGS:
+        result = mab.run_mab(make_setup(name))
+        rows.append(tuple(
+            [name] + [result.phases[p].total for p in mab.PHASES]
+            + [result.total]
+        ))
+    return format_table(
+        "Figure 6: Modified Andrew Benchmark (seconds per phase)",
+        ["File system"] + mab.PHASES + ["total"], rows,
+    )
+
+
+def run_fig7(quick: bool) -> str:
+    rows = []
+    for name in APP_CONFIGS + [SFS_NOENC]:
+        result = compile_bench.run_compile(make_setup(name))
+        rows.append((name, result.seconds))
+    return format_table(
+        "Figure 7: compiling the GENERIC kernel (synthetic)",
+        ["System", "Time (seconds)"], rows,
+    )
+
+
+def run_fig8(quick: bool) -> str:
+    count = 150 if quick else 500
+    rows = []
+    for name in APP_CONFIGS:
+        result = sprite.run_small_file(make_setup(name), count=count)
+        rows.append(tuple(
+            [name] + [result.phases[p].total for p in sprite.SMALL_PHASES]
+        ))
+    return format_table(
+        f"Figure 8: Sprite LFS small-file benchmark ({count} x 1 KB files)",
+        ["File system"] + sprite.SMALL_PHASES, rows,
+    )
+
+
+def run_fig9(quick: bool) -> str:
+    size = (1 << 20) if quick else (4 << 20)
+    rows = []
+    for name in APP_CONFIGS:
+        result = sprite.run_large_file(make_setup(name), size=size)
+        rows.append(tuple(
+            [name] + [result.phases[p].total for p in sprite.LARGE_PHASES]
+        ))
+    return format_table(
+        f"Figure 9: Sprite LFS large-file benchmark ({size >> 20} MB file)",
+        ["File system"] + sprite.LARGE_PHASES, rows,
+    )
+
+
+FIGURES = {
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the SFS paper's evaluation figures.",
+    )
+    parser.add_argument("figures", nargs="*", choices=[*FIGURES, []],
+                        help="subset of figures (default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced workload sizes")
+    args = parser.parse_args(argv)
+    selected = args.figures or list(FIGURES)
+    for index, figure in enumerate(selected):
+        if index:
+            print()
+        print(FIGURES[figure](args.quick))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

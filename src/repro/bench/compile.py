@@ -1,0 +1,79 @@
+"""Figure 7: compiling the GENERIC FreeBSD 3.3 kernel.
+
+A synthetic kernel build: a few hundred source files plus shared headers
+live on the measured file system; "compiling" a file reads it and every
+header it includes, performs CPU work proportional to the bytes read,
+and writes an object file; the final link reads all objects and writes
+one large binary synchronously.
+
+The op mix is what matters: many reads of shared headers (attribute- and
+data-cache friendly), per-file writes, and a sync at the end — the same
+profile that let SFS land between NFS/UDP and NFS/TCP in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..crypto.sha1 import sha1
+from .setups import BenchSetup
+from .timing import Timer
+
+_N_SOURCES = 120
+_N_HEADERS = 30
+_HEADERS_PER_SOURCE = 6
+_WORK_ROUNDS = 10
+
+
+@dataclass
+class CompileResult:
+    """One row of figure 7."""
+
+    name: str
+    seconds: float
+
+
+def _populate(proc, work: str, rng: random.Random) -> None:
+    proc.makedirs(f"{work}/kernel/sys")
+    proc.makedirs(f"{work}/kernel/obj")
+    for index in range(_N_HEADERS):
+        size = rng.randrange(2048, 8192)
+        body = bytes(rng.getrandbits(8) for _ in range(128)) * (size // 128)
+        proc.write_file(f"{work}/kernel/sys/header{index}.h", body)
+    for index in range(_N_SOURCES):
+        size = rng.randrange(2048, 10240)
+        body = bytes(rng.getrandbits(8) for _ in range(128)) * (size // 128)
+        proc.write_file(f"{work}/kernel/src{index}.c", body)
+
+
+def run_compile(setup: BenchSetup, seed: int = 13) -> CompileResult:
+    rng = random.Random(seed)
+    proc = setup.process
+    work = setup.workdir
+    _populate(proc, work, rng)
+    timer = Timer(setup.clock)
+
+    def build() -> None:
+        header_names = [
+            f"{work}/kernel/sys/header{i}.h" for i in range(_N_HEADERS)
+        ]
+        for index in range(_N_SOURCES):
+            source = proc.read_file(f"{work}/kernel/src{index}.c")
+            includes = b""
+            for step in range(_HEADERS_PER_SOURCE):
+                header = header_names[(index * 7 + step * 5) % _N_HEADERS]
+                includes += proc.read_file(header)
+            unit = source + includes
+            digest = unit
+            for _ in range(_WORK_ROUNDS):
+                digest = sha1(digest + unit[:1024])
+            proc.write_file(f"{work}/kernel/obj/src{index}.o", digest * 16)
+        linked = b"".join(
+            proc.read_file(f"{work}/kernel/obj/src{i}.o")
+            for i in range(_N_SOURCES)
+        )
+        proc.write_file(f"{work}/kernel/kernel.bin", linked, sync=True)
+
+    measurement = timer.measure("compile", build)
+    return CompileResult(setup.name, measurement.total)

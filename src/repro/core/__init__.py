@@ -1,0 +1,106 @@
+"""The SFS core: self-certifying pathnames and everything they enable."""
+
+from .agent import Agent, AgentRefused
+from .authserv import AuthServer, KeyDatabase, PrivateRecord, UserRecord
+from .cache import ClientCaches, LeaseCache
+from .channel import SecureChannel
+from .client import (
+    MountError,
+    MountedRemoteFs,
+    ReadOnlyMount,
+    SecurityError,
+    ServerSession,
+    SfsClientDaemon,
+)
+from .config import DispatchConfig
+from .keyneg import (
+    EphemeralKeyCache,
+    KeyNegotiationError,
+    SessionKeys,
+    derive_session_keys,
+)
+from .pathnames import (
+    PathnameError,
+    SelfCertifyingPath,
+    compute_hostid,
+    hostid_from_text,
+    hostid_to_text,
+    make_path,
+    parse_mount_name,
+    parse_path,
+)
+from .readonly import (
+    ReadOnlyClient,
+    ReadOnlyError,
+    ReadOnlyImage,
+    ReadOnlyStore,
+    publish,
+)
+from .revocation import (
+    CertificateError,
+    REVOKED_LINK_TARGET,
+    VerifiedRevocation,
+    make_forwarding_pointer,
+    make_revocation_certificate,
+    verify_certificate,
+)
+from .agentproxy import AgentServer, RemoteAgent
+from .libsfs import LibSfs, LocalAccounts
+from .server import SfsServerMaster
+from .splitkey import KeyHalfServer, SplitKeyAgent, SplitKeyPair
+from .tcpstack import TcpConnector, TcpServerHost
+from . import proto, sfskey
+
+__all__ = [
+    "Agent",
+    "AgentRefused",
+    "AgentServer",
+    "AuthServer",
+    "KeyHalfServer",
+    "LibSfs",
+    "LocalAccounts",
+    "RemoteAgent",
+    "SplitKeyAgent",
+    "SplitKeyPair",
+    "TcpConnector",
+    "TcpServerHost",
+    "CertificateError",
+    "ClientCaches",
+    "DispatchConfig",
+    "EphemeralKeyCache",
+    "KeyDatabase",
+    "KeyNegotiationError",
+    "LeaseCache",
+    "MountError",
+    "MountedRemoteFs",
+    "PathnameError",
+    "PrivateRecord",
+    "REVOKED_LINK_TARGET",
+    "ReadOnlyClient",
+    "ReadOnlyError",
+    "ReadOnlyImage",
+    "ReadOnlyMount",
+    "ReadOnlyStore",
+    "SecureChannel",
+    "SecurityError",
+    "SelfCertifyingPath",
+    "ServerSession",
+    "SessionKeys",
+    "SfsClientDaemon",
+    "SfsServerMaster",
+    "UserRecord",
+    "VerifiedRevocation",
+    "compute_hostid",
+    "derive_session_keys",
+    "hostid_from_text",
+    "hostid_to_text",
+    "make_forwarding_pointer",
+    "make_path",
+    "make_revocation_certificate",
+    "parse_mount_name",
+    "parse_path",
+    "proto",
+    "publish",
+    "sfskey",
+    "verify_certificate",
+]

@@ -1,0 +1,350 @@
+"""The authserver ("authserv") — user authentication for SFS servers.
+
+"On the server side, a separate program, the authentication server or
+authserver, performs user authentication.  The file server and authserver
+communicate with RPC." (paper section 2.5)
+
+The authserver:
+
+* maintains databases mapping public keys to Unix credentials — some
+  writable and local, some read-only imports of databases served over SFS
+  itself ("a server can import a centrally-maintained list of users over
+  SFS while also keeping a few guest accounts in a local database");
+* validates signed authentication requests from agents (figure 4),
+  translating them into credentials;
+* runs the SRP protocol with sfskey so users can retrieve the server's
+  self-certifying pathname (and an encrypted copy of their private key)
+  with just a password (section 2.4);
+* keeps two versions of every writable database: a *public* one (keys and
+  credentials, safe to export to the world) and a *private* one (SRP
+  verifiers and encrypted private keys, with which a server could mount a
+  guessing attack — paced by eksblowfish).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..crypto.rabin import PublicKey, RabinError
+from ..crypto.sha1 import sha1
+from ..crypto.srp import SRPServer, SRPError, Verifier
+from ..rpc.xdr import Record, XdrError
+from . import proto
+from .sealing import seal
+
+AUTHID_TYPE = "SignedAuthReq"
+
+
+@dataclass
+class UserRecord:
+    """One user's public entry: key + credentials."""
+
+    user: str
+    uid: int
+    gid: int
+    groups: tuple[int, ...]
+    public_key_bytes: bytes
+
+    def credentials_record(self) -> Record:
+        return proto.Credentials.make(
+            user=self.user, uid=self.uid, gid=self.gid, groups=list(self.groups)
+        )
+
+
+@dataclass
+class PrivateRecord:
+    """One user's private entry: SRP verifier + encrypted private key.
+
+    This is the half of the database that never leaves the authserver —
+    "The public database contains public keys and credentials, but no
+    information with which an attacker could verify a guessed password."
+    """
+
+    srp_salt: bytes
+    srp_verifier: int
+    srp_cost: int
+    encrypted_privkey: bytes
+
+
+class KeyDatabase:
+    """A mapping of public keys to users, plus the private side.
+
+    *writable* databases accept registrations; read-only databases model
+    imports from remote servers (the authserver "automatically keeps
+    local copies of remote databases").
+    """
+
+    def __init__(self, name: str, writable: bool = True) -> None:
+        self.name = name
+        self.writable = writable
+        self._by_key_hash: dict[bytes, UserRecord] = {}
+        self._by_user: dict[str, UserRecord] = {}
+        self._private: dict[str, PrivateRecord] = {}
+
+    @staticmethod
+    def _key_hash(public_key_bytes: bytes) -> bytes:
+        return sha1(b"AuthKeyHash" + public_key_bytes)
+
+    def add_user(self, record: UserRecord,
+                 private: PrivateRecord | None = None) -> None:
+        existing = self._by_user.get(record.user)
+        if existing is not None:
+            # Key rotation: the replaced key must stop authenticating.
+            self._by_key_hash.pop(
+                self._key_hash(existing.public_key_bytes), None
+            )
+        self._by_key_hash[self._key_hash(record.public_key_bytes)] = record
+        self._by_user[record.user] = record
+        if private is not None:
+            self._private[record.user] = private
+
+    def lookup_key(self, public_key_bytes: bytes) -> UserRecord | None:
+        return self._by_key_hash.get(self._key_hash(public_key_bytes))
+
+    def lookup_user(self, user: str) -> UserRecord | None:
+        return self._by_user.get(user)
+
+    def lookup_private(self, user: str) -> PrivateRecord | None:
+        return self._private.get(user)
+
+    def public_copy(self) -> "KeyDatabase":
+        """The exportable half: users and keys, no password material."""
+        copy = KeyDatabase(self.name + "-public", writable=False)
+        for record in self._by_user.values():
+            copy.add_user(record)
+        return copy
+
+    def users(self) -> list[str]:
+        return sorted(self._by_user)
+
+
+class AuthServer:
+    """Validates authentication requests and serves sfskey."""
+
+    def __init__(self, rng: random.Random, pathname: str = "",
+                 unix_passwords: dict[str, str] | None = None) -> None:
+        self._rng = rng
+        #: The server's self-certifying pathname, handed to SRP clients.
+        self.pathname = pathname
+        self.databases: list[KeyDatabase] = [KeyDatabase("local")]
+        #: gid -> group name, served to libsfs (paper section 3.3).
+        self.groups: dict[int, str] = {0: "wheel", 100: "users"}
+        #: Security log.  "an attacker who guesses 1,000 passwords will
+        #: generate 1,000 log messages on the server.  Thus, on-line
+        #: password guessing attempts can be detected and stopped."
+        self.security_log: list[str] = []
+        #: Pluggable authentication protocols by envelope name (see
+        #: repro.core.authplugins); the classic figure-4 public-key
+        #: protocol is built in and needs no registration.
+        self.protocols: dict[str, object] = {}
+        # Optional map of Unix passwords for opt-in initial registration
+        # ("authserv can optionally let users who actually log in to a
+        # file server register initial public keys by typing their Unix
+        # passwords").
+        self._unix_passwords = unix_passwords or {}
+        self.validations = 0
+        self.failed_validations = 0
+
+    @property
+    def local_db(self) -> KeyDatabase:
+        return self.databases[0]
+
+    def attach_database(self, db: KeyDatabase) -> None:
+        """Import an additional (typically read-only, remote) database."""
+        self.databases.append(db)
+
+    # --- figure 4: request validation ------------------------------------
+
+    def validate(self, authid: bytes, seqno: int,
+                 authmsg_bytes: bytes) -> UserRecord | None:
+        """Check a signed authentication request; return the user or None.
+
+        Verifies, in order: the message parses; the embedded public key
+        verifies the signature over the marshaled SignedAuthReq; the
+        signed AuthID matches the session's AuthID; the signed sequence
+        number matches the one the client chose; and the public key maps
+        to a user in some database.
+        """
+        self.validations += 1
+        try:
+            authmsg = proto.AuthMsg.unpack(authmsg_bytes)
+            public_key = PublicKey.from_bytes(authmsg.public_key)
+            if not public_key.verify(authmsg.signed_req, authmsg.signature):
+                raise SRPError("bad signature")
+            signed = proto.SignedAuthReq.unpack(authmsg.signed_req)
+        except (XdrError, RabinError, SRPError):
+            self.failed_validations += 1
+            return None
+        if signed.req_type != AUTHID_TYPE:
+            self.failed_validations += 1
+            return None
+        if signed.authid != authid or signed.seqno != seqno:
+            self.failed_validations += 1
+            return None
+        for db in self.databases:
+            record = db.lookup_key(authmsg.public_key)
+            if record is not None:
+                return record
+        self.failed_validations += 1
+        return None
+
+    # --- registration ------------------------------------------------------
+
+    def register(self, args: Record) -> bool:
+        """Register or update a user's keys (sfskey update / enrolment).
+
+        A user already present may always replace their own record (the
+        usual sfskey "change my public key" flow would authenticate this
+        over SFS; our model requires either an existing record or a
+        matching Unix password for first-time enrolment).
+        """
+        db = self.local_db
+        if not db.writable:
+            return False
+        existing = db.lookup_user(args.user)
+        if existing is None:
+            expected = self._unix_passwords.get(args.user)
+            if expected is None or expected != args.unix_password:
+                return False
+            uid = 1000 + len(db.users())
+            gid = 100
+            groups: tuple[int, ...] = ()
+        else:
+            uid, gid, groups = existing.uid, existing.gid, existing.groups
+        record = UserRecord(
+            user=args.user, uid=uid, gid=gid, groups=groups,
+            public_key_bytes=args.public_key,
+        )
+        private = PrivateRecord(
+            srp_salt=args.srp_salt,
+            srp_verifier=int.from_bytes(args.srp_verifier, "big"),
+            srp_cost=args.srp_cost,
+            encrypted_privkey=args.encrypted_privkey,
+        )
+        db.add_user(record, private)
+        return True
+
+    def add_account(self, user: str, uid: int, gid: int,
+                    groups: tuple[int, ...] = (),
+                    public_key_bytes: bytes = b"") -> UserRecord:
+        """Administrative account creation (server-side setup)."""
+        record = UserRecord(user, uid, gid, groups, public_key_bytes)
+        self.local_db.add_user(record)
+        return record
+
+    def add_group(self, gid: int, name: str) -> None:
+        self.groups[gid] = name
+
+    def register_protocol(self, plugin) -> None:
+        """Install a new user-authentication protocol — no file system
+        code changes required (the paper's modularity claim)."""
+        self.protocols[plugin.name] = plugin
+
+    # --- libsfs queries (paper section 3.3) --------------------------------
+
+    def id_to_name(self, numeric_id: int, is_group: bool) -> str | None:
+        """Map a numeric uid/gid to this server's name for it."""
+        if is_group:
+            return self.groups.get(numeric_id)
+        for db in self.databases:
+            for user in db.users():
+                record = db.lookup_user(user)
+                if record is not None and record.uid == numeric_id:
+                    return record.user
+        return None
+
+    def name_to_id(self, name: str, is_group: bool) -> int | None:
+        """Map a user/group name to this server's numeric id for it."""
+        if is_group:
+            for gid, group_name in self.groups.items():
+                if group_name == name:
+                    return gid
+            return None
+        for db in self.databases:
+            record = db.lookup_user(name)
+            if record is not None:
+                return record.uid
+        return None
+
+    # --- SRP service (sfskey's password flow) -----------------------------
+
+    def srp_sessions(self) -> "SrpSessionFactory":
+        return SrpSessionFactory(self)
+
+
+class SrpSessionFactory:
+    """Creates per-connection SRP handshake state."""
+
+    def __init__(self, authserver: AuthServer) -> None:
+        self._authserver = authserver
+
+    def new_session(self) -> "SrpSession":
+        return SrpSession(self._authserver)
+
+
+class SrpSession:
+    """One SRP handshake with one sfskey client."""
+
+    def __init__(self, authserver: AuthServer) -> None:
+        self._authserver = authserver
+        self._server: SRPServer | None = None
+        self._user: str | None = None
+
+    def init(self, user: str, A: int) -> tuple[bytes, int, int] | None:
+        """Step 2 of SRP; None if the user has no SRP data."""
+        record = None
+        private = None
+        for db in self._authserver.databases:
+            record = db.lookup_user(user)
+            if record is not None:
+                private = db.lookup_private(user)
+                break
+        if record is None or private is None:
+            return None
+        verifier = Verifier(
+            identity=user,
+            salt=private.srp_salt,
+            v=private.srp_verifier,
+            cost=private.srp_cost,
+        )
+        self._server = SRPServer(verifier, self._authserver._rng)
+        self._user = user
+        try:
+            return self._server.challenge(A)
+        except SRPError:
+            self._server = None
+            return None
+
+    def confirm(self, m1: bytes) -> tuple[bytes, bytes] | None:
+        """Steps 4-5: verify the client, return (M2, sealed payload).
+
+        The payload — the server's self-certifying pathname plus the
+        user's encrypted private key — is sealed under the SRP session
+        key, so only someone who knew the password can read it.
+        """
+        if self._server is None or self._user is None:
+            return None
+        try:
+            m2 = self._server.verify_client(m1)
+        except SRPError:
+            # Every failed guess leaves a log line (paper footnote 3).
+            self._authserver.security_log.append(
+                f"SRP authentication failed for user {self._user!r}"
+            )
+            return None
+        private = None
+        for db in self._authserver.databases:
+            if db.lookup_user(self._user) is not None:
+                private = db.lookup_private(self._user)
+                break
+        payload = proto.SrpPayload.pack(
+            proto.SrpPayload.make(
+                pathname=self._authserver.pathname,
+                encrypted_privkey=(
+                    private.encrypted_privkey if private is not None else b""
+                ),
+            )
+        )
+        sealed = seal(self._server.session_key, payload, label=b"srp-payload")
+        return m2, sealed

@@ -1,0 +1,948 @@
+"""sfscd — the SFS client master and its subordinate daemons.
+
+"On the client side, a client master process, sfscd, communicates with
+agents, handles revocation and forwarding pointers, and acts as an
+'automounter' for remote file systems.  It never actually handles
+requests for files on remote servers, however.  Instead, it connects to a
+server, verifies the public key, and passes the connected file descriptor
+to a subordinate daemon selected by the type and version of the server."
+(paper section 3.2)
+
+Layout of this module:
+
+* :class:`ServerSession` — one secure connection to one server: CONNECT,
+  HostID verification, figure-3 key negotiation, LOGIN, and the inbound
+  lease-invalidation callback program.
+* :class:`MountedRemoteFs` — a subordinate read-write client daemon: it
+  serves an NFS3 program directly to the kernel for one remote file
+  system (its own mount point and device number), relays calls over the
+  session tagged with per-user authnos, and maintains the lease caches.
+* :class:`ReadOnlyMount` — the subordinate read-only client: verifies
+  everything against the signed root.
+* :class:`SfsClientDaemon` — the client master: owns the synthetic /sfs
+  directory (per-agent views, on-the-fly symlinks, revoked links),
+  consults agents, dials servers, and asks the NFS mounter to graft new
+  mounts into the kernel.
+
+The client is deliberately free of administrative-realm state: which
+servers exist is discovered purely from the self-certifying names users
+access (paper section 2.1.1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..crypto.rabin import PublicKey, RabinError
+from ..crypto.sha1 import sha1
+from ..nfs3 import const as nfs_const
+from ..nfs3 import types as nfs_types
+from ..rpc.peer import CallContext, Program, RpcError, RpcPeer
+from ..rpc.rpcmsg import AUTH_SYS, AuthSys, OpaqueAuth, RpcMsgError
+from ..rpc.xdr import Record, VOID
+from ..sim.clock import Clock
+from ..sim.network import LinkSide
+from . import handlemap, proto
+from .agent import Agent, AgentRefused
+from .cache import ClientCaches
+from .channel import SecureChannel
+from .keyneg import (
+    EphemeralKeyCache,
+    KeyNegotiationError,
+    decrypt_key_halves,
+    derive_session_keys,
+    encrypt_key_halves,
+    make_key_halves,
+)
+from .pathnames import (
+    SelfCertifyingPath,
+    parse_mount_name,
+)
+from .readonly import ReadOnlyClient, ReadOnlyError, RO_DIR, RO_LNK, RO_REG
+from .revocation import (
+    CertificateError,
+    REVOKED_LINK_TARGET,
+    verify_certificate,
+)
+from .server import SwitchablePipe, make_sfs_cred
+
+#: Dials (location, service) -> LinkSide.  Provided by the world model
+#: (or a real TCP dialer); raises ConnectionError if unreachable.
+Connector = Callable[[str, int], LinkSide]
+
+
+class MountError(Exception):
+    """The self-certifying pathname could not be mounted."""
+
+
+class SecurityError(MountError):
+    """The server failed authentication (wrong key for the HostID)."""
+
+
+# ---------------------------------------------------------------------------
+# Server sessions
+# ---------------------------------------------------------------------------
+
+
+class ServerSession:
+    """A verified secure channel to one export on one server."""
+
+    def __init__(self, peer: RpcPeer, pipe: SwitchablePipe,
+                 path: SelfCertifyingPath, servinfo: Record,
+                 session_keys, encrypt: bool) -> None:
+        self.peer = peer
+        self.pipe = pipe
+        self.path = path
+        self.servinfo = servinfo
+        self.session_keys = session_keys
+        self.encrypt = encrypt
+        self.auth_seqno = 0
+        self.invalidate_handler: Callable[[bytes], None] | None = None
+        self._register_callbacks()
+
+    # -- establishment --
+
+    @classmethod
+    def connect(cls, link: LinkSide, path: SelfCertifyingPath,
+                ephemeral_keys: EphemeralKeyCache, rng: random.Random,
+                service: int = proto.SERVICE_FILESERVER,
+                encrypt: bool = True,
+                verify_hostid: bool = True) -> "ServerSession | Record":
+        """Dial, verify the HostID, and negotiate session keys.
+
+        Returns a ServerSession, or the SignedCertificate record when the
+        server answers with a revocation / forwarding pointer (the caller
+        verifies and acts on it).
+        """
+        pipe = SwitchablePipe(link)
+        peer = RpcPeer(pipe, f"sfscd->{path.location}")
+        # The "currently unused extensions string" of the paper's sfssd
+        # dispatch is exactly where a dialect toggle like the
+        # no-encryption evaluation mode belongs.
+        extensions = [] if encrypt else ["noenc"]
+        disc, body = peer.call(
+            proto.SFS_CONNECT_PROGRAM, proto.SFS_VERSION, proto.PROC_CONNECT,
+            proto.ConnectArgs,
+            proto.ConnectArgs.make(
+                service=service, location=path.location,
+                hostid=path.hostid, extensions=extensions,
+            ),
+            proto.ConnectRes,
+        )
+        if disc in (proto.CONNECT_REVOKED, proto.CONNECT_REDIRECT):
+            return body
+        if disc != proto.CONNECT_OK:
+            raise MountError(f"server has no file system {path.mount_name}")
+        servinfo = body
+        # The security heart of SFS: the key the server presented must
+        # hash (with the Location we asked for) to the HostID in the
+        # pathname.  No certificate, no realm configuration — just SHA-1.
+        try:
+            public_key = PublicKey.from_bytes(servinfo.public_key)
+        except RabinError as exc:
+            raise SecurityError(f"server sent a malformed key: {exc}") from None
+        if verify_hostid and not path.matches_key(public_key):
+            raise SecurityError(
+                f"public key does not match HostID for {path.mount_name}"
+            )
+        if servinfo.dialect == proto.DIALECT_RO:
+            # Read-only dialect: no key negotiation, content is signed.
+            return cls(peer, pipe, path, servinfo, None, encrypt=False)
+        # Figure 3 steps 3-4.
+        client_key = ephemeral_keys.current()
+        kc1, kc2 = make_key_halves(rng)
+        sealed = encrypt_key_halves(public_key, kc1, kc2, rng)
+        reply = peer.call(
+            proto.SFS_CONNECT_PROGRAM, proto.SFS_VERSION, proto.PROC_ENCRYPT,
+            proto.EncryptArgs,
+            proto.EncryptArgs.make(
+                client_pubkey=client_key.public_key.to_bytes(),
+                encrypted_keyhalves=sealed,
+            ),
+            proto.EncryptRes,
+        )
+        try:
+            ks1, ks2 = decrypt_key_halves(client_key, reply.encrypted_keyhalves)
+        except KeyNegotiationError as exc:
+            raise SecurityError(str(exc)) from None
+        session_keys = derive_session_keys(
+            public_key, client_key.public_key, kc1, kc2, ks1, ks2
+        )
+        channel = SecureChannel(
+            pipe.lower, send_key=session_keys.kcs,
+            recv_key=session_keys.ksc, encrypt=encrypt,
+        )
+        pipe.switch_now(channel)
+        return cls(peer, pipe, path, servinfo, session_keys, encrypt)
+
+    def _register_callbacks(self) -> None:
+        program = Program("sfs-cb", proto.SFS_CB_PROGRAM, proto.SFS_VERSION)
+
+        def invalidate(args: Record, ctx: CallContext) -> None:
+            if self.invalidate_handler is not None:
+                self.invalidate_handler(args.handle)
+
+        program.add_proc(proto.PROC_INVALIDATE, "INVALIDATE",
+                         proto.InvalidateArgs, VOID, invalidate)
+        self.peer.register(program)
+
+    # -- the figure-4 client side --
+
+    def authinfo_bytes(self) -> bytes:
+        assert self.session_keys is not None
+        return proto.AuthInfo.pack(
+            proto.AuthInfo.make(
+                auth_type="AuthInfo", service="FS",
+                location=self.path.location, hostid=self.path.hostid,
+                sessionid=self.session_keys.session_id,
+            )
+        )
+
+    def login(self, agent: Agent, max_attempts: int = 3,
+              max_rounds: int = 8) -> int:
+        """Authenticate *agent*'s user; returns an authno (0 = anonymous).
+
+        The agent may hold several keys; the client retries with each
+        ("a single agent can support several protocols by simply trying
+        them each in succession") and falls back to anonymous access
+        after *max_attempts* failures.  Agents implementing multi-round
+        protocols expose ``continue_auth``; LOGIN_MORE replies loop back
+        through it with fresh sequence numbers — the content stays
+        opaque to this client code.
+        """
+        info = self.authinfo_bytes()
+        for key_index in range(min(max_attempts, max(1, agent.key_count))):
+            self.auth_seqno += 1
+            seqno = self.auth_seqno
+            try:
+                authmsg = agent.sign_request(info, seqno, key_index)
+            except AgentRefused:
+                break
+            for _round in range(max_rounds):
+                disc, body = self.peer.call(
+                    proto.SFS_RW_PROGRAM, proto.SFS_VERSION, proto.PROC_LOGIN,
+                    proto.LoginArgs,
+                    proto.LoginArgs.make(seqno=seqno, authmsg=authmsg),
+                    proto.LoginRes,
+                )
+                if disc == proto.LOGIN_OK:
+                    return body.authno
+                if disc != proto.LOGIN_MORE:
+                    break
+                continue_auth = getattr(agent, "continue_auth", None)
+                if continue_auth is None:
+                    break
+                self.auth_seqno += 1
+                seqno = self.auth_seqno
+                authmsg = continue_auth(body, info, seqno)
+        return 0
+
+    # -- relaying --
+
+    def call_nfs(self, proc: int, args: Record, authno: int):
+        arg_codec, res_codec = proto.NFS_PROC_CODECS[proc]
+        return self.peer.call(
+            proto.SFS_RW_PROGRAM, proto.SFS_VERSION, proc,
+            arg_codec, args, res_codec, cred=make_sfs_cred(authno),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Subordinate read-write client daemon
+# ---------------------------------------------------------------------------
+
+
+def _rewrite_fsids(value: Any, fsid: int) -> None:
+    """Rewrite every fattr3's fsid in a result tree to the local device.
+
+    "by assigning each file system its own device number, this scheme
+    prevents a malicious server from tricking the pwd command into
+    printing an incorrect path."
+    """
+    if isinstance(value, Record):
+        fields = vars(value)
+        if "fsid" in fields and "fileid" in fields:
+            value.fsid = fsid
+        for item in fields.values():
+            _rewrite_fsids(item, fsid)
+    elif isinstance(value, list):
+        for item in value:
+            _rewrite_fsids(item, fsid)
+    elif isinstance(value, tuple):
+        for item in value[1:] if value and isinstance(value[0], int) else value:
+            _rewrite_fsids(item, fsid)
+
+
+class MountedRemoteFs:
+    """One remote read-write file system, served to the kernel as NFS.
+
+    Performs per-user authentication lazily: the first request from a
+    local uid triggers a LOGIN through that user's agent; failures fall
+    back to anonymous access, exactly as the paper describes.
+    """
+
+    def __init__(self, daemon: "SfsClientDaemon", session: ServerSession,
+                 fsid: int) -> None:
+        self.daemon = daemon
+        self.session = session
+        self.fsid = fsid
+        self.caches = ClientCaches.create(
+            daemon.clock, float(session.servinfo.lease_duration),
+            enabled=daemon.caching,
+        )
+        self._authnos: dict[int, int] = {}
+        self.program = self._build_program()
+        self.rpcs_relayed = 0
+        session.invalidate_handler = self.caches.invalidate
+
+    # -- authentication --
+
+    def _authno_for(self, ctx: CallContext) -> int:
+        uid = _uid_from_authsys(ctx.cred)
+        if uid in self._authnos:
+            return self._authnos[uid]
+        agent = self.daemon.agents.get(uid)
+        authno = self.session.login(agent) if agent is not None else 0
+        self._authnos[uid] = authno
+        return authno
+
+    def logout_uid(self, uid: int) -> None:
+        self._authnos.pop(uid, None)
+
+    # -- program --
+
+    def _build_program(self) -> Program:
+        program = Program("sfs-mount", nfs_const.NFS3_PROGRAM,
+                          nfs_const.NFS3_VERSION)
+        for proc, (arg_codec, res_codec) in proto.NFS_PROC_CODECS.items():
+            if proc == nfs_const.NFSPROC3_NULL:
+                continue
+            program.add_proc(proc, nfs_const.PROC_NAMES[proc],
+                             arg_codec, res_codec, self._make_handler(proc))
+        program._sfs_mount = self  # back-pointer for tools (sfsls/libsfs)
+        return program
+
+    def _make_handler(self, proc: int):
+        def handler(args: Record, ctx: CallContext):
+            return self._handle(proc, args, ctx)
+        return handler
+
+    def _handle(self, proc: int, args: Record, ctx: CallContext):
+        cached = self._try_cache(proc, args, ctx)
+        if cached is not None:
+            return cached
+        authno = self._authno_for(ctx)
+        status, body = self.session.call_nfs(proc, args, authno)
+        self.rpcs_relayed += 1
+        _rewrite_fsids(body, self.fsid)
+        self._absorb(proc, args, ctx, status, body)
+        return status, body
+
+    # -- caching --
+
+    def _try_cache(self, proc: int, args: Record, ctx: CallContext):
+        if proc == nfs_const.NFSPROC3_GETATTR:
+            attrs = self.caches.attrs.get(args.object)
+            if attrs is not None:
+                return nfs_const.NFS3_OK, Record(obj_attributes=attrs)
+        elif proc == nfs_const.NFSPROC3_ACCESS:
+            uid = _uid_from_authsys(ctx.cred)
+            entry = self.caches.access.get(args.object, (uid, args.access))
+            if entry is not None:
+                attrs = self.caches.attrs.get(args.object)
+                return nfs_const.NFS3_OK, Record(
+                    obj_attributes=attrs, access=entry
+                )
+        elif proc == nfs_const.NFSPROC3_LOOKUP:
+            entry = self.caches.lookups.get(args.what.dir, args.what.name)
+            if entry is not None:
+                handle, attrs = entry
+                return nfs_const.NFS3_OK, Record(
+                    object=handle,
+                    obj_attributes=attrs,
+                    dir_attributes=self.caches.attrs.get(args.what.dir),
+                )
+        return None
+
+    def _absorb(self, proc: int, args: Record, ctx: CallContext,
+                status: int, body: Record) -> None:
+        """Update caches from a reply; invalidate what we mutated."""
+        if status != nfs_const.NFS3_OK:
+            return
+        caches = self.caches
+        if proc == nfs_const.NFSPROC3_GETATTR:
+            caches.attrs.put(args.object, body.obj_attributes)
+        elif proc == nfs_const.NFSPROC3_LOOKUP:
+            if body.obj_attributes is not None:
+                caches.attrs.put(body.object, body.obj_attributes)
+                caches.lookups.put(
+                    args.what.dir, (body.object, body.obj_attributes),
+                    args.what.name,
+                )
+            if body.dir_attributes is not None:
+                caches.attrs.put(args.what.dir, body.dir_attributes)
+        elif proc == nfs_const.NFSPROC3_ACCESS:
+            uid = _uid_from_authsys(ctx.cred)
+            caches.access.put(args.object, body.access, (uid, args.access))
+            if body.obj_attributes is not None:
+                caches.attrs.put(args.object, body.obj_attributes)
+        elif proc == nfs_const.NFSPROC3_READ:
+            if body.file_attributes is not None:
+                caches.attrs.put(args.file, body.file_attributes)
+        elif proc == nfs_const.NFSPROC3_WRITE:
+            caches.invalidate(args.file)
+            if body.file_wcc.after is not None:
+                caches.attrs.put(args.file, body.file_wcc.after)
+        elif proc == nfs_const.NFSPROC3_SETATTR:
+            caches.invalidate(args.object)
+            if body.obj_wcc.after is not None:
+                caches.attrs.put(args.object, body.obj_wcc.after)
+        elif proc in (nfs_const.NFSPROC3_CREATE, nfs_const.NFSPROC3_MKDIR,
+                      nfs_const.NFSPROC3_SYMLINK):
+            caches.invalidate(args.where.dir)
+            if body.obj is not None and body.obj_attributes is not None:
+                caches.attrs.put(body.obj, body.obj_attributes)
+            if body.dir_wcc.after is not None:
+                caches.attrs.put(args.where.dir, body.dir_wcc.after)
+        elif proc in (nfs_const.NFSPROC3_REMOVE, nfs_const.NFSPROC3_RMDIR):
+            caches.invalidate(args.object.dir)
+            if body.dir_wcc.after is not None:
+                caches.attrs.put(args.object.dir, body.dir_wcc.after)
+        elif proc == nfs_const.NFSPROC3_RENAME:
+            caches.invalidate(args.from_.dir)
+            caches.invalidate(args.to.dir)
+        elif proc == nfs_const.NFSPROC3_LINK:
+            caches.invalidate(args.file)
+            caches.invalidate(args.link.dir)
+        elif proc == nfs_const.NFSPROC3_READDIRPLUS:
+            for entry in body.entries:
+                if entry.name_handle is not None and entry.name_attributes is not None:
+                    caches.attrs.put(entry.name_handle, entry.name_attributes)
+
+def _uid_from_authsys(cred: OpaqueAuth) -> int:
+    if cred.flavor != AUTH_SYS:
+        return 0xFFFE
+    try:
+        return AuthSys.from_auth(cred).uid
+    except RpcMsgError:
+        return 0xFFFE
+
+
+# ---------------------------------------------------------------------------
+# Subordinate read-only client daemon
+# ---------------------------------------------------------------------------
+
+
+class ReadOnlyMount:
+    """Serves a verified read-only file system to the kernel as NFS.
+
+    Handles are the 20-byte content digests themselves — self-verifying
+    names all the way down.
+    """
+
+    def __init__(self, daemon: "SfsClientDaemon", session: ServerSession,
+                 fsid: int) -> None:
+        self.daemon = daemon
+        self.fsid = fsid
+        store_peer = session.peer
+
+        def fetch_root() -> Record:
+            res = store_peer.call(
+                proto.SFS_RO_PROGRAM, proto.SFS_VERSION, proto.PROC_GETROOT,
+                VOID, None, proto.GetRootRes,
+            )
+            res.public_key = session.servinfo.public_key
+            return res
+
+        def fetch_data(digest: bytes) -> bytes | None:
+            disc, body = store_peer.call(
+                proto.SFS_RO_PROGRAM, proto.SFS_VERSION, proto.PROC_GETDATA,
+                proto.GetDataArgs, proto.GetDataArgs.make(digest=digest),
+                proto.GetDataRes,
+            )
+            return body if disc == proto.GETDATA_OK else None
+
+        self.client = ReadOnlyClient(session.path, fetch_root, fetch_data)
+        self.program = self._build_program()
+
+    def root_handle(self) -> bytes:
+        return self.client.root_digest
+
+    def _build_program(self) -> Program:
+        program = Program("sfs-ro-mount", nfs_const.NFS3_PROGRAM,
+                          nfs_const.NFS3_VERSION)
+        codecs = proto.NFS_PROC_CODECS
+        program.add_proc(nfs_const.NFSPROC3_GETATTR, "GETATTR",
+                         *codecs[nfs_const.NFSPROC3_GETATTR], self._getattr)
+        program.add_proc(nfs_const.NFSPROC3_LOOKUP, "LOOKUP",
+                         *codecs[nfs_const.NFSPROC3_LOOKUP], self._lookup)
+        program.add_proc(nfs_const.NFSPROC3_ACCESS, "ACCESS",
+                         *codecs[nfs_const.NFSPROC3_ACCESS], self._access)
+        program.add_proc(nfs_const.NFSPROC3_READLINK, "READLINK",
+                         *codecs[nfs_const.NFSPROC3_READLINK], self._readlink)
+        program.add_proc(nfs_const.NFSPROC3_READ, "READ",
+                         *codecs[nfs_const.NFSPROC3_READ], self._read)
+        program.add_proc(nfs_const.NFSPROC3_READDIR, "READDIR",
+                         *codecs[nfs_const.NFSPROC3_READDIR], self._readdir)
+        program.add_proc(nfs_const.NFSPROC3_FSINFO, "FSINFO",
+                         *codecs[nfs_const.NFSPROC3_FSINFO], self._fsinfo)
+        for proc in (nfs_const.NFSPROC3_SETATTR, nfs_const.NFSPROC3_WRITE,
+                     nfs_const.NFSPROC3_CREATE, nfs_const.NFSPROC3_MKDIR,
+                     nfs_const.NFSPROC3_SYMLINK, nfs_const.NFSPROC3_REMOVE,
+                     nfs_const.NFSPROC3_RMDIR, nfs_const.NFSPROC3_RENAME,
+                     nfs_const.NFSPROC3_LINK):
+            program.add_proc(proc, nfs_const.PROC_NAMES[proc],
+                             *codecs[proc], self._readonly_reject(proc))
+        return program
+
+    def _readonly_reject(self, proc: int):
+        from .server import nfs_failure_shape
+
+        def handler(args: Record, ctx: CallContext):
+            return nfs_const.NFS3ERR_ROFS, nfs_failure_shape(proc)
+
+        return handler
+
+    def _node(self, digest: bytes):
+        try:
+            return self.client.node(digest)
+        except ReadOnlyError:
+            return None
+
+    def _fattr(self, digest: bytes) -> Record | None:
+        node = self._node(digest)
+        if node is None:
+            return None
+        kind, body = node
+        fileid = int.from_bytes(digest[:8], "big") >> 1
+        if kind == RO_REG:
+            ftype, mode, size = nfs_const.NF3REG, body.mode & 0o555, body.size
+        elif kind == RO_DIR:
+            ftype, mode, size = nfs_const.NF3DIR, body.mode & 0o555, 512
+        else:
+            ftype, mode, size = nfs_const.NF3LNK, 0o777, len(body.target)
+        zero_time = nfs_types.NfsTime.make(seconds=0, nseconds=0)
+        return nfs_types.Fattr.make(
+            type=ftype, mode=mode, nlink=1, uid=0, gid=0,
+            size=size, used=size,
+            rdev=nfs_types.SpecData.make(major=0, minor=0),
+            fsid=self.fsid, fileid=fileid,
+            atime=zero_time, mtime=zero_time, ctime=zero_time,
+        )
+
+    def _getattr(self, args: Record, ctx: CallContext):
+        attrs = self._fattr(args.object)
+        if attrs is None:
+            return nfs_const.NFS3ERR_STALE, None
+        return nfs_const.NFS3_OK, Record(obj_attributes=attrs)
+
+    def _lookup(self, args: Record, ctx: CallContext):
+        try:
+            child = self.client.lookup(args.what.dir, args.what.name)
+        except ReadOnlyError:
+            return nfs_const.NFS3ERR_NOENT, Record(
+                dir_attributes=self._fattr(args.what.dir)
+            )
+        return nfs_const.NFS3_OK, Record(
+            object=child,
+            obj_attributes=self._fattr(child),
+            dir_attributes=self._fattr(args.what.dir),
+        )
+
+    def _access(self, args: Record, ctx: CallContext):
+        granted = args.access & (nfs_const.ACCESS3_READ
+                                 | nfs_const.ACCESS3_LOOKUP
+                                 | nfs_const.ACCESS3_EXECUTE)
+        return nfs_const.NFS3_OK, Record(
+            obj_attributes=self._fattr(args.object), access=granted
+        )
+
+    def _readlink(self, args: Record, ctx: CallContext):
+        try:
+            target = self.client.readlink(args.symlink)
+        except ReadOnlyError:
+            return nfs_const.NFS3ERR_INVAL, Record(symlink_attributes=None)
+        return nfs_const.NFS3_OK, Record(
+            symlink_attributes=self._fattr(args.symlink), data=target
+        )
+
+    def _read(self, args: Record, ctx: CallContext):
+        try:
+            data = self.client.read_file(args.file, args.offset, args.count)
+            kind, body = self.client.node(args.file)
+        except ReadOnlyError:
+            return nfs_const.NFS3ERR_IO, Record(file_attributes=None)
+        eof = args.offset + len(data) >= body.size
+        return nfs_const.NFS3_OK, Record(
+            file_attributes=self._fattr(args.file),
+            count=len(data), eof=eof, data=data,
+        )
+
+    def _readdir(self, args: Record, ctx: CallContext):
+        try:
+            listing = self.client.listdir(args.dir)
+        except ReadOnlyError:
+            return nfs_const.NFS3ERR_NOTDIR, Record(dir_attributes=None)
+        entries = []
+        for position, (name, digest) in enumerate(listing, start=1):
+            if position <= args.cookie:
+                continue
+            entries.append(nfs_types.DirEntry.make(
+                fileid=int.from_bytes(digest[:8], "big") >> 1,
+                name=name, cookie=position,
+            ))
+        return nfs_const.NFS3_OK, Record(
+            dir_attributes=self._fattr(args.dir),
+            cookieverf=b"\x00" * 8, entries=entries, eof=True,
+        )
+
+    def _fsinfo(self, args: Record, ctx: CallContext):
+        return nfs_const.NFS3_OK, Record(
+            obj_attributes=self._fattr(args.fsroot),
+            rtmax=65536, rtpref=8192, rtmult=512,
+            wtmax=0, wtpref=0, wtmult=512, dtpref=8192,
+            maxfilesize=1 << 62,
+            time_delta=nfs_types.NfsTime.make(seconds=1, nseconds=0),
+            properties=nfs_const.FSF3_SYMLINK | nfs_const.FSF3_HOMOGENEOUS,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The client master
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _SymlinkNode:
+    """A synthetic symlink in /sfs (per-agent or global)."""
+
+    name: str
+    target: str
+    uid: int | None  # None = visible to everyone (revocations)
+
+
+class SfsClientDaemon:
+    """sfscd: the /sfs automounter and agent switchboard."""
+
+    ROOT_HANDLE = b"SFSCD-ROOT-HANDLE"
+
+    def __init__(self, clock: Clock, rng: random.Random, connector: Connector,
+                 mounter, encrypt: bool = True, caching: bool = True) -> None:
+        self.clock = clock
+        self.rng = rng
+        self.connector = connector
+        self.mounter = mounter
+        self.encrypt = encrypt
+        self.caching = caching
+        self.agents: dict[int, Agent] = {}
+        self.ephemeral_keys = EphemeralKeyCache(rng)
+        self._mounts: dict[bytes, MountedRemoteFs | ReadOnlyMount] = {}
+        self._mount_roots: dict[bytes, bytes] = {}  # hostid -> root handle
+        self._references: dict[int, set[str]] = {}  # uid -> mount names seen
+        self._symlinks: dict[tuple[int | None, str], _SymlinkNode] = {}
+        self._next_fsid = 0x5F50000
+        self.program = self._build_root_program()
+        self._time = 0
+
+    # -- agents --
+
+    def attach_agent(self, uid: int, agent: Agent) -> None:
+        """Register *agent* to handle requests from local user *uid*."""
+        self.agents[uid] = agent
+        self._references.setdefault(uid, set())
+
+    def detach_agent(self, uid: int) -> None:
+        self.agents.pop(uid, None)
+        for mount in self._mounts.values():
+            if isinstance(mount, MountedRemoteFs):
+                mount.logout_uid(uid)
+
+    # -- mounting --
+
+    def mount_path(self, path: SelfCertifyingPath, uid: int):
+        """Connect to and mount a self-certifying pathname for *uid*.
+
+        Honors agent revocation checks and server-supplied revocation
+        certificates / forwarding pointers.  Returns the mount object.
+        """
+        agent = self.agents.get(uid)
+        if agent is not None:
+            disc, cert = agent.check_revoked(path.location, path.hostid)
+            if disc == proto.REVCHECK_BLOCKED:
+                raise MountError(f"HostID blocked by agent: {path.mount_name}")
+            if disc == proto.REVCHECK_REVOKED:
+                self._install_revoked_link(path.mount_name)
+                raise MountError(f"pathname revoked: {path.mount_name}")
+        existing = self._mounts.get(path.hostid)
+        if existing is not None:
+            self._references.setdefault(uid, set()).add(path.mount_name)
+            return existing
+        try:
+            link = self.connector(path.location, proto.SERVICE_FILESERVER)
+        except (ConnectionError, OSError) as exc:
+            raise MountError(f"cannot reach {path.location}: {exc}") from None
+        outcome = ServerSession.connect(
+            link, path, self.ephemeral_keys, self.rng, encrypt=self.encrypt
+        )
+        if isinstance(outcome, Record) and hasattr(outcome, "signature"):
+            self._handle_certificate(path, outcome)
+            raise MountError(f"server redirected or revoked {path.mount_name}")
+        session = outcome
+        fsid = self._next_fsid
+        self._next_fsid += 1
+        if session.servinfo.dialect == proto.DIALECT_RO:
+            try:
+                mount: MountedRemoteFs | ReadOnlyMount = ReadOnlyMount(
+                    self, session, fsid
+                )
+            except ReadOnlyError as exc:
+                # Bad signature / wrong key: the mount simply does not
+                # exist from this client's point of view.
+                raise MountError(f"read-only verification failed: {exc}") \
+                    from None
+            root_handle = mount.root_handle()
+        else:
+            mount = MountedRemoteFs(self, session, fsid)
+            root_handle = self._fetch_remote_root(session)
+        self._mounts[path.hostid] = mount
+        self._mount_roots[path.hostid] = root_handle
+        self._references.setdefault(uid, set()).add(path.mount_name)
+        self.mounter.mount(f"/sfs/{path.mount_name}", mount.program,
+                           root_handle)
+        return mount
+
+    def _fetch_remote_root(self, session: ServerSession) -> bytes:
+        """Obtain the remote root's (encrypted) handle.
+
+        The RW dialect's mount convention: a LOOKUP of "." on an all-zero
+        directory handle names the export's root.
+        """
+        zero = bytes(24)
+        status, body = session.call_nfs(
+            nfs_const.NFSPROC3_LOOKUP,
+            nfs_types.LookupArgs.make(
+                what=nfs_types.DirOpArgs.make(dir=zero, name=".")
+            ),
+            authno=0,
+        )
+        if status != nfs_const.NFS3_OK:
+            raise MountError("could not obtain remote root handle")
+        return body.object
+
+    def _handle_certificate(self, path: SelfCertifyingPath,
+                            cert: Record) -> None:
+        """Act on a server-supplied revocation / forwarding pointer."""
+        try:
+            verified = verify_certificate(cert)
+        except CertificateError:
+            return  # forged certificate: ignore entirely
+        if verified.hostid != path.hostid:
+            return
+        if verified.is_revocation:
+            self._install_revoked_link(path.mount_name)
+        else:
+            # Forwarding pointer; a revocation already present overrules.
+            key = (None, path.mount_name)
+            node = self._symlinks.get(key)
+            if node is not None and node.target == REVOKED_LINK_TARGET:
+                return
+            self._symlinks[key] = _SymlinkNode(
+                path.mount_name, verified.redirect, None
+            )
+
+    def _install_revoked_link(self, mount_name: str) -> None:
+        """Revoked paths become symlinks to the nonexistent :REVOKED:."""
+        self._symlinks[(None, mount_name)] = _SymlinkNode(
+            mount_name, REVOKED_LINK_TARGET, None
+        )
+        parsed = parse_mount_name(mount_name)
+        if parsed is not None and parsed.hostid in self._mounts:
+            del self._mounts[parsed.hostid]
+            self.mounter.unmount(f"/sfs/{mount_name}")
+
+    # -- the /sfs synthetic file system --
+
+    def _build_root_program(self) -> Program:
+        program = Program("sfscd-root", nfs_const.NFS3_PROGRAM,
+                          nfs_const.NFS3_VERSION)
+        codecs = proto.NFS_PROC_CODECS
+        program.add_proc(nfs_const.NFSPROC3_GETATTR, "GETATTR",
+                         *codecs[nfs_const.NFSPROC3_GETATTR], self._getattr)
+        program.add_proc(nfs_const.NFSPROC3_LOOKUP, "LOOKUP",
+                         *codecs[nfs_const.NFSPROC3_LOOKUP], self._lookup)
+        program.add_proc(nfs_const.NFSPROC3_ACCESS, "ACCESS",
+                         *codecs[nfs_const.NFSPROC3_ACCESS], self._access)
+        program.add_proc(nfs_const.NFSPROC3_READLINK, "READLINK",
+                         *codecs[nfs_const.NFSPROC3_READLINK], self._readlink)
+        program.add_proc(nfs_const.NFSPROC3_READDIR, "READDIR",
+                         *codecs[nfs_const.NFSPROC3_READDIR], self._readdir)
+        program.add_proc(nfs_const.NFSPROC3_FSINFO, "FSINFO",
+                         *codecs[nfs_const.NFSPROC3_FSINFO], self._fsinfo)
+        return program
+
+    def root_handle(self) -> bytes:
+        return self.ROOT_HANDLE
+
+    def _symlink_handle(self, uid: int | None, name: str) -> bytes:
+        tag = f"{uid if uid is not None else '*'}:{name}".encode()
+        return b"SL" + sha1(b"sfscd-symlink" + tag)[:18]
+
+    def _find_symlink(self, handle: bytes) -> _SymlinkNode | None:
+        for (uid, name), node in self._symlinks.items():
+            if self._symlink_handle(uid, name) == handle:
+                return node
+        return None
+
+    def _mountpoint_handle(self, mount_name: str) -> bytes:
+        return b"MP" + sha1(b"sfscd-mountpoint" + mount_name.encode())[:18]
+
+    def _dir_attrs(self, handle: bytes, fileid: int) -> Record:
+        zero_time = nfs_types.NfsTime.make(seconds=0, nseconds=0)
+        return nfs_types.Fattr.make(
+            type=nfs_const.NF3DIR, mode=0o755, nlink=2, uid=0, gid=0,
+            size=512, used=512,
+            rdev=nfs_types.SpecData.make(major=0, minor=0),
+            fsid=0x5F5, fileid=fileid,
+            atime=zero_time, mtime=zero_time, ctime=zero_time,
+        )
+
+    def _symlink_attrs(self, node: _SymlinkNode, handle: bytes) -> Record:
+        zero_time = nfs_types.NfsTime.make(seconds=0, nseconds=0)
+        return nfs_types.Fattr.make(
+            type=nfs_const.NF3LNK, mode=0o777, nlink=1,
+            uid=node.uid if node.uid is not None else 0, gid=0,
+            size=len(node.target), used=len(node.target),
+            rdev=nfs_types.SpecData.make(major=0, minor=0),
+            fsid=0x5F5,
+            fileid=int.from_bytes(handle[2:10], "big") >> 1,
+            atime=zero_time, mtime=zero_time, ctime=zero_time,
+        )
+
+    def _getattr(self, args: Record, ctx: CallContext):
+        if args.object == self.ROOT_HANDLE:
+            return nfs_const.NFS3_OK, Record(
+                obj_attributes=self._dir_attrs(args.object, 1)
+            )
+        node = self._find_symlink(args.object)
+        if node is not None:
+            return nfs_const.NFS3_OK, Record(
+                obj_attributes=self._symlink_attrs(node, args.object)
+            )
+        # A mountpoint directory the kernel hasn't crossed yet.
+        return nfs_const.NFS3_OK, Record(
+            obj_attributes=self._dir_attrs(
+                args.object, int.from_bytes(args.object[2:10], "big") >> 1
+            )
+        )
+
+    def _lookup(self, args: Record, ctx: CallContext):
+        if args.what.dir != self.ROOT_HANDLE:
+            return nfs_const.NFS3ERR_NOTDIR, Record(dir_attributes=None)
+        uid = _uid_from_authsys(ctx.cred)
+        name = args.what.name
+        dir_attrs = self._dir_attrs(self.ROOT_HANDLE, 1)
+        # Global links (revocations, forwarding pointers) come first:
+        # "A revocation certificate always overrules..."
+        for key_uid in (None, uid):
+            node = self._symlinks.get((key_uid, name))
+            if node is not None:
+                handle = self._symlink_handle(key_uid, name)
+                return nfs_const.NFS3_OK, Record(
+                    object=handle,
+                    obj_attributes=self._symlink_attrs(node, handle),
+                    dir_attributes=dir_attrs,
+                )
+        parsed = parse_mount_name(name)
+        if parsed is not None:
+            try:
+                self.mount_path(parsed, uid)
+            except MountError:
+                # Mount failures may have installed a revoked link.
+                node = self._symlinks.get((None, name))
+                if node is not None:
+                    handle = self._symlink_handle(None, name)
+                    return nfs_const.NFS3_OK, Record(
+                        object=handle,
+                        obj_attributes=self._symlink_attrs(node, handle),
+                        dir_attributes=dir_attrs,
+                    )
+                return nfs_const.NFS3ERR_NOENT, Record(dir_attributes=dir_attrs)
+            handle = self._mountpoint_handle(name)
+            return nfs_const.NFS3_OK, Record(
+                object=handle,
+                obj_attributes=self._dir_attrs(
+                    handle, int.from_bytes(handle[2:10], "big") >> 1
+                ),
+                dir_attributes=dir_attrs,
+            )
+        # Not self-certifying: notify the agent; it may produce a link.
+        agent = self.agents.get(uid)
+        if agent is not None:
+            target = agent.resolve(name)
+            if target is not None:
+                node = _SymlinkNode(name, target, uid)
+                self._symlinks[(uid, name)] = node
+                handle = self._symlink_handle(uid, name)
+                return nfs_const.NFS3_OK, Record(
+                    object=handle,
+                    obj_attributes=self._symlink_attrs(node, handle),
+                    dir_attributes=dir_attrs,
+                )
+        return nfs_const.NFS3ERR_NOENT, Record(dir_attributes=dir_attrs)
+
+    def _access(self, args: Record, ctx: CallContext):
+        granted = args.access & (nfs_const.ACCESS3_READ
+                                 | nfs_const.ACCESS3_LOOKUP
+                                 | nfs_const.ACCESS3_EXECUTE)
+        return nfs_const.NFS3_OK, Record(obj_attributes=None, access=granted)
+
+    def _readlink(self, args: Record, ctx: CallContext):
+        node = self._find_symlink(args.symlink)
+        if node is None:
+            return nfs_const.NFS3ERR_INVAL, Record(symlink_attributes=None)
+        return nfs_const.NFS3_OK, Record(
+            symlink_attributes=self._symlink_attrs(node, args.symlink),
+            data=node.target,
+        )
+
+    def _readdir(self, args: Record, ctx: CallContext):
+        """Per-agent /sfs listing: only names this user has referenced.
+
+        "In directory listings of /sfs, the client hides pathnames that
+        have never been accessed under a particular agent.  Thus, a naive
+        user who searches for HostIDs with command-line filename
+        completion cannot be tricked by another user into accessing the
+        wrong HostID."
+        """
+        if args.dir != self.ROOT_HANDLE:
+            return nfs_const.NFS3ERR_NOTDIR, Record(dir_attributes=None)
+        uid = _uid_from_authsys(ctx.cred)
+        names = [".", ".."]
+        names.extend(sorted(self._references.get(uid, ())))
+        names.extend(sorted(
+            name for (link_uid, name) in self._symlinks
+            if link_uid in (uid, None)
+        ))
+        entries = []
+        for position, name in enumerate(names, start=1):
+            if position <= args.cookie:
+                continue
+            entries.append(nfs_types.DirEntry.make(
+                fileid=position, name=name, cookie=position
+            ))
+        return nfs_const.NFS3_OK, Record(
+            dir_attributes=self._dir_attrs(self.ROOT_HANDLE, 1),
+            cookieverf=b"\x00" * 8, entries=entries, eof=True,
+        )
+
+    def _fsinfo(self, args: Record, ctx: CallContext):
+        return nfs_const.NFS3_OK, Record(
+            obj_attributes=self._dir_attrs(args.fsroot, 1),
+            rtmax=65536, rtpref=8192, rtmult=512,
+            wtmax=65536, wtpref=8192, wtmult=512, dtpref=8192,
+            maxfilesize=1 << 62,
+            time_delta=nfs_types.NfsTime.make(seconds=1, nseconds=0),
+            properties=nfs_const.FSF3_SYMLINK,
+        )

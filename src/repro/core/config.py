@@ -1,0 +1,121 @@
+"""Dispatch configuration for server and client masters.
+
+"A configuration file controls how client and server masters hand off
+connections.  Thus, one can add new file system protocols to SFS without
+changing any of the existing software.  Old and new versions of the same
+protocols can run alongside each other." (paper section 3.2)
+
+:class:`DispatchConfig` is the in-memory form of sfssd.conf: an ordered
+rule list matched against (service, HostID, extensions).  Exports
+register a default rule; operators can prepend custom rules, e.g. to
+route an extension string to an experimental dialect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+#: A rule predicate: (service, hostid, extensions) -> matches?
+Predicate = Callable[[int, bytes, list[str]], bool]
+
+
+@dataclass
+class DispatchRule:
+    """One sfssd.conf line: predicate -> export name."""
+
+    name: str
+    export: str
+    predicate: Predicate
+
+
+class DispatchConfig:
+    """Ordered dispatch rules; first match wins."""
+
+    def __init__(self) -> None:
+        self._rules: list[DispatchRule] = []
+
+    def prepend_rule(self, name: str, export: str,
+                     predicate: Predicate) -> None:
+        """Install a high-priority custom rule (new protocol, etc.)."""
+        self._rules.insert(0, DispatchRule(name, export, predicate))
+
+    def add_export(self, export: str, hostid: bytes, dialect: str) -> None:
+        """The default rule an export registers: match its own HostID."""
+        def match(service: int, requested: bytes, extensions: list[str],
+                  hostid: bytes = hostid) -> bool:
+            return requested == hostid
+
+        self._rules.append(DispatchRule(f"export:{export}", export, match))
+
+    def dispatch(self, service: int, hostid: bytes,
+                 extensions: list[str]) -> str | None:
+        """The export that should serve this connection, or None."""
+        for rule in self._rules:
+            if rule.predicate(service, hostid, extensions):
+                return rule.export
+        return None
+
+    def rules(self) -> list[str]:
+        """Human-readable rule listing (sfssd.conf dump)."""
+        return [f"{rule.name} -> {rule.export}" for rule in self._rules]
+
+    def load(self, text: str) -> int:
+        """Parse sfssd.conf-style rules; returns how many were added.
+
+        Line format (comments with ``#``, blank lines ignored)::
+
+            rule NAME export EXPORT [service=N] [hostid=BASE32]
+                                    [extension=WORD]
+
+        Conditions AND together; a rule with no conditions matches every
+        connection.  Parsed rules are *prepended* in file order, so the
+        first line of the file has the highest priority — matching how
+        sfssd reads its configuration.
+        """
+        from .pathnames import hostid_from_text
+
+        parsed: list[DispatchRule] = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            tokens = line.split()
+            if len(tokens) < 4 or tokens[0] != "rule" or tokens[2] != "export":
+                raise ValueError(f"sfssd.conf line {lineno}: bad syntax: {raw!r}")
+            name, export = tokens[1], tokens[3]
+            want_service: int | None = None
+            want_hostid: bytes | None = None
+            want_extension: str | None = None
+            for condition in tokens[4:]:
+                key, _, value = condition.partition("=")
+                if not value:
+                    raise ValueError(
+                        f"sfssd.conf line {lineno}: bad condition {condition!r}"
+                    )
+                if key == "service":
+                    want_service = int(value)
+                elif key == "hostid":
+                    want_hostid = hostid_from_text(value)
+                elif key == "extension":
+                    want_extension = value
+                else:
+                    raise ValueError(
+                        f"sfssd.conf line {lineno}: unknown condition {key!r}"
+                    )
+
+            def predicate(service: int, hostid: bytes, extensions: list[str],
+                          want_service=want_service, want_hostid=want_hostid,
+                          want_extension=want_extension) -> bool:
+                if want_service is not None and service != want_service:
+                    return False
+                if want_hostid is not None and hostid != want_hostid:
+                    return False
+                if want_extension is not None and want_extension not in extensions:
+                    return False
+                return True
+
+            parsed.append(DispatchRule(name, export, predicate))
+        for rule in reversed(parsed):
+            self._rules.insert(0, rule)
+        return len(parsed)

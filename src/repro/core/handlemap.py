@@ -1,0 +1,88 @@
+"""Translate NFS file handles inside protocol messages.
+
+Both SFS daemons rewrite handles as requests pass through them:
+
+* the server translates between the Blowfish-encrypted handles it gives
+  clients and the plain handles of its local NFS server (paper 3.3);
+* the client translates between the remote server's handles and the
+  handles it gives the local kernel.
+
+This module knows, for every NFS3 procedure, where the handles live in
+the argument and (successful) result records, and applies a translation
+function to each — mutating the freshly-decoded records in place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..nfs3 import const
+
+HandleFn = Callable[[bytes], bytes]
+
+#: proc -> list of attribute paths to handles in the args record.
+_ARG_HANDLES: dict[int, list[tuple[str, ...]]] = {
+    const.NFSPROC3_GETATTR: [("object",)],
+    const.NFSPROC3_SETATTR: [("object",)],
+    const.NFSPROC3_LOOKUP: [("what", "dir")],
+    const.NFSPROC3_ACCESS: [("object",)],
+    const.NFSPROC3_READLINK: [("symlink",)],
+    const.NFSPROC3_READ: [("file",)],
+    const.NFSPROC3_WRITE: [("file",)],
+    const.NFSPROC3_CREATE: [("where", "dir")],
+    const.NFSPROC3_MKDIR: [("where", "dir")],
+    const.NFSPROC3_SYMLINK: [("where", "dir")],
+    const.NFSPROC3_REMOVE: [("object", "dir")],
+    const.NFSPROC3_RMDIR: [("object", "dir")],
+    const.NFSPROC3_RENAME: [("from_", "dir"), ("to", "dir")],
+    const.NFSPROC3_LINK: [("file",), ("link", "dir")],
+    const.NFSPROC3_READDIR: [("dir",)],
+    const.NFSPROC3_READDIRPLUS: [("dir",)],
+    const.NFSPROC3_FSSTAT: [("fsroot",)],
+    const.NFSPROC3_FSINFO: [("fsroot",)],
+    const.NFSPROC3_PATHCONF: [("object",)],
+    const.NFSPROC3_COMMIT: [("file",)],
+}
+
+#: proc -> list of (path, optional?) to handles in the OK result record.
+_RES_HANDLES: dict[int, list[tuple[tuple[str, ...], bool]]] = {
+    const.NFSPROC3_LOOKUP: [(("object",), False)],
+    const.NFSPROC3_CREATE: [(("obj",), True)],
+    const.NFSPROC3_MKDIR: [(("obj",), True)],
+    const.NFSPROC3_SYMLINK: [(("obj",), True)],
+}
+
+
+def _apply(record: Any, path: tuple[str, ...], fn: HandleFn,
+           optional: bool) -> None:
+    target = record
+    for attr in path[:-1]:
+        target = getattr(target, attr)
+    value = getattr(target, path[-1])
+    if value is None and optional:
+        return
+    setattr(target, path[-1], fn(value))
+
+
+def translate_args(proc: int, args: Any, fn: HandleFn) -> Any:
+    """Rewrite every handle in a request record with *fn* (in place)."""
+    for path in _ARG_HANDLES.get(proc, []):
+        _apply(args, path, fn, optional=False)
+    return args
+
+
+def translate_result(proc: int, status: int, body: Any, fn: HandleFn) -> Any:
+    """Rewrite every handle in a successful result record with *fn*.
+
+    READDIRPLUS entries carry per-name optional handles and are handled
+    specially.
+    """
+    if status != const.NFS3_OK or body is None:
+        return body
+    for path, optional in _RES_HANDLES.get(proc, []):
+        _apply(body, path, fn, optional)
+    if proc == const.NFSPROC3_READDIRPLUS:
+        for entry in body.entries:
+            if entry.name_handle is not None:
+                entry.name_handle = fn(entry.name_handle)
+    return body

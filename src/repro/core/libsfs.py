@@ -1,0 +1,99 @@
+"""libsfs — user/group name mapping across administrative realms.
+
+"The NFS protocol uses numeric user and group IDs to specify the owner
+and group of a file.  These numbers have no meaning outside of the local
+administrative realm.  A small C library, libsfs, allows programs to
+query file servers (through the client) for mappings of numeric IDs to
+and from human-readable names.  We adopt the convention that user and
+group names prefixed with '%' are relative to the remote file server.
+When both the ID and name of a user or group are the same on the client
+and server (e.g., SFS running on a LAN), libsfs detects this situation
+and omits the percent sign." (paper section 3.3)
+
+:class:`LibSfs` binds a local passwd/group table to one mounted remote
+file system and renders names the way ``ls -l`` through libsfs would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import proto
+from .client import MountedRemoteFs
+
+REMOTE_PREFIX = "%"
+
+
+@dataclass
+class LocalAccounts:
+    """The client machine's /etc/passwd + /etc/group, in miniature."""
+
+    users: dict[int, str] = field(default_factory=dict)
+    groups: dict[int, str] = field(default_factory=lambda: {0: "wheel",
+                                                            100: "users"})
+
+    def user_name(self, uid: int) -> str | None:
+        return self.users.get(uid)
+
+    def group_name(self, gid: int) -> str | None:
+        return self.groups.get(gid)
+
+
+class LibSfs:
+    """Name mapping for one mounted remote file system."""
+
+    def __init__(self, mount: MountedRemoteFs,
+                 local: LocalAccounts | None = None) -> None:
+        self._mount = mount
+        self._local = local or LocalAccounts()
+        self._cache: dict[tuple[bool, int], str | None] = {}
+
+    # -- raw remote queries --
+
+    def remote_id_to_name(self, numeric_id: int,
+                          is_group: bool = False) -> str | None:
+        """Ask the file server (through the secure channel) for a name."""
+        key = (is_group, numeric_id)
+        if key in self._cache:
+            return self._cache[key]
+        disc, body = self._mount.session.peer.call(
+            proto.SFS_RW_PROGRAM, proto.SFS_VERSION, proto.PROC_IDTONAME,
+            proto.IdToNameArgs,
+            proto.IdToNameArgs.make(is_group=is_group, numeric_id=numeric_id),
+            proto.IdToNameRes,
+        )
+        name = body if disc == proto.IDMAP_OK else None
+        self._cache[key] = name
+        return name
+
+    def remote_name_to_id(self, name: str,
+                          is_group: bool = False) -> int | None:
+        disc, body = self._mount.session.peer.call(
+            proto.SFS_RW_PROGRAM, proto.SFS_VERSION, proto.PROC_NAMETOID,
+            proto.NameToIdArgs,
+            proto.NameToIdArgs.make(is_group=is_group, name=name),
+            proto.NameToIdRes,
+        )
+        return body if disc == proto.IDMAP_OK else None
+
+    # -- display formatting --
+
+    def _display(self, numeric_id: int, is_group: bool) -> str:
+        remote = self.remote_id_to_name(numeric_id, is_group)
+        local = (self._local.group_name(numeric_id) if is_group
+                 else self._local.user_name(numeric_id))
+        if remote is None:
+            return str(numeric_id)
+        if remote == local:
+            # "When both the ID and name ... are the same on the client
+            # and server, libsfs detects this situation and omits the
+            # percent sign."
+            return remote
+        return REMOTE_PREFIX + remote
+
+    def display_user(self, uid: int) -> str:
+        """The owner column of ``ls -l`` for a remote file."""
+        return self._display(uid, is_group=False)
+
+    def display_group(self, gid: int) -> str:
+        return self._display(gid, is_group=True)

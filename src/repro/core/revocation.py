@@ -1,0 +1,108 @@
+"""Key revocation certificates and forwarding pointers (paper section 2.6).
+
+SFS separates key revocation from key distribution: one self-
+authenticating certificate revokes a HostID no matter how that HostID was
+distributed.  The message format is
+
+    {"PathRevoke", Location, redirect}  signed by K^-1
+
+where a NULL redirect makes the message a *revocation certificate* and a
+present redirect makes it a *forwarding pointer* to a new self-certifying
+pathname.  "A revocation certificate always overrules a forwarding
+pointer for the same HostID."
+
+Because certificates are self-authenticating — the embedded public key
+must both verify the signature and hash (with Location) to the HostID
+being revoked — "certification authorities need not check the identity of
+people submitting them".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.rabin import PrivateKey, PublicKey, RabinError
+from ..rpc.xdr import Record, XdrError
+from . import proto
+from .pathnames import compute_hostid
+
+REVOKE_TYPE = "PathRevoke"
+
+#: The target revoked paths point at; looking it up yields ENOENT, but
+#: "users who investigate further can easily notice that the pathname has
+#: actually been revoked."
+REVOKED_LINK_TARGET = ":REVOKED:"
+
+
+class CertificateError(Exception):
+    """Raised when a certificate fails to parse or verify."""
+
+
+@dataclass(frozen=True)
+class VerifiedRevocation:
+    """A successfully verified PathRevoke message."""
+
+    location: str
+    hostid: bytes
+    redirect: str | None
+
+    @property
+    def is_revocation(self) -> bool:
+        return self.redirect is None
+
+    @property
+    def is_forwarding_pointer(self) -> bool:
+        return self.redirect is not None
+
+
+def _make_certificate(key: PrivateKey, location: str,
+                      redirect: str | None) -> Record:
+    body = proto.RevokeBody.pack(
+        proto.RevokeBody.make(
+            msg_type=REVOKE_TYPE, location=location, redirect=redirect
+        )
+    )
+    return proto.SignedCertificate.make(
+        body=body,
+        public_key=key.public_key.to_bytes(),
+        signature=key.sign(body),
+    )
+
+
+def make_revocation_certificate(key: PrivateKey, location: str) -> Record:
+    """Revoke the self-certifying pathname of *key* at *location*.
+
+    Only the key's owner can produce this (it requires the private key) —
+    "Key revocation happens only by permission of a file server's owner."
+    """
+    return _make_certificate(key, location, None)
+
+
+def make_forwarding_pointer(key: PrivateKey, location: str,
+                            new_path: str) -> Record:
+    """Point the old pathname at *new_path* (e.g. after a rename)."""
+    return _make_certificate(key, location, new_path)
+
+
+def verify_certificate(cert: Record) -> VerifiedRevocation:
+    """Verify a SignedCertificate record; raises CertificateError.
+
+    Checks, in order: the body parses as a PathRevoke message, the
+    embedded public key verifies the signature over the raw body bytes,
+    and the HostID is recomputed from (Location, key) — so the returned
+    HostID is cryptographically bound to the certificate.
+    """
+    try:
+        body = proto.RevokeBody.unpack(cert.body)
+    except XdrError as exc:
+        raise CertificateError(f"malformed certificate body: {exc}") from None
+    if body.msg_type != REVOKE_TYPE:
+        raise CertificateError(f"not a PathRevoke message: {body.msg_type!r}")
+    try:
+        public_key = PublicKey.from_bytes(cert.public_key)
+    except RabinError as exc:
+        raise CertificateError(f"bad public key: {exc}") from None
+    if not public_key.verify(cert.body, cert.signature):
+        raise CertificateError("signature does not verify")
+    hostid = compute_hostid(body.location, public_key)
+    return VerifiedRevocation(body.location, hostid, body.redirect)

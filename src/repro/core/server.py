@@ -1,0 +1,676 @@
+"""sfssd — the SFS server master and its subsidiary servers.
+
+"On the server side, a server master, sfssd, accepts all incoming
+connections from clients.  sfssd passes each new connection to a
+subordinate server based on the version of the client, the service it
+requests (currently fileserver or authserver), the self-certifying
+pathname it requests, and a currently unused 'extensions' string."
+(paper section 3.2)
+
+One :class:`SfsServerMaster` models one server machine (one Location).
+It can export any number of file systems, each under its own key and
+HostID:
+
+* read-write exports run the figure-3 key negotiation, then relay the
+  NFS3-shaped read-write dialect to a local NFS server over a loopback
+  RPC connection ("the server acts as an NFS client, passing the request
+  to an NFS server on the same machine"), tagging each request with the
+  credentials established by user authentication and translating between
+  its Blowfish-encrypted handles and the local server's plain ones;
+* read-only exports serve signed data with no online private key;
+* the authserver service answers sfskey (SRP) and the file server's
+  validation requests.
+
+Leases: the server remembers which handles each connection has seen and
+calls back (without waiting for acknowledgment) when another connection
+mutates them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..crypto.rabin import PrivateKey
+from ..fs.memfs import ANONYMOUS, Cred, MemFs
+from ..nfs3 import const as nfs_const
+from ..nfs3.client import Nfs3Client
+from ..nfs3.handles import BadHandle, EncryptedHandles, PlainHandles
+from ..nfs3.server import Nfs3Server
+from ..rpc.peer import CallContext, Program, Pipe, RpcPeer
+from ..rpc.rpcmsg import AuthSys, OpaqueAuth
+from ..rpc.xdr import Record, VOID
+from ..sim.clock import Clock
+from ..sim.network import LinkSide, link_pair
+from . import handlemap, proto
+from .authserv import AuthServer, SrpSession
+from .channel import SecureChannel
+from .config import DispatchConfig
+from .keyneg import decrypt_key_halves, derive_session_keys, make_key_halves
+from .pathnames import SelfCertifyingPath, make_path
+from .readonly import ReadOnlyImage, ReadOnlyStore
+
+ANONYMOUS_AUTHNO = 0
+_SEQNO_WINDOW = 64
+
+#: LOOKUP of "." on this handle names an export's root (mount convention).
+ZERO_HANDLE = bytes(24)
+
+
+def nfs_failure_shape(proc: int) -> Record | None:
+    """The failure-arm body for an NFS3 procedure (attributes omitted)."""
+    from ..nfs3 import types as nfs_types
+
+    empty_wcc = nfs_types.WccData.make(before=None, after=None)
+    shapes = {
+        nfs_const.NFSPROC3_GETATTR: None,
+        nfs_const.NFSPROC3_SETATTR: Record(obj_wcc=empty_wcc),
+        nfs_const.NFSPROC3_LOOKUP: Record(dir_attributes=None),
+        nfs_const.NFSPROC3_ACCESS: Record(obj_attributes=None),
+        nfs_const.NFSPROC3_READLINK: Record(symlink_attributes=None),
+        nfs_const.NFSPROC3_READ: Record(file_attributes=None),
+        nfs_const.NFSPROC3_WRITE: Record(file_wcc=empty_wcc),
+        nfs_const.NFSPROC3_CREATE: Record(dir_wcc=empty_wcc),
+        nfs_const.NFSPROC3_MKDIR: Record(dir_wcc=empty_wcc),
+        nfs_const.NFSPROC3_SYMLINK: Record(dir_wcc=empty_wcc),
+        nfs_const.NFSPROC3_REMOVE: Record(dir_wcc=empty_wcc),
+        nfs_const.NFSPROC3_RMDIR: Record(dir_wcc=empty_wcc),
+        nfs_const.NFSPROC3_RENAME: Record(
+            fromdir_wcc=empty_wcc, todir_wcc=empty_wcc
+        ),
+        nfs_const.NFSPROC3_LINK: Record(
+            file_attributes=None, linkdir_wcc=empty_wcc
+        ),
+        nfs_const.NFSPROC3_READDIR: Record(dir_attributes=None),
+        nfs_const.NFSPROC3_READDIRPLUS: Record(dir_attributes=None),
+        nfs_const.NFSPROC3_FSSTAT: Record(obj_attributes=None),
+        nfs_const.NFSPROC3_FSINFO: Record(obj_attributes=None),
+        nfs_const.NFSPROC3_PATHCONF: Record(obj_attributes=None),
+        nfs_const.NFSPROC3_COMMIT: Record(file_wcc=empty_wcc),
+    }
+    return shapes[proc]
+
+
+def make_sfs_cred(authno: int) -> OpaqueAuth:
+    """The AUTH_SFS credential carrying an authentication number."""
+    return OpaqueAuth(proto.AUTH_SFS, authno.to_bytes(4, "big"))
+
+
+def parse_sfs_cred(cred: OpaqueAuth) -> int:
+    """Extract the authno; anything malformed is anonymous."""
+    if cred.flavor != proto.AUTH_SFS or len(cred.body) != 4:
+        return ANONYMOUS_AUTHNO
+    return int.from_bytes(cred.body, "big")
+
+
+class SwitchablePipe:
+    """A pipe whose lower transport can be swapped (plaintext -> secure).
+
+    The swap is requested *during* the ENCRYPT RPC handler but must take
+    effect only after the plaintext reply has been sent; ``send`` applies
+    any pending switch after transmitting.
+    """
+
+    def __init__(self, lower: Pipe) -> None:
+        self._lower = lower
+        self._handler: Callable[[bytes], None] | None = None
+        self._pending: SecureChannel | None = None
+        self.suggested_reply_waiter = getattr(
+            lower, "suggested_reply_waiter", None
+        )
+        lower.on_receive(self._dispatch)
+
+    def _dispatch(self, data: bytes) -> None:
+        if self._handler is not None:
+            self._handler(data)
+
+    def send(self, data: bytes) -> None:
+        self._lower.send(data)
+        if self._pending is not None:
+            channel = self._pending
+            self._pending = None
+            self._install(channel)
+
+    def on_receive(self, handler: Callable[[bytes], None]) -> None:
+        self._handler = handler
+
+    def _install(self, channel: SecureChannel) -> None:
+        self._lower = channel
+        channel.on_receive(self._dispatch)
+
+    def switch_after_reply(self, channel: SecureChannel) -> None:
+        """Arm a secure channel to take over after the next send."""
+        self._pending = channel
+
+    def switch_now(self, channel: SecureChannel) -> None:
+        """Immediately swap (client side, after the ENCRYPT reply)."""
+        self._install(channel)
+
+    @property
+    def lower(self) -> Pipe:
+        return self._lower
+
+
+@dataclass
+class RwExport:
+    """One read-write file system behind this server master."""
+
+    name: str
+    key: PrivateKey
+    path: SelfCertifyingPath
+    fs: MemFs
+    authserver: AuthServer
+    lease_duration: float
+    handles: EncryptedHandles
+    nfs_client: Nfs3Client          # loopback to the local NFS server
+    nfs_server: Nfs3Server
+    connections: list["ServerConnection"] = field(default_factory=list)
+    active_connection: "ServerConnection | None" = None
+
+    def on_mutation(self, plain_handle: bytes) -> None:
+        """Fan lease invalidations out to every other connection."""
+        encrypted = None
+        for connection in self.connections:
+            if connection is self.active_connection:
+                continue
+            if plain_handle in connection.leased_handles:
+                if encrypted is None:
+                    fsid, ino, generation = PlainHandles().decode(plain_handle)
+                    encrypted = self.handles.encode(fsid, ino, generation)
+                connection.send_invalidate(encrypted, plain_handle)
+
+
+@dataclass
+class RoExport:
+    """One read-only file system (no online private key)."""
+
+    name: str
+    path: SelfCertifyingPath
+    store: ReadOnlyStore
+    public_key_bytes: bytes
+
+
+class SfsServerMaster:
+    """One server machine: exports, dispatch, connection acceptance."""
+
+    def __init__(self, location: str, clock: Clock, rng: random.Random,
+                 config: DispatchConfig | None = None) -> None:
+        self.location = location
+        self.clock = clock
+        self.rng = rng
+        self.config = config or DispatchConfig()
+        self._rw: dict[bytes, RwExport] = {}
+        self._ro: dict[bytes, RoExport] = {}
+        self._authservers: dict[bytes, AuthServer] = {}
+        self._revocations: dict[bytes, Record] = {}
+        self._forwards: dict[bytes, Record] = {}
+        self.connections_accepted = 0
+
+    # --- exports ---------------------------------------------------------
+
+    def add_rw_export(self, key: PrivateKey, fs: MemFs,
+                      authserver: AuthServer,
+                      lease_duration: float = 30.0,
+                      name: str = "default") -> SelfCertifyingPath:
+        """Export *fs* read-write under *key*; returns its pathname."""
+        path = make_path(self.location, key.public_key)
+        handle_key = key.sign(b"SFS-handle-key")[:21][1:]  # 20 secret bytes
+        handles = EncryptedHandles(handle_key)
+        loop_client_side, loop_server_side = link_pair(self.clock)
+        export = RwExport(
+            name=name, key=key, path=path, fs=fs, authserver=authserver,
+            lease_duration=lease_duration, handles=handles,
+            nfs_client=Nfs3Client(RpcPeer(loop_client_side, "sfssd-nfsc")),
+            nfs_server=Nfs3Server(fs),
+        )
+        export.nfs_server._mutation_hook = export.on_mutation
+        nfsd_peer = RpcPeer(loop_server_side, "nfsd")
+        nfsd_peer.register(export.nfs_server.program)
+        self._rw[path.hostid] = export
+        self._authservers[path.hostid] = authserver
+        if not authserver.pathname:
+            authserver.pathname = str(path)
+        self.config.add_export(name, path.hostid, proto.DIALECT_RW)
+        return path
+
+    def add_ro_export(self, image: ReadOnlyImage,
+                      name: str = "readonly") -> SelfCertifyingPath:
+        """Serve a published read-only image (possibly as a mirror)."""
+        path = image.path()
+        if path.location != self.location:
+            # Untrusted mirrors serve images published for another
+            # Location; clients still verify against the original name.
+            path = SelfCertifyingPath(image.location, path.hostid)
+        export = RoExport(
+            name=name, path=path, store=ReadOnlyStore(image),
+            public_key_bytes=image.public_key_bytes,
+        )
+        self._ro[path.hostid] = export
+        self.config.add_export(name, path.hostid, proto.DIALECT_RO)
+        return path
+
+    def rw_export(self, hostid: bytes) -> RwExport | None:
+        return self._rw.get(hostid)
+
+    # --- revocation state --------------------------------------------------
+
+    def set_revocation(self, hostid: bytes, certificate: Record) -> None:
+        """Serve *certificate* to clients that connect asking for hostid.
+
+        "When SFS first connects to a server, it announces the Location
+        and HostID of the file system it wishes to access.  The server
+        can respond with a revocation certificate."
+        """
+        self._revocations[hostid] = certificate
+        self._rw.pop(hostid, None)
+        self._ro.pop(hostid, None)
+
+    def set_forwarding_pointer(self, hostid: bytes, certificate: Record) -> None:
+        self._forwards[hostid] = certificate
+        self._rw.pop(hostid, None)
+        self._ro.pop(hostid, None)
+
+    # --- accepting connections ------------------------------------------------
+
+    def accept(self, link: LinkSide) -> "ServerConnection":
+        """Attach a new inbound connection (sfssd's accept loop)."""
+        self.connections_accepted += 1
+        return ServerConnection(self, link)
+
+
+class ServerConnection:
+    """One client connection through its whole lifecycle."""
+
+    def __init__(self, master: SfsServerMaster, link: LinkSide) -> None:
+        self.master = master
+        self.pipe = SwitchablePipe(link)
+        self.peer = RpcPeer(self.pipe, f"sfssd@{master.location}")
+        self.export: RwExport | None = None
+        self.ro_export: RoExport | None = None
+        self.service = 0
+        self.session_keys = None
+        self.encrypt_traffic = True
+        self.channel: SecureChannel | None = None
+        self.leased_handles: set[bytes] = set()
+        self._authnos: dict[int, Cred] = {ANONYMOUS_AUTHNO: ANONYMOUS}
+        self._next_authno = 1
+        self._seen_seqnos: set[int] = set()
+        self._max_seqno = 0
+        self._auth_protocol_states: dict[str, dict] = {}
+        self._srp_session: SrpSession | None = None
+        self.invalidations_sent = 0
+        self.peer.register(self._connect_program())
+
+    # --- plaintext phase: CONNECT + ENCRYPT -----------------------------------
+
+    def _connect_program(self) -> Program:
+        program = Program("sfs-connect", proto.SFS_CONNECT_PROGRAM, proto.SFS_VERSION)
+        program.add_proc(proto.PROC_CONNECT, "CONNECT",
+                         proto.ConnectArgs, proto.ConnectRes, self._connect)
+        program.add_proc(proto.PROC_ENCRYPT, "ENCRYPT",
+                         proto.EncryptArgs, proto.EncryptRes, self._encrypt)
+        return program
+
+    def _connect(self, args: Record, ctx: CallContext):
+        master = self.master
+        self.service = args.service
+        if "noenc" in list(args.extensions):
+            # The paper's "SFS w/o encryption" configuration (section 4):
+            # key negotiation still runs, the channel passes plaintext.
+            self.encrypt_traffic = False
+        hostid = args.hostid
+        revocation = master._revocations.get(hostid)
+        if revocation is not None:
+            return proto.CONNECT_REVOKED, revocation
+        forward = master._forwards.get(hostid)
+        if forward is not None:
+            return proto.CONNECT_REDIRECT, forward
+        export_name = master.config.dispatch(args.service, hostid,
+                                             list(args.extensions))
+        if export_name is None and args.service != proto.SERVICE_AUTHSERV:
+            return proto.CONNECT_NOENT, None
+        ro = master._ro.get(hostid)
+        if ro is not None and args.service in (proto.SERVICE_READONLY,
+                                               proto.SERVICE_FILESERVER):
+            self.ro_export = ro
+            self._register_readonly_program()
+            return proto.CONNECT_OK, proto.ServInfo.make(
+                location=ro.path.location,
+                public_key=ro.public_key_bytes,
+                dialect=proto.DIALECT_RO,
+                lease_duration=0,
+            )
+        rw = master._rw.get(hostid)
+        if rw is None and export_name is not None:
+            # A custom dispatch rule can route a HostID the master does
+            # not actually hold a key for (e.g. an impersonation attempt,
+            # or a test harness).  The client's HostID check is what
+            # keeps this from mattering.
+            rw = next(
+                (e for e in master._rw.values() if e.name == export_name),
+                None,
+            )
+        if rw is None and args.service == proto.SERVICE_AUTHSERV:
+            # sfskey connects for SRP *before* it knows any HostID — the
+            # channel key is unverified and SRP provides the mutual
+            # authentication (paper section 2.4).  Route to the default
+            # export's authserver.
+            rw = next(iter(master._rw.values()), None)
+        if rw is None:
+            return proto.CONNECT_NOENT, None
+        self.export = rw
+        return proto.CONNECT_OK, proto.ServInfo.make(
+            location=rw.path.location,
+            public_key=rw.key.public_key.to_bytes(),
+            dialect=proto.DIALECT_RW,
+            lease_duration=int(rw.lease_duration),
+        )
+
+    def _encrypt(self, args: Record, ctx: CallContext):
+        """Figure 3 steps 3-4, server side."""
+        if self.export is None:
+            raise RuntimeError("ENCRYPT before a successful CONNECT")
+        from ..crypto.rabin import PublicKey  # local import avoids cycle
+
+        client_key = PublicKey.from_bytes(args.client_pubkey)
+        kc1, kc2 = decrypt_key_halves(self.export.key, args.encrypted_keyhalves)
+        ks1, ks2 = make_key_halves(self.master.rng)
+        self.session_keys = derive_session_keys(
+            self.export.key.public_key, client_key, kc1, kc2, ks1, ks2
+        )
+        from .keyneg import encrypt_key_halves
+
+        reply = proto.EncryptRes.make(
+            encrypted_keyhalves=encrypt_key_halves(
+                client_key, ks1, ks2, self.master.rng
+            )
+        )
+        channel = SecureChannel(
+            self.pipe.lower,
+            send_key=self.session_keys.ksc,
+            recv_key=self.session_keys.kcs,
+            encrypt=self.encrypt_traffic,
+        )
+        self.channel = channel
+        self.pipe.switch_after_reply(channel)
+        self._register_session_programs()
+        return reply
+
+    # --- secure phase ------------------------------------------------------------
+
+    def _register_session_programs(self) -> None:
+        if self.service == proto.SERVICE_AUTHSERV:
+            self.peer.register(self._authserv_program())
+        else:
+            self.peer.register(self._rw_program())
+            assert self.export is not None
+            self.export.connections.append(self)
+
+    def _register_readonly_program(self) -> None:
+        self.peer.register(self._readonly_program())
+
+    # -- read-write dialect --
+
+    def _rw_program(self) -> Program:
+        program = Program("sfs-rw", proto.SFS_RW_PROGRAM, proto.SFS_VERSION)
+        for proc, (arg_codec, res_codec) in proto.NFS_PROC_CODECS.items():
+            if proc == nfs_const.NFSPROC3_NULL:
+                continue
+            program.add_proc(proc, nfs_const.PROC_NAMES[proc],
+                             arg_codec, res_codec, self._make_relay(proc))
+        program.add_proc(proto.PROC_LOGIN, "LOGIN",
+                         proto.LoginArgs, proto.LoginRes, self._login)
+        program.add_proc(proto.PROC_LOGOUT, "LOGOUT",
+                         proto.LogoutArgs, VOID, self._logout)
+        program.add_proc(proto.PROC_IDTONAME, "IDTONAME",
+                         proto.IdToNameArgs, proto.IdToNameRes,
+                         self._id_to_name)
+        program.add_proc(proto.PROC_NAMETOID, "NAMETOID",
+                         proto.NameToIdArgs, proto.NameToIdRes,
+                         self._name_to_id)
+        return program
+
+    # -- libsfs id/name queries (paper section 3.3) --
+
+    def _id_to_name(self, args: Record, ctx: CallContext):
+        assert self.export is not None
+        name = self.export.authserver.id_to_name(args.numeric_id,
+                                                 args.is_group)
+        if name is None:
+            return proto.IDMAP_NOENT, None
+        return proto.IDMAP_OK, name
+
+    def _name_to_id(self, args: Record, ctx: CallContext):
+        assert self.export is not None
+        numeric_id = self.export.authserver.name_to_id(args.name,
+                                                       args.is_group)
+        if numeric_id is None:
+            return proto.IDMAP_NOENT, None
+        return proto.IDMAP_OK, numeric_id
+
+    def _make_relay(self, proc: int):
+        def relay(args: Record, ctx: CallContext):
+            return self._relay(proc, args, ctx)
+        return relay
+
+    def _relay(self, proc: int, args: Record, ctx: CallContext):
+        """Tag with credentials, translate handles, forward to local NFS."""
+        export = self.export
+        assert export is not None
+        authno = parse_sfs_cred(ctx.cred)
+        cred = self._authnos.get(authno, ANONYMOUS)
+        if (proc == nfs_const.NFSPROC3_LOOKUP
+                and args.what.dir == ZERO_HANDLE and args.what.name == "."):
+            # Mount convention: hand out the export's root handle.
+            args.what.dir = export.nfs_server.root_handle()
+        else:
+            try:
+                handlemap.translate_args(proc, args, self._decrypt_handle)
+            except BadHandle:
+                return nfs_const.NFS3ERR_BADHANDLE, nfs_failure_shape(proc)
+        auth_sys = AuthSys(uid=cred.uid, gid=cred.gid, gids=tuple(cred.groups))
+        export.active_connection = self
+        try:
+            _arg_codec, res_codec = proto.NFS_PROC_CODECS[proc]
+            status, body = export.nfs_client.peer.call(
+                nfs_const.NFS3_PROGRAM, nfs_const.NFS3_VERSION, proc,
+                _arg_codec, args, res_codec, cred=auth_sys.to_auth(),
+            )
+        finally:
+            export.active_connection = None
+        self._record_leases(proc, args, status, body)
+        handlemap.translate_result(proc, status, body, self._encrypt_handle)
+        return status, body
+
+    def _decrypt_handle(self, handle: bytes) -> bytes:
+        assert self.export is not None
+        fsid, ino, generation = self.export.handles.decode(handle)
+        return PlainHandles().encode(fsid, ino, generation)
+
+    def _encrypt_handle(self, handle: bytes) -> bytes:
+        assert self.export is not None
+        fsid, ino, generation = PlainHandles().decode(handle)
+        return self.export.handles.encode(fsid, ino, generation)
+
+    def _record_leases(self, proc: int, args: Record, status: int,
+                       body: Record) -> None:
+        """Remember (plain) handles this client now caches attributes for."""
+        if status != nfs_const.NFS3_OK:
+            return
+        for path in handlemap._ARG_HANDLES.get(proc, []):
+            target = args
+            for attr in path:
+                target = getattr(target, attr)
+            self.leased_handles.add(target)
+        for path, optional in handlemap._RES_HANDLES.get(proc, []):
+            target = body
+            for attr in path:
+                target = getattr(target, attr)
+            if target is not None:
+                self.leased_handles.add(target)
+        if proc == nfs_const.NFSPROC3_READDIRPLUS:
+            for entry in body.entries:
+                if entry.name_handle is not None:
+                    self.leased_handles.add(entry.name_handle)
+
+    def send_invalidate(self, encrypted_handle: bytes,
+                        plain_handle: bytes) -> None:
+        """Server->client lease invalidation; fire and forget."""
+        self.invalidations_sent += 1
+        self.leased_handles.discard(plain_handle)
+        try:
+            self.peer.call(
+                proto.SFS_CB_PROGRAM, proto.SFS_VERSION, proto.PROC_INVALIDATE,
+                proto.InvalidateArgs,
+                proto.InvalidateArgs.make(handle=encrypted_handle),
+                VOID,
+            )
+        except Exception:  # noqa: BLE001 - invalidations are best-effort
+            pass
+
+    # -- user authentication --
+
+    def _login(self, args: Record, ctx: CallContext):
+        """Figure 4, steps 3-6: forward to the authserver, assign authno.
+
+        Messages are opaque to this file server: enveloped messages are
+        dispatched to whatever protocol plugin the authserver registered
+        (possibly answering with a LOGIN_MORE challenge for another
+        round); everything else is the classic signed public-key request.
+        """
+        export = self.export
+        assert export is not None and self.session_keys is not None
+        if not self._seqno_fresh(args.seqno):
+            return proto.LOGIN_FAILED, None
+        authinfo_bytes = proto.AuthInfo.pack(self.authinfo())
+        from ..crypto.sha1 import sha1
+        authid = sha1(authinfo_bytes)
+        from .authplugins import FAIL, MORE, OK, unwrap_envelope
+
+        envelope = unwrap_envelope(args.authmsg)
+        if envelope is not None:
+            protocol_name, body = envelope
+            plugin = export.authserver.protocols.get(protocol_name)
+            if plugin is None:
+                return proto.LOGIN_FAILED, None
+            state = self._auth_protocol_states.setdefault(protocol_name, {})
+            outcome, value = plugin.step(body, authid, args.seqno, state)
+            if outcome == MORE:
+                return proto.LOGIN_MORE, value
+            if outcome != OK:
+                return proto.LOGIN_FAILED, None
+            record = value
+        else:
+            record = export.authserver.validate(
+                authid, args.seqno, args.authmsg
+            )
+        if record is None:
+            return proto.LOGIN_FAILED, None
+        authno = self._next_authno
+        self._next_authno += 1
+        self._authnos[authno] = Cred(
+            uid=record.uid, gid=record.gid, groups=tuple(record.groups)
+        )
+        return proto.LOGIN_OK, proto.LoginOk.make(authno=authno)
+
+    def _logout(self, args: Record, ctx: CallContext):
+        self._authnos.pop(args.authno, None)
+
+    def authinfo(self) -> Record:
+        """The AuthInfo structure for this session (both sides compute it)."""
+        assert self.export is not None and self.session_keys is not None
+        return proto.AuthInfo.make(
+            auth_type="AuthInfo",
+            service="FS",
+            location=self.export.path.location,
+            hostid=self.export.path.hostid,
+            sessionid=self.session_keys.session_id,
+        )
+
+    def _seqno_fresh(self, seqno: int) -> bool:
+        """Accept each sequence number once, within a reordering window."""
+        if seqno in self._seen_seqnos:
+            return False
+        if seqno + _SEQNO_WINDOW < self._max_seqno:
+            return False
+        self._seen_seqnos.add(seqno)
+        self._max_seqno = max(self._max_seqno, seqno)
+        return True
+
+    # -- authserver service (sfskey over the network) --
+
+    def _authserv_program(self) -> Program:
+        program = Program("sfs-authserv", proto.SFS_AUTHSERV_PROGRAM,
+                          proto.SFS_VERSION)
+        program.add_proc(proto.PROC_SRP_INIT, "SRP_INIT",
+                         proto.SrpInitArgs, proto.SrpInitRes, self._srp_init)
+        program.add_proc(proto.PROC_SRP_CONFIRM, "SRP_CONFIRM",
+                         proto.SrpConfirmArgs, proto.SrpConfirmRes,
+                         self._srp_confirm)
+        program.add_proc(proto.PROC_REGISTER, "REGISTER",
+                         proto.RegisterArgs, proto.RegisterRes, self._register)
+        return program
+
+    def _authserver_for_service(self) -> AuthServer | None:
+        # The connect hostid selected the export; its authserver serves us.
+        if self.export is not None:
+            return self.export.authserver
+        # Authserv-only connections name the file server's hostid too.
+        for hostid, authserver in self.master._authservers.items():
+            return authserver
+        return None
+
+    def _srp_init(self, args: Record, ctx: CallContext):
+        authserver = self._authserver_for_service()
+        if authserver is None:
+            return proto.SRP_FAILED, None
+        self._srp_session = SrpSession(authserver)
+        challenge = self._srp_session.init(
+            args.user, int.from_bytes(args.A, "big")
+        )
+        if challenge is None:
+            return proto.SRP_FAILED, None
+        salt, B, cost = challenge
+        from ..crypto.util import int_to_bytes
+        return proto.SRP_OK, proto.SrpInitOk.make(
+            salt=salt, B=int_to_bytes(B), cost=cost
+        )
+
+    def _srp_confirm(self, args: Record, ctx: CallContext):
+        if self._srp_session is None:
+            return proto.SRP_FAILED, None
+        outcome = self._srp_session.confirm(args.m1)
+        if outcome is None:
+            return proto.SRP_FAILED, None
+        m2, sealed = outcome
+        return proto.SRP_OK, proto.SrpConfirmOk.make(
+            m2=m2, sealed_payload=sealed
+        )
+
+    def _register(self, args: Record, ctx: CallContext):
+        authserver = self._authserver_for_service()
+        if authserver is None or not authserver.register(args):
+            return proto.REGISTER_DENIED, None
+        return proto.REGISTER_OK, None
+
+    # -- read-only dialect --
+
+    def _readonly_program(self) -> Program:
+        program = Program("sfs-ro", proto.SFS_RO_PROGRAM, proto.SFS_VERSION)
+        program.add_proc(proto.PROC_GETROOT, "GETROOT",
+                         VOID, proto.GetRootRes, self._getroot)
+        program.add_proc(proto.PROC_GETDATA, "GETDATA",
+                         proto.GetDataArgs, proto.GetDataRes, self._getdata)
+        return program
+
+    def _getroot(self, args, ctx: CallContext):
+        assert self.ro_export is not None
+        return self.ro_export.store.get_root()
+
+    def _getdata(self, args: Record, ctx: CallContext):
+        assert self.ro_export is not None
+        blob = self.ro_export.store.get_data(args.digest)
+        if blob is None:
+            return proto.GETDATA_NOENT, None
+        return proto.GETDATA_OK, blob

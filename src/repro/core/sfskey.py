@@ -1,0 +1,197 @@
+"""sfskey — the user's key-management utility.
+
+This implements the paper's flagship usability flow (section 2.4): a user
+at a strange machine types
+
+    sfskey add alice@sfs.lcs.mit.edu
+
+enters one password, and transparently gets secure access to her files —
+"The process involves no system administrators, no certification
+authorities, and no need for this user to have to think about anything
+like public keys or self-certifying pathnames."
+
+Mechanics:
+
+* enrolment (:func:`register`) computes an SRP verifier from the
+  eksblowfish-hardened password and uploads it with the user's public key
+  and an encrypted copy of her private key ("a safe design because the
+  server never sees any password-equivalent data");
+* :func:`add` dials the server's authserv service, runs SRP over the
+  (unverified) channel, unseals the server's self-certifying pathname and
+  the private key, decrypts the key with the hardened password, loads it
+  into the agent, and creates the ``Location -> /sfs/Location:HostID``
+  symlink in /sfs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..crypto.eksblowfish import harden_password
+from ..crypto.rabin import PrivateKey, generate_key
+from ..crypto.srp import SRPClient, SRPError
+from ..crypto.util import int_to_bytes
+from ..rpc.xdr import XdrError
+from . import proto
+from .agent import Agent
+from .client import Connector, ServerSession
+from .keyneg import EphemeralKeyCache
+from .pathnames import SelfCertifyingPath, parse_path
+from .sealing import SealError, seal, unseal
+
+DEFAULT_SRP_COST = 4  # low cost keeps the test suite fast; raiseable
+
+
+class SfsKeyError(Exception):
+    """A key-management operation failed."""
+
+
+def encrypt_private_key(key: PrivateKey, password: bytes, salt: bytes,
+                        cost: int) -> bytes:
+    """Seal a private key under an eksblowfish-hardened password."""
+    wrap = harden_password(password, salt + b"privkey", cost)
+    return seal(wrap, key.to_bytes(), label=b"privkey")
+
+
+def decrypt_private_key(blob: bytes, password: bytes, salt: bytes,
+                        cost: int) -> PrivateKey:
+    wrap = harden_password(password, salt + b"privkey", cost)
+    try:
+        return PrivateKey.from_bytes(unseal(wrap, blob, label=b"privkey"))
+    except (SealError, Exception) as exc:
+        raise SfsKeyError(f"could not decrypt private key: {exc}") from None
+
+
+@dataclass
+class Enrolment:
+    """Everything register() uploads for one user."""
+
+    user: str
+    key: PrivateKey
+    srp_salt: bytes
+    srp_verifier: int
+    srp_cost: int
+    encrypted_privkey: bytes
+
+
+def prepare_enrolment(user: str, password: bytes, rng: random.Random,
+                      key: PrivateKey | None = None,
+                      cost: int = DEFAULT_SRP_COST,
+                      key_bits: int = 768) -> Enrolment:
+    """Compute SRP data and the encrypted key, all client-side."""
+    from ..crypto.srp import Verifier
+
+    key = key or generate_key(key_bits, rng)
+    verifier = Verifier.from_password(user, password, rng, cost)
+    return Enrolment(
+        user=user,
+        key=key,
+        srp_salt=verifier.salt,
+        srp_verifier=verifier.v,
+        srp_cost=cost,
+        encrypted_privkey=encrypt_private_key(
+            key, password, verifier.salt, cost
+        ),
+    )
+
+
+def _dial_authserv(connector: Connector, location: str,
+                   rng: random.Random) -> ServerSession:
+    link = connector(location, proto.SERVICE_AUTHSERV)
+    path = SelfCertifyingPath(location, bytes(20))
+    session = ServerSession.connect(
+        link, path, EphemeralKeyCache(rng), rng,
+        service=proto.SERVICE_AUTHSERV, verify_hostid=False,
+    )
+    if not isinstance(session, ServerSession):
+        raise SfsKeyError(f"{location} revoked or redirected the connection")
+    return session
+
+
+def register(connector: Connector, location: str, enrolment: Enrolment,
+             unix_password: str, rng: random.Random) -> None:
+    """First-time enrolment, authorized by the user's Unix password."""
+    session = _dial_authserv(connector, location, rng)
+    disc, _body = session.peer.call(
+        proto.SFS_AUTHSERV_PROGRAM, proto.SFS_VERSION, proto.PROC_REGISTER,
+        proto.RegisterArgs,
+        proto.RegisterArgs.make(
+            user=enrolment.user,
+            public_key=enrolment.key.public_key.to_bytes(),
+            srp_salt=enrolment.srp_salt,
+            srp_verifier=int_to_bytes(enrolment.srp_verifier),
+            srp_cost=enrolment.srp_cost,
+            encrypted_privkey=enrolment.encrypted_privkey,
+            unix_password=unix_password,
+        ),
+        proto.RegisterRes,
+    )
+    if disc != proto.REGISTER_OK:
+        raise SfsKeyError(f"registration denied for {enrolment.user}")
+
+
+@dataclass
+class AddResult:
+    """What `sfskey add user@location` produced."""
+
+    pathname: str
+    path: SelfCertifyingPath
+    key: PrivateKey | None
+
+
+def add(connector: Connector, agent: Agent, user: str, location: str,
+        password: bytes, rng: random.Random) -> AddResult:
+    """The travelling-user flow: password -> pathname + key + /sfs link.
+
+    Runs SRP over an unauthenticated channel (SRP itself proves both
+    sides know the password without exposing it to off-line guessing),
+    unseals the self-certifying pathname, decrypts the private key, arms
+    the agent, and drops the ``location`` symlink into the agent's /sfs
+    view.
+    """
+    session = _dial_authserv(connector, location, rng)
+    client = SRPClient(user, password, rng)
+    A = client.start()
+    disc, body = session.peer.call(
+        proto.SFS_AUTHSERV_PROGRAM, proto.SFS_VERSION, proto.PROC_SRP_INIT,
+        proto.SrpInitArgs,
+        proto.SrpInitArgs.make(user=user, A=int_to_bytes(A)),
+        proto.SrpInitRes,
+    )
+    if disc != proto.SRP_OK:
+        raise SfsKeyError(f"no SRP data for {user}@{location}")
+    try:
+        m1 = client.process_challenge(
+            body.salt, int.from_bytes(body.B, "big"), body.cost
+        )
+    except SRPError as exc:
+        raise SfsKeyError(f"SRP failed: {exc}") from None
+    disc, confirm = session.peer.call(
+        proto.SFS_AUTHSERV_PROGRAM, proto.SFS_VERSION, proto.PROC_SRP_CONFIRM,
+        proto.SrpConfirmArgs, proto.SrpConfirmArgs.make(m1=m1),
+        proto.SrpConfirmRes,
+    )
+    if disc != proto.SRP_OK:
+        raise SfsKeyError("server rejected the password")
+    try:
+        client.verify_server(confirm.m2)
+    except SRPError as exc:
+        raise SfsKeyError(f"server failed SRP verification: {exc}") from None
+    try:
+        payload_bytes = unseal(client.session_key, confirm.sealed_payload,
+                               label=b"srp-payload")
+        payload = proto.SrpPayload.unpack(payload_bytes)
+    except (SealError, XdrError) as exc:
+        raise SfsKeyError(f"bad sealed payload: {exc}") from None
+    path = parse_path(payload.pathname)
+    key: PrivateKey | None = None
+    if payload.encrypted_privkey:
+        key = decrypt_private_key(
+            payload.encrypted_privkey, password, body.salt, body.cost
+        )
+        agent.add_key(key)
+    # "The user's agent then creates a symbolic link
+    #  /sfs/sfs.lcs.mit.edu -> /sfs/sfs.lcs.mit.edu:HOSTID"
+    agent.add_link(location, str(path))
+    return AddResult(pathname=payload.pathname, path=path, key=key)

@@ -1,0 +1,58 @@
+"""From-scratch cryptographic primitives used by SFS.
+
+Every primitive the paper names is implemented here in pure Python:
+SHA-1, ARC4 (with SFS's key-schedule spinning), Blowfish and eksblowfish,
+the Rabin-Williams public-key system, SRP, the DSS pseudo-random
+generator, and the re-keyed SHA-1 session MAC.
+"""
+
+from .arc4 import ARC4
+from .blowfish import Blowfish
+from .eksblowfish import bcrypt_hash, eksblowfish_setup, harden_password
+from .mac import MAC_LEN, SessionMAC, hmac_sha1
+from .prg import DSSRandom, EntropyPool, system_random
+from .rabin import (
+    DEFAULT_KEY_BITS,
+    PrivateKey,
+    PublicKey,
+    RabinError,
+    generate_key,
+)
+from .sha1 import SHA1, sha1, sha1_concat
+from .srp import SRPClient, SRPError, SRPServer, Verifier
+from .util import (
+    SFS_BASE32_ALPHABET,
+    constant_time_eq,
+    sfs_base32_decode,
+    sfs_base32_encode,
+)
+
+__all__ = [
+    "ARC4",
+    "Blowfish",
+    "DEFAULT_KEY_BITS",
+    "DSSRandom",
+    "EntropyPool",
+    "MAC_LEN",
+    "PrivateKey",
+    "PublicKey",
+    "RabinError",
+    "SFS_BASE32_ALPHABET",
+    "SHA1",
+    "SRPClient",
+    "SRPError",
+    "SRPServer",
+    "SessionMAC",
+    "Verifier",
+    "bcrypt_hash",
+    "constant_time_eq",
+    "eksblowfish_setup",
+    "generate_key",
+    "harden_password",
+    "hmac_sha1",
+    "sfs_base32_decode",
+    "sfs_base32_encode",
+    "sha1",
+    "sha1_concat",
+    "system_random",
+]

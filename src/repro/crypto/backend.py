@@ -1,0 +1,40 @@
+"""Accelerated backends for the from-scratch primitives.
+
+Every algorithm in :mod:`repro.crypto` is implemented from scratch and
+those implementations are the *reference*: the test suite verifies them
+against published vectors and, where possible, against the standard
+library.  For primitives where the standard library happens to contain a
+bit-identical implementation (SHA-1, HMAC-SHA1), this module lets the hot
+paths delegate to it so that benchmark results reflect the paper's
+relative costs rather than pure-Python hashing speed.
+
+The delegation is sound precisely because the outputs are identical —
+``tests/unit/test_sha1.py`` asserts equality between the from-scratch
+SHA-1 and hashlib on randomized inputs, so flipping
+:data:`use_fast_sha1` cannot change any protocol bytes, only speed.
+
+Call :func:`set_fast` to switch globally (e.g. ``set_fast(False)`` in
+tests that exercise the reference implementations end to end).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+#: When True (default), one-shot SHA-1/HMAC use hashlib's C implementation.
+use_fast_sha1 = True
+
+
+def set_fast(enabled: bool) -> None:
+    """Globally enable/disable the accelerated SHA-1 backend."""
+    global use_fast_sha1
+    use_fast_sha1 = enabled
+
+
+def fast_sha1(data: bytes) -> bytes:
+    return hashlib.sha1(data).digest()
+
+
+def fast_hmac_sha1(key: bytes, message: bytes) -> bytes:
+    return _hmac.new(key, message, hashlib.sha1).digest()

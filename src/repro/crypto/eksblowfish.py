@@ -1,0 +1,132 @@
+"""Eksblowfish — the expensive-key-schedule Blowfish of Provos & Mazieres.
+
+The paper (section 2.5.2) hardens user passwords with eksblowfish so that
+off-line guessing attacks "continue to take almost a full second of CPU
+time per account and candidate password tried", with a cost parameter that
+administrators raise as hardware improves.  The same construction is the
+core of OpenBSD's bcrypt password scheme; this module provides both the
+raw eksblowfish state setup and a bcrypt-compatible hash (verified against
+published bcrypt test vectors) plus the password-hardening helper that
+:mod:`repro.core.authserv` and :mod:`repro.crypto.srp` use.
+"""
+
+from __future__ import annotations
+
+from .blowfish import Blowfish
+from .sha1 import sha1
+
+_BCRYPT_B64 = "./ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+_BCRYPT_B64_VALUE = {char: index for index, char in enumerate(_BCRYPT_B64)}
+
+#: The magic bcrypt plaintext, ECB-encrypted 64 times with the final state.
+_MAGIC = b"OrpheanBeholderScryDoubt"
+
+
+def eksblowfish_setup(cost: int, salt: bytes, key: bytes) -> Blowfish:
+    """EksBlowfishSetup: build a Blowfish state at the given *cost*.
+
+    The schedule mixes the salt once, then alternates ``2**cost`` unsalted
+    expansions of the key and the salt — the deliberately expensive part.
+    """
+    if not 0 <= cost <= 31:
+        raise ValueError("cost must be in 0..31")
+    if len(salt) != 16:
+        raise ValueError("salt must be 16 bytes")
+    if not 1 <= len(key) <= 72:
+        raise ValueError("key must be 1..72 bytes")
+    cipher = Blowfish(expand=False)
+    cipher.expand_key(key, salt)
+    zero_salt = b"\x00" * 16
+    for _ in range(1 << cost):
+        cipher.expand_key(key, zero_salt)
+        cipher.expand_key(salt, zero_salt)
+    return cipher
+
+
+def bcrypt_raw(password: bytes, salt: bytes, cost: int) -> bytes:
+    """The 24-byte bcrypt core: eksblowfish setup + 64 magic encryptions.
+
+    *password* should already include any variant-specific termination
+    (the ``$2a$`` variant appends a NUL byte; see :func:`bcrypt_hash`).
+    """
+    cipher = eksblowfish_setup(cost, salt, password)
+    data = _MAGIC
+    for _ in range(64):
+        data = b"".join(
+            cipher.encrypt_block(data[i : i + 8]) for i in range(0, 24, 8)
+        )
+    return data
+
+
+def bcrypt_b64encode(data: bytes) -> str:
+    """bcrypt's nonstandard base-64 (no padding, '.' and '/' lead)."""
+    out = []
+    i = 0
+    while i < len(data):
+        c1 = data[i]
+        i += 1
+        out.append(_BCRYPT_B64[c1 >> 2])
+        c1 = (c1 & 0x03) << 4
+        if i >= len(data):
+            out.append(_BCRYPT_B64[c1])
+            break
+        c2 = data[i]
+        i += 1
+        c1 |= c2 >> 4
+        out.append(_BCRYPT_B64[c1])
+        c1 = (c2 & 0x0F) << 2
+        if i >= len(data):
+            out.append(_BCRYPT_B64[c1])
+            break
+        c2 = data[i]
+        i += 1
+        c1 |= c2 >> 6
+        out.append(_BCRYPT_B64[c1])
+        out.append(_BCRYPT_B64[c2 & 0x3F])
+    return "".join(out)
+
+
+def bcrypt_b64decode(text: str, length: int) -> bytes:
+    """Decode bcrypt base-64 into exactly *length* bytes."""
+    bits = 0
+    acc = 0
+    out = bytearray()
+    for char in text:
+        try:
+            acc = (acc << 6) | _BCRYPT_B64_VALUE[char]
+        except KeyError:
+            raise ValueError(f"invalid bcrypt base-64 character {char!r}") from None
+        bits += 6
+        if bits >= 8:
+            bits -= 8
+            out.append((acc >> bits) & 0xFF)
+    return bytes(out[:length])
+
+
+def bcrypt_hash(password: bytes, salt_string: str) -> str:
+    """Compute a ``$2a$``-style bcrypt hash string.
+
+    *salt_string* looks like ``$2a$05$<22 chars of bcrypt base-64>``.  The
+    2a variant appends a NUL terminator to the password and truncates the
+    result to 72 bytes.
+    """
+    if not salt_string.startswith("$2a$"):
+        raise ValueError("only the $2a$ bcrypt variant is supported")
+    cost = int(salt_string[4:6])
+    salt = bcrypt_b64decode(salt_string[7:29], 16)
+    key = (password + b"\x00")[:72]
+    digest = bcrypt_raw(key, salt, cost)
+    return f"$2a${cost:02d}${bcrypt_b64encode(salt)[:22]}{bcrypt_b64encode(digest[:23])}"
+
+
+def harden_password(password: bytes, salt: bytes, cost: int) -> bytes:
+    """Derive a 20-byte key from a password at eksblowfish cost *cost*.
+
+    This is the transformation SFS applies before a password enters SRP or
+    encrypts a private key: an attacker who steals the server's SRP data
+    must pay ``2**cost`` Blowfish expansions per guess.  The salt may be
+    any length; it is folded to the 16 bytes eksblowfish expects.
+    """
+    folded_salt = sha1(b"SaltFold" + salt)[:16]
+    key = (password + b"\x00")[:72] if password else b"\x00"
+    return sha1(b"PasswordHarden" + bcrypt_raw(key, folded_salt, cost))

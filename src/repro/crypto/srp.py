@@ -1,0 +1,193 @@
+"""The Secure Remote Password protocol (SRP), as used by sfskey/authserv.
+
+The paper (section 2.4, "Password authentication") uses SRP to let users
+securely download self-certifying pathnames with nothing but a password:
+"SRP permits a client and server sharing a weak secret to negotiate a
+strong session key without exposing the weak secret to off-line guessing
+attacks."
+
+This is an SRP-6a-shaped implementation built on our from-scratch SHA-1,
+with the private exponent *x* derived through eksblowfish (paper section
+2.5.2) so that even a compromised verifier database costs an attacker
+``2**cost`` Blowfish expansions per password guess.
+
+Message flow (client C, server S, user identity I):
+
+1. C -> S: I, A = g^a
+2. S -> C: salt, B = k*v + g^b
+3. both:   u = H(A, B);  S_c = (B - k*g^x)^(a + u*x);  S_s = (A * v^u)^b
+4. C -> S: M1 = H(A, B, K)   (proof of session key K = H(S))
+5. S -> C: M2 = H(A, M1, K)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .eksblowfish import harden_password
+from .sha1 import sha1
+from .util import bytes_to_int, constant_time_eq, int_to_bytes
+
+#: 1024-bit safe-prime group from RFC 5054 (appendix A).
+GROUP_N = int(
+    "EEAF0AB9ADB38DD69C33F80AFA8FC5E86072618775FF3C0B9EA2314C"
+    "9C256576D674DF7496EA81D3383B4813D692C6E0E0D5D8E250B98BE4"
+    "8E495C1D6089DAD15DC7D7B46154D6B6CE8EF4AD69B15D4982559B29"
+    "7BCF1885C529F566660E57EC68EDBC3C05726CC02FD4CBF4976EAA9A"
+    "FD5138FE8376435B9FC61D2FC0EB06E3",
+    16,
+)
+GROUP_G = 2
+
+DEFAULT_COST = 6
+
+
+class SRPError(Exception):
+    """Raised on protocol violations or failed proofs."""
+
+
+def _hash_int(*parts: bytes) -> int:
+    h = sha1(b"".join(parts))
+    return bytes_to_int(h)
+
+
+def _pad(value: int) -> bytes:
+    return int_to_bytes(value, (GROUP_N.bit_length() + 7) // 8)
+
+
+def _multiplier() -> int:
+    """SRP-6a multiplier k = H(N, g)."""
+    return _hash_int(_pad(GROUP_N), _pad(GROUP_G))
+
+
+def private_exponent(identity: str, password: bytes, salt: bytes, cost: int) -> int:
+    """Derive the SRP private exponent x from the hardened password."""
+    hardened = harden_password(password, salt + identity.encode(), cost)
+    return bytes_to_int(sha1(salt + hardened)) % GROUP_N
+
+
+@dataclass(frozen=True)
+class Verifier:
+    """The server-side SRP record for one user (never password-equivalent
+    by itself — recovering the password from *v* requires discrete log or
+    an eksblowfish-paced guessing attack)."""
+
+    identity: str
+    salt: bytes
+    v: int
+    cost: int
+
+    @classmethod
+    def from_password(
+        cls,
+        identity: str,
+        password: bytes,
+        rng: random.Random,
+        cost: int = DEFAULT_COST,
+    ) -> "Verifier":
+        salt = bytes(rng.getrandbits(8) for _ in range(16))
+        x = private_exponent(identity, password, salt, cost)
+        return cls(identity, salt, pow(GROUP_G, x, GROUP_N), cost)
+
+
+class SRPClient:
+    """Client half of the SRP exchange."""
+
+    def __init__(self, identity: str, password: bytes, rng: random.Random) -> None:
+        self._identity = identity
+        self._password = password
+        self._rng = rng
+        self._a = 0
+        self._A = 0
+        self._key: bytes | None = None
+        self._m1: bytes | None = None
+
+    @property
+    def identity(self) -> str:
+        return self._identity
+
+    def start(self) -> int:
+        """Step 1: produce the client public value A."""
+        while True:
+            self._a = self._rng.randrange(2, GROUP_N - 1)
+            self._A = pow(GROUP_G, self._a, GROUP_N)
+            if self._A % GROUP_N:
+                return self._A
+
+    def process_challenge(self, salt: bytes, B: int, cost: int) -> bytes:
+        """Step 3/4: absorb the server challenge, return proof M1."""
+        if B % GROUP_N == 0:
+            raise SRPError("server sent an illegal B")
+        if not self._A:
+            raise SRPError("start() must be called first")
+        u = _hash_int(_pad(self._A), _pad(B))
+        if u == 0:
+            raise SRPError("hash scrambler u is zero")
+        x = private_exponent(self._identity, self._password, salt, cost)
+        k = _multiplier()
+        base = (B - k * pow(GROUP_G, x, GROUP_N)) % GROUP_N
+        secret = pow(base, self._a + u * x, GROUP_N)
+        self._key = sha1(_pad(secret))
+        self._m1 = sha1(_pad(self._A) + _pad(B) + self._key)
+        return self._m1
+
+    def verify_server(self, m2: bytes) -> None:
+        """Step 5: check the server's proof M2."""
+        if self._key is None or self._m1 is None:
+            raise SRPError("process_challenge() must be called first")
+        expected = sha1(_pad(self._A) + self._m1 + self._key)
+        if not constant_time_eq(m2, expected):
+            raise SRPError("server proof M2 does not verify")
+
+    @property
+    def session_key(self) -> bytes:
+        """The negotiated 20-byte session key (after a successful run)."""
+        if self._key is None:
+            raise SRPError("no session key negotiated yet")
+        return self._key
+
+
+class SRPServer:
+    """Server half of the SRP exchange, driven by a stored verifier."""
+
+    def __init__(self, verifier: Verifier, rng: random.Random) -> None:
+        self._verifier = verifier
+        self._rng = rng
+        self._b = 0
+        self._B = 0
+        self._A = 0
+        self._key: bytes | None = None
+
+    def challenge(self, A: int) -> tuple[bytes, int, int]:
+        """Step 2: absorb A, return (salt, B, cost)."""
+        if A % GROUP_N == 0:
+            raise SRPError("client sent an illegal A")
+        self._A = A
+        k = _multiplier()
+        while True:
+            self._b = self._rng.randrange(2, GROUP_N - 1)
+            self._B = (k * self._verifier.v + pow(GROUP_G, self._b, GROUP_N)) % GROUP_N
+            if self._B:
+                break
+        return self._verifier.salt, self._B, self._verifier.cost
+
+    def verify_client(self, m1: bytes) -> bytes:
+        """Step 4/5: check the client's proof, return our proof M2."""
+        if not self._A:
+            raise SRPError("challenge() must be called first")
+        u = _hash_int(_pad(self._A), _pad(self._B))
+        secret = pow(self._A * pow(self._verifier.v, u, GROUP_N), self._b, GROUP_N)
+        self._key = sha1(_pad(secret))
+        expected = sha1(_pad(self._A) + _pad(self._B) + self._key)
+        if not constant_time_eq(m1, expected):
+            self._key = None
+            raise SRPError("client proof M1 does not verify (wrong password?)")
+        return sha1(_pad(self._A) + m1 + self._key)
+
+    @property
+    def session_key(self) -> bytes:
+        """The negotiated 20-byte session key (after a successful run)."""
+        if self._key is None:
+            raise SRPError("no session key negotiated yet")
+        return self._key

@@ -1,0 +1,39 @@
+"""Local file system substrate: in-memory Unix fs + path helpers."""
+
+from .memfs import (
+    ACCESS_DELETE,
+    ACCESS_EXECUTE,
+    ACCESS_EXTEND,
+    ACCESS_LOOKUP,
+    ACCESS_MODIFY,
+    ACCESS_READ,
+    ANONYMOUS,
+    Cred,
+    FileData,
+    FsError,
+    Inode,
+    MemFs,
+    NF_DIR,
+    NF_LNK,
+    NF_REG,
+)
+from . import pathops
+
+__all__ = [
+    "ACCESS_DELETE",
+    "ACCESS_EXECUTE",
+    "ACCESS_EXTEND",
+    "ACCESS_LOOKUP",
+    "ACCESS_MODIFY",
+    "ACCESS_READ",
+    "ANONYMOUS",
+    "Cred",
+    "FileData",
+    "FsError",
+    "Inode",
+    "MemFs",
+    "NF_DIR",
+    "NF_LNK",
+    "NF_REG",
+    "pathops",
+]

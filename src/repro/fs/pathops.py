@@ -1,0 +1,108 @@
+"""Path-level convenience operations over a :class:`MemFs`.
+
+Server-side code (populating an export, building a certification
+authority's link farm, seeding benchmark trees) wants plain path strings
+rather than inode plumbing.  These helpers walk paths *without* following
+symlinks across mounts — they operate on a single local file system, the
+way a server-side admin tool would.
+"""
+
+from __future__ import annotations
+
+from .memfs import (
+    Cred,
+    ERR_NOENT,
+    FsError,
+    Inode,
+    MemFs,
+    NF_DIR,
+    NF_LNK,
+)
+
+_ROOT_CRED = Cred(uid=0, gid=0)
+
+
+def _components(path: str) -> list[str]:
+    parts = [part for part in path.split("/") if part]
+    return parts
+
+
+def resolve(fs: MemFs, path: str, cred: Cred = _ROOT_CRED,
+            follow: bool = True, _depth: int = 0) -> Inode:
+    """Resolve *path* (absolute, within this fs) to an inode.
+
+    Follows symlinks up to a depth of 40 when *follow* is set; symlink
+    targets are interpreted relative to the link's directory, with
+    absolute targets restarting from this file system's root (targets
+    pointing outside, e.g. into ``/sfs``, raise ``FsError(ERR_NOENT)``
+    because a single local fs cannot cross mounts).
+    """
+    if _depth > 40:
+        raise FsError(ERR_NOENT, "too many levels of symbolic links")
+    inode = fs.get_inode(fs.root_ino)
+    parts = _components(path)
+    for index, part in enumerate(parts):
+        inode = fs.lookup(inode.ino, part, cred)
+        is_last = index == len(parts) - 1
+        if inode.ftype == NF_LNK and (follow or not is_last):
+            target = inode.target
+            prefix = "/".join(parts[:index]) if target.startswith("/") is False else ""
+            if target.startswith("/"):
+                new_path = target + "/" + "/".join(parts[index + 1 :])
+            else:
+                new_path = "/" + prefix + "/" + target + "/" + "/".join(
+                    parts[index + 1 :]
+                )
+            return resolve(fs, new_path, cred, follow=follow, _depth=_depth + 1)
+    return inode
+
+
+def mkdirs(fs: MemFs, path: str, cred: Cred = _ROOT_CRED, mode: int = 0o755) -> Inode:
+    """Create *path* and any missing ancestors; returns the leaf inode."""
+    inode = fs.get_inode(fs.root_ino)
+    for part in _components(path):
+        try:
+            inode = fs.lookup(inode.ino, part, cred)
+        except FsError as exc:
+            if exc.code != ERR_NOENT:
+                raise
+            inode = fs.mkdir(inode.ino, part, cred, mode)
+        if inode.ftype != NF_DIR:
+            raise FsError(ERR_NOENT, f"{part} exists and is not a directory")
+    return inode
+
+
+def write_file(fs: MemFs, path: str, data: bytes, cred: Cred = _ROOT_CRED,
+               mode: int = 0o644) -> Inode:
+    """Create (or truncate) the file at *path* with *data*."""
+    parts = _components(path)
+    if not parts:
+        raise FsError(ERR_NOENT, "empty path")
+    parent = mkdirs(fs, "/".join(parts[:-1]), cred)
+    inode = fs.create(parent.ino, parts[-1], cred, mode)
+    fs.setattr(inode.ino, cred, size=0)
+    fs.write(inode.ino, 0, data, cred)
+    return inode
+
+
+def read_file(fs: MemFs, path: str, cred: Cred = _ROOT_CRED) -> bytes:
+    """Read the whole file at *path*."""
+    inode = resolve(fs, path, cred)
+    data, _eof = fs.read(inode.ino, 0, inode.size, cred)
+    return data
+
+
+def symlink(fs: MemFs, path: str, target: str, cred: Cred = _ROOT_CRED) -> Inode:
+    """Create a symlink at *path* pointing to *target*."""
+    parts = _components(path)
+    if not parts:
+        raise FsError(ERR_NOENT, "empty path")
+    parent = mkdirs(fs, "/".join(parts[:-1]), cred)
+    return fs.symlink(parent.ino, parts[-1], target, cred)
+
+
+def listdir(fs: MemFs, path: str, cred: Cred = _ROOT_CRED) -> list[str]:
+    """Names in the directory at *path* (without "." and "..")."""
+    inode = resolve(fs, path, cred)
+    entries, _eof = fs.readdir(inode.ino, cred)
+    return [name for name, _ino, _cookie in entries if name not in (".", "..")]

@@ -1,0 +1,19 @@
+"""The simulated client kernel and world builder."""
+
+from .mounter import NfsMounter
+from .vfs import FileHandle, Kernel, KernelError, Mount, Process, StatResult
+from .world import ClientMachine, ServerMachine, UserAccount, World
+
+__all__ = [
+    "ClientMachine",
+    "FileHandle",
+    "Kernel",
+    "KernelError",
+    "Mount",
+    "NfsMounter",
+    "Process",
+    "ServerMachine",
+    "StatResult",
+    "UserAccount",
+    "World",
+]

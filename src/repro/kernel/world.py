@@ -1,0 +1,270 @@
+"""World builder: whole networks of SFS machines in a few lines.
+
+Examples, tests, and benchmarks all need the same scaffolding — a virtual
+clock, a network, server machines exporting file systems, client machines
+running sfscd with agents for their users.  :class:`World` assembles it:
+
+    world = World()
+    server = world.add_server("sfs.lcs.mit.edu")
+    path = server.export_fs()                        # a new file system
+    alice = server.add_user("alice", uid=1000)       # account + key pair
+    client = world.add_client("laptop")
+    proc = client.login_user("alice", alice.key, uid=1000)
+    proc.read_file(str(path) + "/README")            # secure, end to end
+
+The network connector dials server masters by Location, so "anyone can
+generate a public key, determine the corresponding HostID, run the SFS
+server software, and immediately reference that server by its
+self-certifying pathname on any client in the world."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.agent import Agent
+from ..core.authserv import AuthServer
+from ..core.client import SfsClientDaemon
+from ..core.pathnames import SelfCertifyingPath
+from ..core.server import SfsServerMaster
+from ..crypto.rabin import PrivateKey, generate_key
+from ..fs.memfs import MemFs
+from ..nfs3.server import Nfs3Server
+from ..rpc.peer import RpcPeer
+from ..sim.clock import Clock
+from ..sim.disk import Disk, DiskParameters
+from ..sim.network import LinkSide, NetworkParameters, link_pair
+from .mounter import NfsMounter
+from .vfs import Kernel, KernelError, Process
+
+DEFAULT_KEY_BITS = 768
+
+
+@dataclass
+class UserAccount:
+    """A user created on a server: credentials plus a fresh key pair."""
+
+    name: str
+    uid: int
+    gid: int
+    key: PrivateKey
+
+
+class ServerMachine:
+    """One server host: an SfsServerMaster plus its exports."""
+
+    def __init__(self, world: "World", location: str,
+                 with_disk: bool = True) -> None:
+        self.world = world
+        self.location = location
+        self.master = SfsServerMaster(location, world.clock, world.rng)
+        self.with_disk = with_disk
+        self.exports: dict[str, tuple[SelfCertifyingPath, MemFs, AuthServer]] = {}
+
+    def _new_fs(self, fsid: int) -> MemFs:
+        disk = Disk(self.world.clock, DiskParameters.ibm_18es()) \
+            if self.with_disk else None
+        return MemFs(fsid=fsid, disk=disk)
+
+    def export_fs(self, name: str = "default", key_bits: int = DEFAULT_KEY_BITS,
+                  lease_duration: float = 30.0,
+                  fs: MemFs | None = None) -> SelfCertifyingPath:
+        """Create and export a read-write file system; returns its path."""
+        key = generate_key(key_bits, self.world.rng)
+        fs = fs or self._new_fs(fsid=len(self.exports) + 1)
+        authserver = AuthServer(self.world.rng)
+        path = self.master.add_rw_export(
+            key, fs, authserver, lease_duration=lease_duration, name=name
+        )
+        self.exports[name] = (path, fs, authserver)
+        return path
+
+    def export(self, name: str = "default"
+               ) -> tuple[SelfCertifyingPath, MemFs, AuthServer]:
+        return self.exports[name]
+
+    @property
+    def fs(self) -> MemFs:
+        return self.exports["default"][1]
+
+    @property
+    def authserver(self) -> AuthServer:
+        return self.exports["default"][2]
+
+    @property
+    def path(self) -> SelfCertifyingPath:
+        return self.exports["default"][0]
+
+    def add_user(self, name: str, uid: int, gid: int = 100,
+                 groups: tuple[int, ...] = (),
+                 key_bits: int = DEFAULT_KEY_BITS,
+                 export: str = "default") -> UserAccount:
+        """Create an account with a fresh key in the export's authserver."""
+        key = generate_key(key_bits, self.world.rng)
+        authserver = self.exports[export][2]
+        record = authserver.add_account(name, uid, gid, groups)
+        record.public_key_bytes = key.public_key.to_bytes()
+        authserver.local_db.add_user(record)
+        return UserAccount(name, uid, gid, key)
+
+
+class _KernelFsReader:
+    """Adapts a root Process to the agent's FsReader protocol."""
+
+    def __init__(self, process: Process) -> None:
+        self._process = process
+
+    def readlink(self, path: str) -> str | None:
+        try:
+            return self._process.readlink(path)
+        except KernelError:
+            return None
+
+    def readfile(self, path: str) -> bytes | None:
+        try:
+            return self._process.read_file(path)
+        except KernelError:
+            return None
+
+
+class ClientMachine:
+    """One client host: kernel, local fs, nfsmounter, sfscd."""
+
+    def __init__(self, world: "World", hostname: str,
+                 encrypt: bool = True, caching: bool = True,
+                 with_disk: bool = True) -> None:
+        self.world = world
+        self.hostname = hostname
+        self.kernel = Kernel(world.clock, hostname)
+        disk = Disk(world.clock, DiskParameters.ibm_18es()) if with_disk else None
+        self.local_fs = MemFs(fsid=0x100, disk=disk)
+        self.local_server = Nfs3Server(self.local_fs)
+        self.kernel.mount_root(self.local_server.program,
+                               self.local_server.root_handle())
+        self.mounter = NfsMounter(self.kernel)
+        root = Process(self.kernel, uid=0, gid=0)
+        root.mkdir("/sfs")
+        self.sfscd = SfsClientDaemon(
+            world.clock, world.rng, world.connector, self.mounter,
+            encrypt=encrypt, caching=caching,
+        )
+        self.mounter.mount("/sfs", self.sfscd.program,
+                           self.sfscd.root_handle())
+        self._root = root
+
+    def root_process(self) -> Process:
+        return self._root
+
+    def process(self, uid: int, gid: int = 100,
+                groups: tuple[int, ...] = ()) -> Process:
+        return Process(self.kernel, uid=uid, gid=gid, groups=groups)
+
+    def new_agent(self, user: str, uid: int) -> Agent:
+        """Start an agent for *uid* with file system access for key
+        management (certification paths, revocation directories)."""
+        reader = _KernelFsReader(self.process(uid))
+        agent = Agent(user, self.world.rng, fs_reader=reader)
+        self.sfscd.attach_agent(uid, agent)
+        return agent
+
+    def login_user(self, user: str, key: PrivateKey | None, uid: int,
+                   gid: int = 100) -> Process:
+        """Convenience: agent + key + process, like logging in."""
+        agent = self.new_agent(user, uid)
+        if key is not None:
+            agent.add_key(key)
+        return self.process(uid, gid)
+
+    def ssu(self, uid: int) -> Process:
+        """The paper's ssu utility: a super-user process whose SFS
+        operations map to *uid*'s agent (section 2.3, footnote 2)."""
+        agent = self.sfscd.agents.get(uid)
+        if agent is None:
+            raise KeyError(f"no agent attached for uid {uid}")
+        self.sfscd.attach_agent(0, agent)
+        return self.process(0, 0)
+
+    def mount_nfs(self, path: str, server: "ServerMachine",
+                  export: str = "default",
+                  params: NetworkParameters | None = None,
+                  export_dir: str = "/") -> None:
+        """Mount a remote file system with plain NFS 3 (the baseline).
+
+        No SFS: the kernel asks the server's MOUNT service for the root
+        handle, then speaks NFS straight over the wire — guessable
+        handles, no cryptography; the world the paper set out to fix.
+        """
+        from ..nfs3.mountproto import MountClient, MountServer
+        from ..rpc.peer import RpcPeer as _RpcPeer
+
+        _path, fs, _auth = server.exports[export]
+        nfsd = Nfs3Server(fs)
+        mountd = MountServer()
+        mountd.add_export(export_dir, nfsd.root_handle())
+        kernel_side, server_side = link_pair(
+            self.world.clock, params or self.world.lan_params,
+        )
+        peer = _RpcPeer(server_side, f"nfsd@{server.location}")
+        peer.register(nfsd.program)
+        peer.register(mountd.program)
+        self._root.makedirs(path)
+        # The kernel-side peer serves both the MNT exchange and, once
+        # mounted, the NFS traffic — one connection, like NFS-over-TCP.
+        kernel_peer = _RpcPeer(kernel_side, f"kernel:{path}")
+        root_fh = MountClient(kernel_peer, self.hostname).mnt(export_dir)
+        self.kernel.add_mount_peer(path, kernel_peer, root_fh)
+
+
+class World:
+    """A clock, a network, and the machines on it."""
+
+    def __init__(self, seed: int = 2026,
+                 lan_params: NetworkParameters | None = None) -> None:
+        self.clock = Clock()
+        self.rng = random.Random(seed)
+        self.lan_params = lan_params or NetworkParameters.lan_100mbit()
+        self.servers: dict[str, ServerMachine] = {}
+        self.clients: dict[str, ClientMachine] = {}
+        self.adversary_factory = None  # optional: () -> Adversary
+        self.links: list[LinkSide] = []
+
+    # -- topology --
+
+    def add_server(self, location: str, with_disk: bool = True
+                   ) -> ServerMachine:
+        server = ServerMachine(self, location, with_disk=with_disk)
+        self.servers[location] = server
+        return server
+
+    def add_client(self, hostname: str, encrypt: bool = True,
+                   caching: bool = True, with_disk: bool = True
+                   ) -> ClientMachine:
+        client = ClientMachine(self, hostname, encrypt=encrypt,
+                               caching=caching, with_disk=with_disk)
+        self.clients[hostname] = client
+        return client
+
+    def route(self, location: str, server: ServerMachine) -> None:
+        """Point *location* at *server* (DNS-style aliasing).
+
+        This is how an untrusted mirror serves a read-only file system
+        published for another Location: the name resolves to the mirror,
+        and the self-certifying pathname still authenticates the data.
+        """
+        self.servers[location] = server
+
+    # -- the dialer --
+
+    def connector(self, location: str, service: int) -> LinkSide:
+        """Dial an SFS server master by Location name."""
+        server = self.servers.get(location)
+        if server is None:
+            raise ConnectionError(f"no route to host {location}")
+        adversary = self.adversary_factory() if self.adversary_factory else None
+        client_side, server_side = link_pair(
+            self.clock, self.lan_params, adversary
+        )
+        server.master.accept(server_side)
+        self.links.append(client_side)
+        return client_side

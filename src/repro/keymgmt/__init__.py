@@ -1,0 +1,40 @@
+"""Key-management schemes built *on top of* SFS (paper section 2.4).
+
+None of these touch the file system core — that is the paper's thesis.
+Each module realizes one scheme with ordinary file operations and agent
+hooks: manual links, secure links and bookmarks, certification
+authorities (read-only link farms), certification paths, password
+authentication via sfskey/SRP, and external-PKI bridges.
+"""
+
+from . import bookmarks, ca, certpaths, extpki, manual
+from .bookmarks import BookmarkError, bookmark, cd_bookmark, secure_pwd
+from .ca import CertificationAuthority
+from .certpaths import (
+    prepend_directory,
+    set_certification_path,
+    set_revocation_directories,
+)
+from .extpki import SslBridgeResolver, SslDirectory
+from .manual import install_link, make_secure_link, resolve_secure_link
+
+__all__ = [
+    "BookmarkError",
+    "CertificationAuthority",
+    "SslBridgeResolver",
+    "SslDirectory",
+    "bookmark",
+    "bookmarks",
+    "ca",
+    "cd_bookmark",
+    "certpaths",
+    "extpki",
+    "install_link",
+    "make_secure_link",
+    "manual",
+    "prepend_directory",
+    "resolve_secure_link",
+    "secure_pwd",
+    "set_certification_path",
+    "set_revocation_directories",
+]

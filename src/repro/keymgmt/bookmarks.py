@@ -1,0 +1,71 @@
+"""Secure bookmarks (paper section 2.4).
+
+"When run in an SFS file system, the Unix pwd command returns the full
+self-certifying pathname of the current working directory. ... We have a
+10-line shell script called bookmark that creates a link
+Location -> /sfs/Location:HostID in a user's /sfs-bookmarks directory.
+With shells that support the cdpath variable, users can add this
+directory to their cdpaths.  By simply typing 'cd Location', they can
+subsequently return securely to any file system they have bookmarked."
+
+This module is that shell script, plus the cdpath-style resolution.
+"""
+
+from __future__ import annotations
+
+from ..core.pathnames import SFS_ROOT, parse_path
+from ..kernel.vfs import KernelError, Process
+
+
+class BookmarkError(Exception):
+    """Raised when a bookmark cannot be created or followed."""
+
+
+def secure_pwd(process: Process) -> str:
+    """pwd: the full (self-certifying, when under /sfs) working directory."""
+    return process.getcwd()
+
+
+def bookmark(process: Process, bookmarks_dir: str = "") -> str:
+    """Bookmark the current directory's file system; returns the link name.
+
+    Extracts Location and HostID from `pwd` output and creates the
+    ``Location -> /sfs/Location:HostID`` symlink.
+    """
+    cwd = secure_pwd(process)
+    if not cwd.startswith(SFS_ROOT + "/"):
+        raise BookmarkError(f"not inside an SFS file system: {cwd}")
+    path = parse_path(cwd)
+    bookmarks_dir = bookmarks_dir or _default_dir(process)
+    try:
+        process.makedirs(bookmarks_dir)
+    except KernelError as exc:
+        raise BookmarkError(f"cannot create {bookmarks_dir}: {exc}") from None
+    link = f"{bookmarks_dir}/{path.location}"
+    target = f"{SFS_ROOT}/{path.mount_name}"
+    try:
+        process.symlink(target, link)
+    except KernelError as exc:
+        raise BookmarkError(f"cannot create bookmark: {exc}") from None
+    return link
+
+
+def cd_bookmark(process: Process, location: str,
+                cdpath: list[str] | None = None) -> str:
+    """'cd Location' with the bookmarks directory on the cdpath.
+
+    Returns the new working directory (a self-certifying pathname).
+    """
+    directories = cdpath or [_default_dir(process)]
+    for directory in directories:
+        candidate = f"{directory}/{location}"
+        try:
+            process.chdir(candidate)
+        except KernelError:
+            continue
+        return process.getcwd()
+    raise BookmarkError(f"no bookmark for {location}")
+
+
+def _default_dir(process: Process) -> str:
+    return f"/home/u{process.uid}/sfs-bookmarks"

@@ -1,0 +1,86 @@
+"""Certification authorities as file systems (paper section 2.4).
+
+"SFS certification authorities are nothing more than ordinary file
+systems serving symbolic links. ... Unlike traditional certification
+authorities, SFS certification authorities get queried interactively.
+This simplifies certificate revocation, but also places high integrity,
+availability, and performance needs on the servers" — which is why CAs
+serve the read-only dialect: contents proven by precomputed signatures,
+replicable on untrusted machines, no online private key.
+
+A :class:`CertificationAuthority` builds the link farm (and optionally a
+revocation directory full of self-authenticating revocation
+certificates), publishes it signed, and hands out images for mirrors.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.pathnames import SelfCertifyingPath, hostid_to_text, make_path
+from ..core.readonly import ReadOnlyImage, publish
+from ..core.revocation import verify_certificate, CertificateError
+from ..core import proto
+from ..crypto.rabin import PrivateKey, generate_key
+from ..fs.memfs import MemFs
+from ..rpc.xdr import Record
+
+
+class CertificationAuthority:
+    """A CA: a tree of name -> self-certifying-pathname symlinks."""
+
+    def __init__(self, location: str, rng: random.Random,
+                 key: PrivateKey | None = None, key_bits: int = 768) -> None:
+        self.location = location
+        self.key = key or generate_key(key_bits, rng)
+        self.fs = MemFs(fsid=0xCA)
+        self._serial = 0
+        from ..fs import pathops
+        self._pathops = pathops
+        pathops.mkdirs(self.fs, "/revocations")
+
+    @property
+    def path(self) -> SelfCertifyingPath:
+        return make_path(self.location, self.key.public_key)
+
+    # --- certification = creating symlinks -----------------------------------
+
+    def certify(self, name: str, target: SelfCertifyingPath | str) -> None:
+        """Certify that *name* belongs to *target*.
+
+        "if Verisign acted as an SFS certification authority ... this
+        file system would contain symbolic links to other SFS file
+        systems", e.g. ``/verisign/acme -> /sfs/acme.com:HOSTID``.
+        """
+        self._pathops.symlink(self.fs, "/" + name, str(target))
+
+    def decertify(self, name: str) -> None:
+        inode = self._pathops.resolve(self.fs, "/", follow=False)
+        from ..fs.memfs import Cred
+        self.fs.remove(inode.ino, name, Cred(0, 0))
+
+    # --- revocations ------------------------------------------------------------
+
+    def publish_revocation(self, certificate: Record) -> str:
+        """File a revocation certificate under /revocations/<HostID>.
+
+        Certificates are self-authenticating, so the CA accepts them
+        from anyone — it verifies the certificate, not the submitter:
+        "even someone without permission to obtain ordinary public key
+        certificates from Verisign could still submit revocation
+        certificates."
+        """
+        verified = verify_certificate(certificate)  # raises if forged
+        if not verified.is_revocation:
+            raise CertificateError("not a revocation certificate")
+        name = hostid_to_text(verified.hostid)
+        blob = proto.SignedCertificate.pack(certificate)
+        self._pathops.write_file(self.fs, f"/revocations/{name}", blob)
+        return f"/revocations/{name}"
+
+    # --- publication --------------------------------------------------------------
+
+    def publish_image(self) -> ReadOnlyImage:
+        """Sign the current tree into a servable read-only image."""
+        self._serial += 1
+        return publish(self.fs, self.key, self.location, serial=self._serial)

@@ -1,0 +1,39 @@
+"""Certification paths (paper section 2.4).
+
+"A user can give his agent a list of directories containing symbolic
+links, for example /verisign, /sfs-bookmarks, /work/trusted-hosts.  When
+the user accesses a non-self-certifying pathname in /sfs, the agent maps
+the name by looking in each directory of the certification path in
+sequence."
+
+The mechanics live in :meth:`repro.core.agent.Agent.resolve`; this module
+provides the user-facing configuration helpers and demonstrates chaining
+("people can bootstrap one key management mechanism using another": a
+certification path can point *into* another SFS file system, so
+resolving a name through it securely traverses a CA).
+"""
+
+from __future__ import annotations
+
+from ..core.agent import Agent
+
+
+def set_certification_path(agent: Agent, directories: list[str]) -> None:
+    """Configure the ordered list of link directories the agent consults."""
+    agent.certpaths = list(directories)
+
+
+def prepend_directory(agent: Agent, directory: str) -> None:
+    agent.certpaths.insert(0, directory)
+
+
+def set_revocation_directories(agent: Agent, directories: list[str]) -> None:
+    """Directories to check for revocation certificates before mounting.
+
+    Typically CA-served, e.g. ``["/verisign/revocations"]``; the agent
+    checks ``<dir>/<HostID>`` for a self-authenticating certificate.
+    "Even users who distrust Verisign and would not submit a revocation
+    certificate to them can still check Verisign for other people's
+    revocations."
+    """
+    agent.revocation_dirs = list(directories)

@@ -1,0 +1,39 @@
+"""Manual key distribution and secure links (paper section 2.4).
+
+"Manual key distribution is easily accomplished in SFS using symbolic
+links.  If the administrators of a site want to install some server's
+public key on the local hard disk of every client, they can simply
+create a symbolic link to the appropriate self-certifying pathname."
+
+These helpers operate through the kernel's POSIX facade, underlining the
+paper's point: every key-management scheme here is just file utilities.
+"""
+
+from __future__ import annotations
+
+from ..core.pathnames import SelfCertifyingPath, parse_path
+from ..kernel.vfs import Process
+
+
+def install_link(admin: Process, link_path: str,
+                 target: SelfCertifyingPath | str) -> None:
+    """Install a local symlink to a self-certifying pathname.
+
+    E.g. ``install_link(root, "/fs", server_path)`` lets users refer to
+    files as ``/fs/...`` — the password file might list a home directory
+    as ``/fs/users/ann``.
+    """
+    admin.symlink(str(target), link_path)
+
+
+def make_secure_link(user: Process, link_path: str,
+                     target: SelfCertifyingPath | str) -> None:
+    """A secure link: a symlink on one SFS file system pointing to the
+    self-certifying pathname of another.  Following it authenticates the
+    destination server with no user-visible key management."""
+    user.symlink(str(target), link_path)
+
+
+def resolve_secure_link(user: Process, link_path: str) -> SelfCertifyingPath:
+    """Read a (secure) link and parse its self-certifying target."""
+    return parse_path(user.readlink(link_path))

@@ -1,0 +1,183 @@
+"""The NFS MOUNT protocol, version 3 (RFC 1813 appendix I).
+
+Plain NFS clients cannot conjure a root file handle out of thin air: they
+ask the MOUNT service.  This is also where NFS's security problem starts
+— "an attacker who learns the file handle of even a single directory can
+access any part of the file system as any user" — because MNT hands out
+handles subject only to an export list.  The SFS baseline comparisons in
+the benchmarks mount through this protocol exactly like 1999 clients did.
+
+Implemented procedures: NULL, MNT, DUMP, UMNT, UMNTALL, EXPORT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rpc.peer import CallContext, Program, RpcPeer
+from ..rpc.rpcmsg import AUTH_SYS, AuthSys, RpcMsgError
+from ..rpc.xdr import Array, Opaque, Record, String, Struct, UInt32, Union, VOID
+
+MOUNT_PROGRAM = 100005
+MOUNT_VERSION = 3
+
+MOUNTPROC3_NULL = 0
+MOUNTPROC3_MNT = 1
+MOUNTPROC3_DUMP = 2
+MOUNTPROC3_UMNT = 3
+MOUNTPROC3_UMNTALL = 4
+MOUNTPROC3_EXPORT = 5
+
+MNT3_OK = 0
+MNT3ERR_PERM = 1
+MNT3ERR_NOENT = 2
+MNT3ERR_ACCES = 13
+MNT3ERR_NOTDIR = 20
+
+DirPath = String(1024)
+Name = String(255)
+
+MntArgs = Struct("MNTargs", [("dirpath", DirPath)])
+MntResOk = Struct(
+    "mountres3_ok",
+    [("fhandle", Opaque(64)), ("auth_flavors", Array(UInt32, 8))],
+)
+MntRes = Union("mountres3", {MNT3_OK: MntResOk}, default=None)
+
+MountEntry = Struct(
+    "mountbody", [("hostname", Name), ("directory", DirPath)]
+)
+DumpRes = Array(MountEntry)
+
+ExportEntry = Struct(
+    "exportnode", [("dir", DirPath), ("groups", Array(Name, 16))]
+)
+ExportRes = Array(ExportEntry)
+
+
+@dataclass
+class Export:
+    """One exported directory and who may mount it."""
+
+    dirpath: str
+    root_handle: bytes
+    groups: tuple[str, ...] = ()  # empty = everyone
+
+    def allows(self, hostname: str) -> bool:
+        return not self.groups or hostname in self.groups
+
+
+class MountServer:
+    """Serves the MOUNT program for a set of exports."""
+
+    def __init__(self) -> None:
+        self._exports: dict[str, Export] = {}
+        self._mounted: list[tuple[str, str]] = []  # (hostname, dirpath)
+        self.program = self._build_program()
+
+    def add_export(self, dirpath: str, root_handle: bytes,
+                   groups: tuple[str, ...] = ()) -> None:
+        self._exports[dirpath] = Export(dirpath, root_handle, groups)
+
+    def _hostname(self, ctx: CallContext) -> str:
+        if ctx.cred.flavor == AUTH_SYS:
+            try:
+                return AuthSys.from_auth(ctx.cred).machinename
+            except RpcMsgError:
+                pass
+        return "unknown"
+
+    def _build_program(self) -> Program:
+        program = Program("mount3", MOUNT_PROGRAM, MOUNT_VERSION)
+        program.add_proc(MOUNTPROC3_MNT, "MNT", MntArgs, MntRes, self._mnt)
+        program.add_proc(MOUNTPROC3_DUMP, "DUMP", VOID, DumpRes, self._dump)
+        program.add_proc(MOUNTPROC3_UMNT, "UMNT", MntArgs, VOID, self._umnt)
+        program.add_proc(MOUNTPROC3_UMNTALL, "UMNTALL", VOID, VOID,
+                         self._umntall)
+        program.add_proc(MOUNTPROC3_EXPORT, "EXPORT", VOID, ExportRes,
+                         self._export)
+        return program
+
+    def _mnt(self, args: Record, ctx: CallContext):
+        export = self._exports.get(args.dirpath)
+        if export is None:
+            return MNT3ERR_NOENT, None
+        hostname = self._hostname(ctx)
+        if not export.allows(hostname):
+            return MNT3ERR_ACCES, None
+        self._mounted.append((hostname, args.dirpath))
+        return MNT3_OK, MntResOk.make(
+            fhandle=export.root_handle, auth_flavors=[AUTH_SYS]
+        )
+
+    def _dump(self, args, ctx: CallContext):
+        return [
+            MountEntry.make(hostname=host, directory=directory)
+            for host, directory in self._mounted
+        ]
+
+    def _umnt(self, args: Record, ctx: CallContext) -> None:
+        hostname = self._hostname(ctx)
+        self._mounted = [
+            entry for entry in self._mounted
+            if entry != (hostname, args.dirpath)
+        ]
+
+    def _umntall(self, args, ctx: CallContext) -> None:
+        hostname = self._hostname(ctx)
+        self._mounted = [
+            entry for entry in self._mounted if entry[0] != hostname
+        ]
+
+    def _export(self, args, ctx: CallContext):
+        return [
+            ExportEntry.make(dir=export.dirpath, groups=list(export.groups))
+            for export in self._exports.values()
+        ]
+
+
+class MountClient:
+    """Client stubs for the MOUNT program."""
+
+    def __init__(self, peer: RpcPeer, hostname: str = "client") -> None:
+        self._peer = peer
+        self._cred = AuthSys(machinename=hostname).to_auth()
+
+    def mnt(self, dirpath: str) -> bytes:
+        """Mount: returns the export's root file handle."""
+        disc, body = self._peer.call(
+            MOUNT_PROGRAM, MOUNT_VERSION, MOUNTPROC3_MNT,
+            MntArgs, MntArgs.make(dirpath=dirpath), MntRes, cred=self._cred,
+        )
+        if disc != MNT3_OK:
+            raise MountDenied(dirpath, disc)
+        return body.fhandle
+
+    def dump(self) -> list[tuple[str, str]]:
+        entries = self._peer.call(
+            MOUNT_PROGRAM, MOUNT_VERSION, MOUNTPROC3_DUMP,
+            VOID, None, DumpRes, cred=self._cred,
+        )
+        return [(entry.hostname, entry.directory) for entry in entries]
+
+    def umnt(self, dirpath: str) -> None:
+        self._peer.call(
+            MOUNT_PROGRAM, MOUNT_VERSION, MOUNTPROC3_UMNT,
+            MntArgs, MntArgs.make(dirpath=dirpath), VOID, cred=self._cred,
+        )
+
+    def export(self) -> list[tuple[str, tuple[str, ...]]]:
+        entries = self._peer.call(
+            MOUNT_PROGRAM, MOUNT_VERSION, MOUNTPROC3_EXPORT,
+            VOID, None, ExportRes, cred=self._cred,
+        )
+        return [(e.dir, tuple(e.groups)) for e in entries]
+
+
+class MountDenied(Exception):
+    """The MOUNT server refused MNT."""
+
+    def __init__(self, dirpath: str, status: int) -> None:
+        super().__init__(f"mount of {dirpath!r} denied (status {status})")
+        self.dirpath = dirpath
+        self.status = status

@@ -1,0 +1,263 @@
+"""A symmetric RPC peer: issues calls and serves programs over one pipe.
+
+SFS connections are genuinely bidirectional — the server calls back to
+the client to invalidate cache leases (paper section 3.3) — so instead of
+separate client/server classes a single :class:`RpcPeer` owns each end of
+a connection.  Programs register procedure tables; calls marshal through
+the codecs in :mod:`repro.rpc.xdr`.
+
+The underlying "pipe" is anything with ``send(bytes)`` and
+``on_receive(handler)`` — a :class:`repro.sim.network.LinkSide`, a secure
+channel wrapper, or a real TCP transport.  Delivery on the virtual
+network is synchronous, so a reply to an outbound call arrives (via
+nested handler invocation) before ``call`` returns; the TCP transport
+pumps a reader loop to get the same effect.
+
+Set ``trace`` to a callable to pretty-print RPC traffic, mirroring the
+debugging aid the paper credits for SFS's reliability ("Our RPC library
+can pretty-print RPC traffic for debugging").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+from . import rpcmsg
+from .rpcmsg import (
+    AUTH_NONE,
+    CallHeader,
+    NULL_AUTH,
+    OpaqueAuth,
+    ReplyHeader,
+    parse_message,
+)
+from .xdr import Codec, VOID, XdrError
+
+
+class Pipe(Protocol):
+    """Minimal transport interface RpcPeer relies on."""
+
+    def send(self, data: bytes) -> None: ...
+
+    def on_receive(self, handler: Callable[[bytes], None]) -> None: ...
+
+
+class RpcError(Exception):
+    """Base class for RPC-level failures."""
+
+
+class RpcTimeout(RpcError):
+    """No reply arrived for an outstanding call (e.g. record dropped)."""
+
+
+class RpcRejected(RpcError):
+    """The peer rejected or failed to accept the call."""
+
+    def __init__(self, header: ReplyHeader) -> None:
+        super().__init__(
+            f"rpc rejected: reply_stat={header.reply_stat} "
+            f"accept_stat={header.accept_stat} reject_stat={header.reject_stat}"
+        )
+        self.header = header
+
+
+@dataclass
+class Procedure:
+    """One registered procedure: codecs plus the handler."""
+
+    name: str
+    arg_codec: Codec
+    res_codec: Codec
+    handler: Callable[[Any, "CallContext"], Any]
+
+
+@dataclass
+class CallContext:
+    """Passed to every handler: who called, with what credentials."""
+
+    peer: "RpcPeer"
+    header: CallHeader
+
+    @property
+    def cred(self) -> OpaqueAuth:
+        return self.header.cred
+
+
+class Program:
+    """A (program number, version) with its procedure table."""
+
+    def __init__(self, name: str, prog: int, vers: int) -> None:
+        self.name = name
+        self.prog = prog
+        self.vers = vers
+        self.procedures: dict[int, Procedure] = {}
+        # Procedure 0 is the conventional NULL ping.
+        self.add_proc(0, "NULL", VOID, VOID, lambda args, ctx: None)
+
+    def add_proc(
+        self,
+        number: int,
+        name: str,
+        arg_codec: Codec,
+        res_codec: Codec,
+        handler: Callable[[Any, CallContext], Any],
+    ) -> None:
+        self.procedures[number] = Procedure(name, arg_codec, res_codec, handler)
+
+    def proc(self, number: int, name: str, arg_codec: Codec, res_codec: Codec):
+        """Decorator form of :meth:`add_proc`."""
+
+        def register(handler: Callable[[Any, CallContext], Any]):
+            self.add_proc(number, name, arg_codec, res_codec, handler)
+            return handler
+
+        return register
+
+
+TraceFn = Callable[[str], None]
+
+
+class RpcPeer:
+    """One end of an RPC connection; both caller and dispatcher."""
+
+    def __init__(self, pipe: Pipe, name: str = "peer",
+                 trace: TraceFn | None = None) -> None:
+        self._pipe = pipe
+        self.name = name
+        self.trace = trace
+        #: Optional hook for transports without synchronous delivery
+        #: (real TCP): called repeatedly until the awaited reply lands.
+        #: Must deliver at least one inbound record or raise.  Pipes can
+        #: volunteer one via a `suggested_reply_waiter` attribute, which
+        #: wrapper pipes (secure channel, switchable pipe) pass through.
+        self.reply_waiter: Callable[[], None] | None = getattr(
+            pipe, "suggested_reply_waiter", None
+        )
+        self._xid = 0
+        self._programs: dict[tuple[int, int], Program] = {}
+        self._pending: dict[int, ReplyHeader | None] = {}
+        self._results: dict[int, bytes] = {}
+        self.calls_sent = 0
+        self.calls_served = 0
+        #: (prog, proc) -> count of calls issued; the per-procedure RPC
+        #: mix behind the paper's caching analysis (section 4.2).
+        self.proc_counts: dict[tuple[int, int], int] = {}
+        pipe.on_receive(self._on_record)
+
+    # --- serving ----------------------------------------------------------
+
+    def register(self, program: Program) -> Program:
+        self._programs[(program.prog, program.vers)] = program
+        return program
+
+    def unregister(self, prog: int, vers: int) -> None:
+        self._programs.pop((prog, vers), None)
+
+    def _on_record(self, data: bytes) -> None:
+        try:
+            message = parse_message(data)
+        except XdrError:
+            # Garbage on the wire (e.g. adversarial injection below the
+            # secure channel): drop it, exactly as a real stack would drop
+            # an unparseable TCP record.
+            if self.trace:
+                self.trace(f"{self.name}: dropping unparseable record")
+            return
+        if message.mtype == rpcmsg.CALL:
+            assert message.call is not None
+            self._serve(message.call, message.body)
+        else:
+            assert message.reply is not None
+            xid = message.reply.xid
+            if xid in self._pending:
+                self._pending[xid] = message.reply
+                self._results[xid] = message.body
+            elif self.trace:
+                self.trace(f"{self.name}: reply for unknown xid {xid}")
+
+    def _serve(self, header: CallHeader, body: bytes) -> None:
+        program = self._programs.get((header.prog, header.vers))
+        if program is None:
+            versions = [v for (p, v) in self._programs if p == header.prog]
+            if versions:
+                reply = ReplyHeader(
+                    header.xid,
+                    accept_stat=rpcmsg.PROG_MISMATCH,
+                    mismatch_low=min(versions),
+                    mismatch_high=max(versions),
+                )
+            else:
+                reply = ReplyHeader(header.xid, accept_stat=rpcmsg.PROG_UNAVAIL)
+            self._pipe.send(rpcmsg.pack_reply(reply))
+            return
+        procedure = program.procedures.get(header.proc)
+        if procedure is None:
+            reply = ReplyHeader(header.xid, accept_stat=rpcmsg.PROC_UNAVAIL)
+            self._pipe.send(rpcmsg.pack_reply(reply))
+            return
+        try:
+            args = procedure.arg_codec.unpack(body)
+        except XdrError:
+            reply = ReplyHeader(header.xid, accept_stat=rpcmsg.GARBAGE_ARGS)
+            self._pipe.send(rpcmsg.pack_reply(reply))
+            return
+        if self.trace:
+            self.trace(
+                f"{self.name}: serve {program.name}.{procedure.name}({args!r})"
+            )
+        self.calls_served += 1
+        try:
+            result = procedure.handler(args, CallContext(self, header))
+            payload = procedure.res_codec.pack(result)
+        except Exception as exc:  # noqa: BLE001 - surfaces as SYSTEM_ERR
+            if self.trace:
+                self.trace(
+                    f"{self.name}: {program.name}.{procedure.name} failed: {exc!r}"
+                )
+            reply = ReplyHeader(header.xid, accept_stat=rpcmsg.SYSTEM_ERR)
+            self._pipe.send(rpcmsg.pack_reply(reply))
+            return
+        self._pipe.send(rpcmsg.pack_reply(ReplyHeader(header.xid), payload))
+
+    # --- calling ----------------------------------------------------------
+
+    def call(
+        self,
+        prog: int,
+        vers: int,
+        proc: int,
+        arg_codec: Codec,
+        args: Any,
+        res_codec: Codec,
+        cred: OpaqueAuth = NULL_AUTH,
+    ) -> Any:
+        """Issue a call and return the decoded result.
+
+        Raises :class:`RpcTimeout` if no reply arrives (dropped record)
+        and :class:`RpcRejected` on a non-SUCCESS reply.
+        """
+        self._xid += 1
+        xid = self._xid
+        header = CallHeader(xid, prog, vers, proc, cred=cred)
+        payload = arg_codec.pack(args)
+        self._pending[xid] = None
+        self.calls_sent += 1
+        key = (prog, proc)
+        self.proc_counts[key] = self.proc_counts.get(key, 0) + 1
+        if self.trace:
+            self.trace(f"{self.name}: call prog={prog} proc={proc} args={args!r}")
+        try:
+            self._pipe.send(rpcmsg.pack_call(header, payload))
+            reply = self._pending[xid]
+            while reply is None and self.reply_waiter is not None:
+                self.reply_waiter()
+                reply = self._pending[xid]
+            if reply is None:
+                raise RpcTimeout(f"no reply for xid {xid} (prog={prog} proc={proc})")
+            if not reply.successful:
+                raise RpcRejected(reply)
+            return res_codec.unpack(self._results.pop(xid))
+        finally:
+            self._pending.pop(xid, None)
+            self._results.pop(xid, None)

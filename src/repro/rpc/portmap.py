@@ -1,0 +1,154 @@
+"""The port mapper (RFC 1833 version 2 flavor), from scratch.
+
+Sun RPC services register (program, version, protocol) -> port with the
+portmapper; clients query it before connecting.  The paper mentions it
+in its firewall advice: sites should block "NFS and portmap (which
+relays RPC calls) traffic" — the CALLIT indirection is why portmap is a
+hazard, so it is implemented here too (and a test shows how it launders
+a caller's identity, which is why firewalls block it).
+"""
+
+from __future__ import annotations
+
+from .peer import CallContext, Program, RpcPeer
+from .xdr import Array, Bool, Codec, Opaque, Record, Struct, UInt32, VOID
+
+PMAP_PROGRAM = 100000
+PMAP_VERSION = 2
+
+PMAPPROC_SET = 1
+PMAPPROC_UNSET = 2
+PMAPPROC_GETPORT = 3
+PMAPPROC_DUMP = 4
+PMAPPROC_CALLIT = 5
+
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+Mapping = Struct(
+    "mapping",
+    [("prog", UInt32), ("vers", UInt32), ("prot", UInt32), ("port", UInt32)],
+)
+
+CallitArgs = Struct(
+    "call_args",
+    [("prog", UInt32), ("vers", UInt32), ("proc", UInt32), ("args", Opaque())],
+)
+CallitRes = Struct("call_result", [("port", UInt32), ("res", Opaque())])
+
+
+class PortMapper:
+    """The pmap service plus, optionally, CALLIT relaying.
+
+    *local_dispatch* lets CALLIT forward to co-located programs: a
+    mapping from (prog, vers) to an RpcPeer-compatible dispatcher — in
+    this repository, the same peer that serves them.
+    """
+
+    def __init__(self, callit_peer: RpcPeer | None = None) -> None:
+        self._mappings: dict[tuple[int, int, int], int] = {}
+        self._callit_peer = callit_peer
+        self.program = self._build_program()
+
+    def _build_program(self) -> Program:
+        program = Program("portmap", PMAP_PROGRAM, PMAP_VERSION)
+        program.add_proc(PMAPPROC_SET, "SET", Mapping, Bool, self._set)
+        program.add_proc(PMAPPROC_UNSET, "UNSET", Mapping, Bool, self._unset)
+        program.add_proc(PMAPPROC_GETPORT, "GETPORT", Mapping, UInt32,
+                         self._getport)
+        program.add_proc(PMAPPROC_DUMP, "DUMP", VOID, Array(Mapping),
+                         self._dump)
+        if self._callit_peer is not None:
+            program.add_proc(PMAPPROC_CALLIT, "CALLIT", CallitArgs,
+                             CallitRes, self._callit)
+        return program
+
+    def _set(self, args: Record, ctx: CallContext) -> bool:
+        key = (args.prog, args.vers, args.prot)
+        if key in self._mappings:
+            return False  # first registration wins, per the RFC
+        self._mappings[key] = args.port
+        return True
+
+    def _unset(self, args: Record, ctx: CallContext) -> bool:
+        removed = False
+        for prot in (IPPROTO_TCP, IPPROTO_UDP):
+            removed |= self._mappings.pop(
+                (args.prog, args.vers, prot), None
+            ) is not None
+        return removed
+
+    def _getport(self, args: Record, ctx: CallContext) -> int:
+        return self._mappings.get((args.prog, args.vers, args.prot), 0)
+
+    def _dump(self, args, ctx: CallContext):
+        return [
+            Mapping.make(prog=prog, vers=vers, prot=prot, port=port)
+            for (prog, vers, prot), port in sorted(self._mappings.items())
+        ]
+
+    def _callit(self, args: Record, ctx: CallContext):
+        """Indirect call: relay to a local program, under OUR identity.
+
+        This is the firewall hazard: the original caller's credentials
+        are discarded and the target sees the portmapper as the caller.
+        """
+        assert self._callit_peer is not None
+        key = (args.prog, args.vers, IPPROTO_UDP)
+        port = self._mappings.get(key) or self._mappings.get(
+            (args.prog, args.vers, IPPROTO_TCP), 0
+        )
+        if not port:
+            raise RuntimeError("CALLIT target not registered")
+        raw = Opaque()
+        program = self._callit_peer._programs.get((args.prog, args.vers))
+        if program is None:
+            raise RuntimeError("CALLIT target not served here")
+        procedure = program.procedures[args.proc]
+        decoded = procedure.arg_codec.unpack(args.args)
+        result = procedure.handler(decoded, ctx)
+        return CallitRes.make(
+            port=port, res=procedure.res_codec.pack(result)
+        )
+
+
+class PortMapperClient:
+    """Client stubs for pmap queries."""
+
+    def __init__(self, peer: RpcPeer) -> None:
+        self._peer = peer
+
+    def set(self, prog: int, vers: int, prot: int, port: int) -> bool:
+        return self._peer.call(
+            PMAP_PROGRAM, PMAP_VERSION, PMAPPROC_SET, Mapping,
+            Mapping.make(prog=prog, vers=vers, prot=prot, port=port), Bool,
+        )
+
+    def unset(self, prog: int, vers: int) -> bool:
+        return self._peer.call(
+            PMAP_PROGRAM, PMAP_VERSION, PMAPPROC_UNSET, Mapping,
+            Mapping.make(prog=prog, vers=vers, prot=0, port=0), Bool,
+        )
+
+    def getport(self, prog: int, vers: int, prot: int = IPPROTO_TCP) -> int:
+        return self._peer.call(
+            PMAP_PROGRAM, PMAP_VERSION, PMAPPROC_GETPORT, Mapping,
+            Mapping.make(prog=prog, vers=vers, prot=prot, port=0), UInt32,
+        )
+
+    def dump(self) -> list[tuple[int, int, int, int]]:
+        mappings = self._peer.call(
+            PMAP_PROGRAM, PMAP_VERSION, PMAPPROC_DUMP, VOID, None,
+            Array(Mapping),
+        )
+        return [(m.prog, m.vers, m.prot, m.port) for m in mappings]
+
+    def callit(self, prog: int, vers: int, proc: int, arg_codec: Codec,
+               args, res_codec: Codec):
+        result = self._peer.call(
+            PMAP_PROGRAM, PMAP_VERSION, PMAPPROC_CALLIT, CallitArgs,
+            CallitArgs.make(prog=prog, vers=vers, proc=proc,
+                            args=arg_codec.pack(args)),
+            CallitRes,
+        )
+        return res_codec.unpack(result.res)

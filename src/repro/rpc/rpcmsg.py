@@ -1,0 +1,246 @@
+"""Sun RPC version 2 message format (RFC 1831), from scratch.
+
+Only the pieces SFS needs: CALL and REPLY messages, AUTH_NONE and
+AUTH_SYS credential flavors, and the accept/reject status hierarchy.
+Argument and result bodies are carried as raw trailing bytes so each
+program's codecs stay independent of the envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .xdr import Opaque, Packer, String, Unpacker, XdrError
+
+RPC_VERSION = 2
+
+CALL = 0
+REPLY = 1
+
+# Reply status
+MSG_ACCEPTED = 0
+MSG_DENIED = 1
+
+# Accept status
+SUCCESS = 0
+PROG_UNAVAIL = 1
+PROG_MISMATCH = 2
+PROC_UNAVAIL = 3
+GARBAGE_ARGS = 4
+SYSTEM_ERR = 5
+
+# Reject status
+RPC_MISMATCH = 0
+AUTH_ERROR = 1
+
+# Auth flavors
+AUTH_NONE = 0
+AUTH_SYS = 1
+
+_MAX_AUTH_BODY = 400
+
+
+class RpcMsgError(XdrError):
+    """Raised on malformed RPC envelopes."""
+
+
+@dataclass(frozen=True)
+class OpaqueAuth:
+    """An RPC authenticator: flavor + opaque body."""
+
+    flavor: int = AUTH_NONE
+    body: bytes = b""
+
+    def pack_into(self, packer: Packer) -> None:
+        packer.pack_uint32(self.flavor)
+        packer.pack_opaque(self.body, _MAX_AUTH_BODY)
+
+    @classmethod
+    def unpack_from(cls, unpacker: Unpacker) -> "OpaqueAuth":
+        flavor = unpacker.unpack_uint32()
+        body = unpacker.unpack_opaque(_MAX_AUTH_BODY)
+        return cls(flavor, body)
+
+
+NULL_AUTH = OpaqueAuth()
+
+
+@dataclass(frozen=True)
+class AuthSys:
+    """AUTH_SYS (a.k.a. AUTH_UNIX) credentials: the classic NFS identity."""
+
+    stamp: int = 0
+    machinename: str = "localhost"
+    uid: int = 0
+    gid: int = 0
+    gids: tuple[int, ...] = ()
+
+    def to_auth(self) -> OpaqueAuth:
+        packer = Packer()
+        packer.pack_uint32(self.stamp)
+        packer.pack_string(self.machinename, 255)
+        packer.pack_uint32(self.uid)
+        packer.pack_uint32(self.gid)
+        gids = self.gids[:16]
+        packer.pack_uint32(len(gids))
+        for gid in gids:
+            packer.pack_uint32(gid)
+        return OpaqueAuth(AUTH_SYS, packer.data())
+
+    @classmethod
+    def from_auth(cls, auth: OpaqueAuth) -> "AuthSys":
+        if auth.flavor != AUTH_SYS:
+            raise RpcMsgError("not an AUTH_SYS credential")
+        unpacker = Unpacker(auth.body)
+        stamp = unpacker.unpack_uint32()
+        machinename = unpacker.unpack_string(255)
+        uid = unpacker.unpack_uint32()
+        gid = unpacker.unpack_uint32()
+        count = unpacker.unpack_uint32()
+        if count > 16:
+            raise RpcMsgError("too many groups in AUTH_SYS")
+        gids = tuple(unpacker.unpack_uint32() for _ in range(count))
+        unpacker.done()
+        return cls(stamp, machinename, uid, gid, gids)
+
+
+@dataclass(frozen=True)
+class CallHeader:
+    """A parsed RPC CALL envelope (argument bytes carried separately)."""
+
+    xid: int
+    prog: int
+    vers: int
+    proc: int
+    cred: OpaqueAuth = NULL_AUTH
+    verf: OpaqueAuth = NULL_AUTH
+
+
+def pack_call(header: CallHeader, args: bytes) -> bytes:
+    packer = Packer()
+    packer.pack_uint32(header.xid)
+    packer.pack_uint32(CALL)
+    packer.pack_uint32(RPC_VERSION)
+    packer.pack_uint32(header.prog)
+    packer.pack_uint32(header.vers)
+    packer.pack_uint32(header.proc)
+    header.cred.pack_into(packer)
+    header.verf.pack_into(packer)
+    return packer.data() + args
+
+
+@dataclass(frozen=True)
+class ReplyHeader:
+    """A parsed RPC REPLY envelope (result bytes carried separately)."""
+
+    xid: int
+    reply_stat: int = MSG_ACCEPTED
+    accept_stat: int = SUCCESS
+    reject_stat: int = RPC_MISMATCH
+    auth_stat: int = 0
+    verf: OpaqueAuth = NULL_AUTH
+    mismatch_low: int = 0
+    mismatch_high: int = 0
+
+    @property
+    def successful(self) -> bool:
+        return self.reply_stat == MSG_ACCEPTED and self.accept_stat == SUCCESS
+
+
+def pack_reply(header: ReplyHeader, results: bytes = b"") -> bytes:
+    packer = Packer()
+    packer.pack_uint32(header.xid)
+    packer.pack_uint32(REPLY)
+    packer.pack_uint32(header.reply_stat)
+    if header.reply_stat == MSG_ACCEPTED:
+        header.verf.pack_into(packer)
+        packer.pack_uint32(header.accept_stat)
+        if header.accept_stat == PROG_MISMATCH:
+            packer.pack_uint32(header.mismatch_low)
+            packer.pack_uint32(header.mismatch_high)
+        elif header.accept_stat == SUCCESS:
+            return packer.data() + results
+    else:
+        packer.pack_uint32(header.reject_stat)
+        if header.reject_stat == RPC_MISMATCH:
+            packer.pack_uint32(header.mismatch_low)
+            packer.pack_uint32(header.mismatch_high)
+        else:
+            packer.pack_uint32(header.auth_stat)
+    return packer.data()
+
+
+@dataclass(frozen=True)
+class ParsedMessage:
+    """Either a CALL or a REPLY, with the trailing body bytes."""
+
+    mtype: int
+    call: CallHeader | None
+    reply: ReplyHeader | None
+    body: bytes
+
+
+def parse_message(data: bytes) -> ParsedMessage:
+    """Parse an RPC record into its envelope + trailing body bytes."""
+    unpacker = Unpacker(data)
+    xid = unpacker.unpack_uint32()
+    mtype = unpacker.unpack_uint32()
+    if mtype == CALL:
+        rpcvers = unpacker.unpack_uint32()
+        if rpcvers != RPC_VERSION:
+            raise RpcMsgError(f"unsupported RPC version {rpcvers}")
+        prog = unpacker.unpack_uint32()
+        vers = unpacker.unpack_uint32()
+        proc = unpacker.unpack_uint32()
+        cred = OpaqueAuth.unpack_from(unpacker)
+        verf = OpaqueAuth.unpack_from(unpacker)
+        body = data[len(data) - unpacker.remaining() :]
+        return ParsedMessage(
+            CALL, CallHeader(xid, prog, vers, proc, cred, verf), None, body
+        )
+    if mtype == REPLY:
+        reply_stat = unpacker.unpack_uint32()
+        if reply_stat == MSG_ACCEPTED:
+            verf = OpaqueAuth.unpack_from(unpacker)
+            accept_stat = unpacker.unpack_uint32()
+            low = high = 0
+            if accept_stat == PROG_MISMATCH:
+                low = unpacker.unpack_uint32()
+                high = unpacker.unpack_uint32()
+            body = data[len(data) - unpacker.remaining() :]
+            return ParsedMessage(
+                REPLY,
+                None,
+                ReplyHeader(
+                    xid,
+                    MSG_ACCEPTED,
+                    accept_stat,
+                    verf=verf,
+                    mismatch_low=low,
+                    mismatch_high=high,
+                ),
+                body,
+            )
+        if reply_stat == MSG_DENIED:
+            reject_stat = unpacker.unpack_uint32()
+            low = high = auth_stat = 0
+            if reject_stat == RPC_MISMATCH:
+                low = unpacker.unpack_uint32()
+                high = unpacker.unpack_uint32()
+            else:
+                auth_stat = unpacker.unpack_uint32()
+            return ParsedMessage(
+                REPLY,
+                None,
+                ReplyHeader(
+                    xid,
+                    MSG_DENIED,
+                    reject_stat=reject_stat,
+                    auth_stat=auth_stat,
+                    mismatch_low=low,
+                    mismatch_high=high,
+                ),
+                b"",
+            )
+        raise RpcMsgError(f"bad reply_stat {reply_stat}")
+    raise RpcMsgError(f"bad message type {mtype}")

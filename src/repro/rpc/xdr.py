@@ -1,0 +1,415 @@
+"""XDR — External Data Representation (RFC 1832), from scratch.
+
+All SFS programs "communicate with Sun RPC ... the exact bytes exchanged
+between programs are clearly and unambiguously described in the XDR
+protocol description language.  We also use XDR to define SFS's
+cryptographic protocols.  Any data that SFS hashes, signs, or public-key
+encrypts is defined as an XDR data structure; SFS computes the hash or
+public key function on the raw, marshaled bytes." (paper section 3.2)
+
+This module provides the byte-level :class:`Packer`/:class:`Unpacker`
+pair plus a declarative codec-combinator layer (:class:`Struct`,
+:class:`Union`, :class:`Array`, ...) used to describe every protocol in
+the repository.  Structs decode to :class:`Record` objects that offer
+attribute access, equality, and a readable repr — which also powers the
+RPC library's traffic pretty-printer.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Iterable, Mapping, Sequence
+
+UNLIMITED = 0xFFFFFFFF
+
+
+class XdrError(Exception):
+    """Raised on malformed XDR data or out-of-range values."""
+
+
+def _padding(length: int) -> int:
+    return (4 - length % 4) % 4
+
+
+class Packer:
+    """Serializes primitive XDR items into a growing byte buffer."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def data(self) -> bytes:
+        return b"".join(self._parts)
+
+    def pack_uint32(self, value: int) -> None:
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise XdrError(f"uint32 out of range: {value}")
+        self._parts.append(struct.pack(">I", value))
+
+    def pack_int32(self, value: int) -> None:
+        if not -0x80000000 <= value <= 0x7FFFFFFF:
+            raise XdrError(f"int32 out of range: {value}")
+        self._parts.append(struct.pack(">i", value))
+
+    def pack_uhyper(self, value: int) -> None:
+        if not 0 <= value <= 0xFFFFFFFFFFFFFFFF:
+            raise XdrError(f"uhyper out of range: {value}")
+        self._parts.append(struct.pack(">Q", value))
+
+    def pack_hyper(self, value: int) -> None:
+        if not -(1 << 63) <= value < (1 << 63):
+            raise XdrError(f"hyper out of range: {value}")
+        self._parts.append(struct.pack(">q", value))
+
+    def pack_bool(self, value: bool) -> None:
+        self.pack_uint32(1 if value else 0)
+
+    def pack_fixed_opaque(self, value: bytes, length: int) -> None:
+        if len(value) != length:
+            raise XdrError(f"fixed opaque must be {length} bytes, got {len(value)}")
+        self._parts.append(value + b"\x00" * _padding(length))
+
+    def pack_opaque(self, value: bytes, maximum: int = UNLIMITED) -> None:
+        if len(value) > maximum:
+            raise XdrError(f"opaque exceeds maximum {maximum}")
+        self.pack_uint32(len(value))
+        self._parts.append(value + b"\x00" * _padding(len(value)))
+
+    def pack_string(self, value: str, maximum: int = UNLIMITED) -> None:
+        self.pack_opaque(value.encode(), maximum)
+
+
+class Unpacker:
+    """Deserializes primitive XDR items from a byte buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._offset = 0
+
+    def done(self) -> None:
+        """Assert the whole buffer was consumed."""
+        if self._offset != len(self._data):
+            raise XdrError(
+                f"{len(self._data) - self._offset} unconsumed bytes after decode"
+            )
+
+    def remaining(self) -> int:
+        return len(self._data) - self._offset
+
+    def _take(self, count: int) -> bytes:
+        if self._offset + count > len(self._data):
+            raise XdrError("truncated XDR data")
+        chunk = self._data[self._offset : self._offset + count]
+        self._offset += count
+        return chunk
+
+    def unpack_uint32(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def unpack_int32(self) -> int:
+        return struct.unpack(">i", self._take(4))[0]
+
+    def unpack_uhyper(self) -> int:
+        return struct.unpack(">Q", self._take(8))[0]
+
+    def unpack_hyper(self) -> int:
+        return struct.unpack(">q", self._take(8))[0]
+
+    def unpack_bool(self) -> bool:
+        value = self.unpack_uint32()
+        if value not in (0, 1):
+            raise XdrError(f"bool must be 0 or 1, got {value}")
+        return bool(value)
+
+    def unpack_fixed_opaque(self, length: int) -> bytes:
+        value = self._take(length)
+        pad = self._take(_padding(length))
+        if any(pad):
+            raise XdrError("nonzero XDR padding")
+        return value
+
+    def unpack_opaque(self, maximum: int = UNLIMITED) -> bytes:
+        length = self.unpack_uint32()
+        if length > maximum:
+            raise XdrError(f"opaque length {length} exceeds maximum {maximum}")
+        return self.unpack_fixed_opaque(length)
+
+    def unpack_string(self, maximum: int = UNLIMITED) -> str:
+        raw = self.unpack_opaque(maximum)
+        try:
+            return raw.decode()
+        except UnicodeDecodeError as exc:
+            raise XdrError(f"string is not valid UTF-8: {exc}") from None
+
+
+class Record:
+    """A decoded XDR struct: attribute access, equality, readable repr."""
+
+    def __init__(self, **fields: Any) -> None:
+        self.__dict__.update(fields)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Record):
+            return self.__dict__ == other.__dict__
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.__dict__.items())
+        return f"Record({inner})"
+
+    def _asdict(self) -> dict[str, Any]:
+        return dict(self.__dict__)
+
+
+class Codec:
+    """Base class for declarative XDR codecs."""
+
+    def encode(self, packer: Packer, value: Any) -> None:
+        raise NotImplementedError
+
+    def decode(self, unpacker: Unpacker) -> Any:
+        raise NotImplementedError
+
+    def pack(self, value: Any) -> bytes:
+        """One-shot encode to bytes."""
+        packer = Packer()
+        self.encode(packer, value)
+        return packer.data()
+
+    def unpack(self, data: bytes) -> Any:
+        """One-shot decode from bytes (requires full consumption)."""
+        unpacker = Unpacker(data)
+        value = self.decode(unpacker)
+        unpacker.done()
+        return value
+
+
+class _Simple(Codec):
+    def __init__(self, packname: str, unpackname: str) -> None:
+        self._packname = packname
+        self._unpackname = unpackname
+
+    def encode(self, packer: Packer, value: Any) -> None:
+        getattr(packer, self._packname)(value)
+
+    def decode(self, unpacker: Unpacker) -> Any:
+        return getattr(unpacker, self._unpackname)()
+
+
+UInt32 = _Simple("pack_uint32", "unpack_uint32")
+Int32 = _Simple("pack_int32", "unpack_int32")
+UHyper = _Simple("pack_uhyper", "unpack_uhyper")
+Hyper = _Simple("pack_hyper", "unpack_hyper")
+Bool = _Simple("pack_bool", "unpack_bool")
+
+
+class Void(Codec):
+    """The XDR void type (no bytes on the wire)."""
+
+    def encode(self, packer: Packer, value: Any) -> None:
+        if value is not None:
+            raise XdrError("void takes no value")
+
+    def decode(self, unpacker: Unpacker) -> None:
+        return None
+
+
+VOID = Void()
+
+
+class Enum(Codec):
+    """An int32 constrained to a set of allowed values."""
+
+    def __init__(self, *values: int) -> None:
+        self._values = frozenset(values)
+
+    def encode(self, packer: Packer, value: int) -> None:
+        if value not in self._values:
+            raise XdrError(f"enum value {value} not allowed")
+        packer.pack_int32(value)
+
+    def decode(self, unpacker: Unpacker) -> int:
+        value = unpacker.unpack_int32()
+        if value not in self._values:
+            raise XdrError(f"enum value {value} not allowed")
+        return value
+
+
+class FixedOpaque(Codec):
+    def __init__(self, length: int) -> None:
+        self.length = length
+
+    def encode(self, packer: Packer, value: bytes) -> None:
+        packer.pack_fixed_opaque(value, self.length)
+
+    def decode(self, unpacker: Unpacker) -> bytes:
+        return unpacker.unpack_fixed_opaque(self.length)
+
+
+class Opaque(Codec):
+    def __init__(self, maximum: int = UNLIMITED) -> None:
+        self.maximum = maximum
+
+    def encode(self, packer: Packer, value: bytes) -> None:
+        packer.pack_opaque(value, self.maximum)
+
+    def decode(self, unpacker: Unpacker) -> bytes:
+        return unpacker.unpack_opaque(self.maximum)
+
+
+class String(Codec):
+    def __init__(self, maximum: int = UNLIMITED) -> None:
+        self.maximum = maximum
+
+    def encode(self, packer: Packer, value: str) -> None:
+        packer.pack_string(value, self.maximum)
+
+    def decode(self, unpacker: Unpacker) -> str:
+        return unpacker.unpack_string(self.maximum)
+
+
+class Array(Codec):
+    """Variable-length XDR array."""
+
+    def __init__(self, element: Codec, maximum: int = UNLIMITED) -> None:
+        self.element = element
+        self.maximum = maximum
+
+    def encode(self, packer: Packer, value: Sequence[Any]) -> None:
+        if len(value) > self.maximum:
+            raise XdrError(f"array exceeds maximum {self.maximum}")
+        packer.pack_uint32(len(value))
+        for item in value:
+            self.element.encode(packer, item)
+
+    def decode(self, unpacker: Unpacker) -> list[Any]:
+        length = unpacker.unpack_uint32()
+        if length > self.maximum:
+            raise XdrError(f"array length {length} exceeds maximum {self.maximum}")
+        return [self.element.decode(unpacker) for _ in range(length)]
+
+
+class FixedArray(Codec):
+    def __init__(self, element: Codec, length: int) -> None:
+        self.element = element
+        self.length = length
+
+    def encode(self, packer: Packer, value: Sequence[Any]) -> None:
+        if len(value) != self.length:
+            raise XdrError(f"fixed array must have {self.length} elements")
+        for item in value:
+            self.element.encode(packer, item)
+
+    def decode(self, unpacker: Unpacker) -> list[Any]:
+        return [self.element.decode(unpacker) for _ in range(self.length)]
+
+
+class Optional(Codec):
+    """XDR optional data (``*`` in the language): bool + value-if-present."""
+
+    def __init__(self, element: Codec) -> None:
+        self.element = element
+
+    def encode(self, packer: Packer, value: Any) -> None:
+        if value is None:
+            packer.pack_bool(False)
+        else:
+            packer.pack_bool(True)
+            self.element.encode(packer, value)
+
+    def decode(self, unpacker: Unpacker) -> Any:
+        if unpacker.unpack_bool():
+            return self.element.decode(unpacker)
+        return None
+
+
+class Struct(Codec):
+    """Named XDR struct; decodes to :class:`Record`.
+
+    Accepts either a mapping or any object with matching attributes when
+    encoding, so callers can pass dicts, Records, or dataclasses.
+    """
+
+    def __init__(self, name: str, fields: Iterable[tuple[str, Codec]]) -> None:
+        self.name = name
+        self.fields = list(fields)
+
+    def encode(self, packer: Packer, value: Any) -> None:
+        for field_name, codec in self.fields:
+            if isinstance(value, Mapping):
+                try:
+                    item = value[field_name]
+                except KeyError:
+                    raise XdrError(
+                        f"{self.name}: missing field {field_name!r}"
+                    ) from None
+            else:
+                try:
+                    item = getattr(value, field_name)
+                except AttributeError:
+                    raise XdrError(
+                        f"{self.name}: missing field {field_name!r}"
+                    ) from None
+            codec.encode(packer, item)
+
+    def decode(self, unpacker: Unpacker) -> Record:
+        return Record(
+            **{name: codec.decode(unpacker) for name, codec in self.fields}
+        )
+
+    def make(self, **fields: Any) -> Record:
+        """Build a Record for this struct, checking the field names."""
+        expected = {name for name, _ in self.fields}
+        given = set(fields)
+        if given != expected:
+            missing = expected - given
+            extra = given - expected
+            raise XdrError(
+                f"{self.name}: bad fields (missing={sorted(missing)}, "
+                f"extra={sorted(extra)})"
+            )
+        return Record(**fields)
+
+
+class Union(Codec):
+    """Discriminated XDR union.
+
+    Values are ``(discriminant, body)`` tuples.  *arms* maps discriminant
+    values to codecs (``None`` meaning void); *default* covers all other
+    discriminants (omit it to make unknown discriminants an error).
+    """
+
+    _NO_DEFAULT = object()
+
+    def __init__(
+        self,
+        name: str,
+        arms: Mapping[int, Codec | None],
+        default: Codec | None | object = _NO_DEFAULT,
+    ) -> None:
+        self.name = name
+        self.arms = dict(arms)
+        self.default = default
+
+    def _arm(self, disc: int) -> Codec | None:
+        if disc in self.arms:
+            return self.arms[disc]
+        if self.default is Union._NO_DEFAULT:
+            raise XdrError(f"{self.name}: unknown union discriminant {disc}")
+        return self.default  # type: ignore[return-value]
+
+    def encode(self, packer: Packer, value: tuple[int, Any]) -> None:
+        disc, body = value
+        codec = self._arm(disc)
+        packer.pack_uint32(disc)
+        if codec is None:
+            if body is not None:
+                raise XdrError(f"{self.name}: void arm takes no body")
+        else:
+            codec.encode(packer, body)
+
+    def decode(self, unpacker: Unpacker) -> tuple[int, Any]:
+        disc = unpacker.unpack_uint32()
+        codec = self._arm(disc)
+        if codec is None:
+            return disc, None
+        return disc, codec.decode(unpacker)

@@ -1,0 +1,34 @@
+"""Simulated machine substrate: virtual clock, disk model, and a network
+implementing the paper's attacker-controls-the-wire threat model."""
+
+from .clock import Clock, Stopwatch
+from .disk import Disk, DiskParameters
+from .network import (
+    Adversary,
+    DropAdversary,
+    Link,
+    LinkDown,
+    LinkSide,
+    NetworkParameters,
+    RecordingAdversary,
+    ReplayAdversary,
+    TamperAdversary,
+    link_pair,
+)
+
+__all__ = [
+    "Adversary",
+    "Clock",
+    "Disk",
+    "DiskParameters",
+    "DropAdversary",
+    "Link",
+    "LinkDown",
+    "LinkSide",
+    "NetworkParameters",
+    "RecordingAdversary",
+    "ReplayAdversary",
+    "Stopwatch",
+    "TamperAdversary",
+    "link_pair",
+]

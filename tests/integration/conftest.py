@@ -1,0 +1,27 @@
+"""Shared fixtures for integration tests: complete SFS worlds."""
+
+import pytest
+
+from repro.fs import pathops
+from repro.fs.memfs import Cred
+from repro.kernel.world import World
+
+
+@pytest.fixture
+def world():
+    return World(seed=2026)
+
+
+@pytest.fixture
+def standard_setup(world):
+    """One server with alice's account + home dir, one client with alice
+    logged in.  Returns (world, server, path, client, alice_proc)."""
+    server = world.add_server("sfs.lcs.mit.edu")
+    path = server.export_fs()
+    alice = server.add_user("alice", uid=1000)
+    home = pathops.mkdirs(server.fs, "/home/alice")
+    server.fs.setattr(home.ino, Cred(0, 0), uid=1000, gid=100)
+    pathops.write_file(server.fs, "/public.txt", b"world readable")
+    client = world.add_client("laptop")
+    proc = client.login_user("alice", alice.key, uid=1000)
+    return world, server, path, client, proc

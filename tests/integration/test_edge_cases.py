@@ -1,0 +1,172 @@
+"""Edge cases through the full stack: bad handles, big directories,
+paging, baseline mounts, PRG-driven key generation."""
+
+import errno
+
+import pytest
+
+from repro.core.server import make_sfs_cred
+from repro.fs import pathops
+from repro.fs.memfs import Cred
+from repro.kernel.vfs import KernelError
+from repro.kernel.world import World
+from repro.nfs3 import const as nfs_const
+from repro.nfs3 import types as nfs_types
+
+
+@pytest.fixture
+def world():
+    return World(seed=151)
+
+
+@pytest.fixture
+def stack(world):
+    server = world.add_server("edge.example.com")
+    path = server.export_fs()
+    work = pathops.mkdirs(server.fs, "/w")
+    server.fs.setattr(work.ino, Cred(0, 0), mode=0o777)
+    client = world.add_client("c")
+    client.new_agent("u", 1000)
+    proc = client.process(uid=1000)
+    return world, server, path, client, proc
+
+
+def test_corrupt_handle_through_relay(stack):
+    """A forged/corrupted handle sent through the secure channel comes
+    back NFS3ERR_BADHANDLE, not a crash or wrong file."""
+    world, server, path, client, proc = stack
+    proc.readdir(str(path))  # mount
+    mount = client.sfscd._mounts[path.hostid]
+    status, _body = mount.session.call_nfs(
+        nfs_const.NFSPROC3_GETATTR,
+        nfs_types.GetAttrArgs.make(object=b"\x13" * 24),
+        0,
+    )
+    assert status == nfs_const.NFS3ERR_BADHANDLE
+
+
+def test_large_directory_paging(stack):
+    """300 entries exceed one READDIR reply; the kernel pages with
+    cookies and sees every name exactly once."""
+    _world, server, path, _client, proc = stack
+    for index in range(300):
+        pathops.write_file(server.fs, f"/w/big/entry{index:03d}", b"")
+    names = proc.readdir(f"{path}/w/big")
+    assert len(names) == 300
+    assert len(set(names)) == 300
+    assert "entry000" in names and "entry299" in names
+
+
+def test_deep_nesting(stack):
+    _world, _server, path, _client, proc = stack
+    deep = f"{path}/w/" + "/".join(f"level{i}" for i in range(20))
+    proc.makedirs(deep)
+    proc.write_file(f"{deep}/leaf", b"deep down")
+    assert proc.read_file(f"{deep}/leaf") == b"deep down"
+
+
+def test_zero_byte_and_large_files(stack):
+    _world, _server, path, _client, proc = stack
+    proc.write_file(f"{path}/w/empty", b"")
+    assert proc.read_file(f"{path}/w/empty") == b""
+    blob = bytes(range(256)) * 300  # ~77 KB, many READ/WRITE RPCs
+    proc.write_file(f"{path}/w/large", blob)
+    assert proc.read_file(f"{path}/w/large") == blob
+
+
+def test_filenames_with_odd_characters(stack):
+    _world, _server, path, _client, proc = stack
+    for name in ("with space", "UTF-8-ñäme", "trailing.", "-dash",
+                 "a" * 200):
+        proc.write_file(f"{path}/w/{name}", b"ok")
+        assert proc.read_file(f"{path}/w/{name}") == b"ok"
+    names = set(proc.readdir(f"{path}/w"))
+    assert "with space" in names and "UTF-8-ñäme" in names
+
+
+def test_rename_across_sfs_mounts_is_exdev(world, stack):
+    _world, _server, path, client, proc = stack
+    other = world.add_server("second.example.com")
+    other_path = other.export_fs()
+    work = pathops.mkdirs(other.fs, "/w")
+    other.fs.setattr(work.ino, Cred(0, 0), mode=0o777)
+    proc.write_file(f"{path}/w/src", b"x")
+    with pytest.raises(KernelError) as excinfo:
+        proc.rename(f"{path}/w/src", f"{other_path}/w/dst")
+    assert excinfo.value.errno == errno.EXDEV
+
+
+def test_plain_nfs_baseline_via_mount_protocol(world):
+    """The benchmark baseline path: kernel MNTs and mounts over the wire."""
+    server = world.add_server("nfs-base.example.com")
+    server.export_fs()
+    pathops.write_file(server.fs, "/exported", b"plain old nfs")
+    client = world.add_client("c")
+    client.mount_nfs("/remote", server)
+    proc = client.root_process()
+    assert proc.read_file("/remote/exported") == b"plain old nfs"
+    proc.write_file("/remote/new", b"written over nfs")
+    assert pathops.read_file(server.fs, "/new") == b"written over nfs"
+
+
+def test_dss_prg_drives_key_generation():
+    """The DSS PRG satisfies the rng interface everywhere (keys, SRP)."""
+    from repro.crypto.prg import DSSRandom
+    from repro.crypto.rabin import generate_key
+    from repro.crypto.srp import SRPClient, SRPServer, Verifier
+
+    rng = DSSRandom(b"deterministic seed for keygen")
+    key = generate_key(640, rng)
+    assert key.public_key.verify(b"m", key.sign(b"m"))
+    verifier = Verifier.from_password("u", b"pw", rng, cost=2)
+    client = SRPClient("u", b"pw", rng)
+    server = SRPServer(verifier, rng)
+    salt, B, cost = server.challenge(client.start())
+    m2 = server.verify_client(client.process_challenge(salt, B, cost))
+    client.verify_server(m2)
+    assert client.session_key == server.session_key
+
+
+def test_authno_for_unknown_number_is_anonymous(stack):
+    """A forged authno in the cred field maps to anonymous, not to some
+    other user's credentials."""
+    _world, server, path, client, proc = stack
+    proc.readdir(str(path))
+    mount = client.sfscd._mounts[path.hostid]
+    pathops.write_file(server.fs, "/w/protected", b"x")
+    fs = server.fs
+    inode = pathops.resolve(fs, "/w/protected")
+    fs.setattr(inode.ino, Cred(0, 0), mode=0o600, uid=1000)
+    # Forge authno 999 (never assigned): server must treat as anonymous.
+    zero = bytes(24)
+    status, body = mount.session.call_nfs(
+        nfs_const.NFSPROC3_LOOKUP,
+        nfs_types.LookupArgs.make(
+            what=nfs_types.DirOpArgs.make(dir=zero, name=".")
+        ),
+        999,
+    )
+    assert status == nfs_const.NFS3_OK
+    root_fh = body.object
+    status, body = mount.session.call_nfs(
+        nfs_const.NFSPROC3_LOOKUP,
+        nfs_types.LookupArgs.make(
+            what=nfs_types.DirOpArgs.make(dir=root_fh, name="w")
+        ),
+        999,
+    )
+    w_fh = body.object
+    status, body = mount.session.call_nfs(
+        nfs_const.NFSPROC3_LOOKUP,
+        nfs_types.LookupArgs.make(
+            what=nfs_types.DirOpArgs.make(dir=w_fh, name="protected")
+        ),
+        999,
+    )
+    fh = body.object
+    status, _ = mount.session.call_nfs(
+        nfs_const.NFSPROC3_READ,
+        nfs_types.ReadArgs.make(file=fh, offset=0, count=10),
+        999,
+    )
+    assert status == nfs_const.NFS3ERR_ACCES

@@ -1,0 +1,151 @@
+"""Full-stack integration: kernel -> sfscd -> secure channel -> sfssd ->
+NFS -> MemFs, and the global-file-system-image properties of section 2.1."""
+
+import errno
+
+import pytest
+
+from repro.fs import pathops
+from repro.fs.memfs import Cred
+from repro.kernel.vfs import KernelError
+
+
+def test_read_write_through_full_stack(standard_setup):
+    _world, _server, path, _client, proc = standard_setup
+    target = f"{path}/home/alice/file.txt"
+    proc.write_file(target, b"end to end")
+    assert proc.read_file(target) == b"end to end"
+    st = proc.stat(target)
+    assert st.uid == 1000 and st.size == 10
+
+
+def test_directory_operations_remote(standard_setup):
+    _world, _server, path, _client, proc = standard_setup
+    base = f"{path}/home/alice"
+    proc.makedirs(f"{base}/project/src")
+    proc.write_file(f"{base}/project/src/main.c", b"int main(){}")
+    proc.symlink("src/main.c", f"{base}/project/entry")
+    assert proc.read_file(f"{base}/project/entry") == b"int main(){}"
+    assert sorted(proc.readdir(f"{base}/project")) == ["entry", "src"]
+    proc.rename(f"{base}/project/src/main.c", f"{base}/project/src/prog.c")
+    assert proc.readdir(f"{base}/project/src") == ["prog.c"]
+
+
+def test_same_name_on_every_client(standard_setup):
+    """The global file system image: a second client machine sees the
+    identical self-certifying pathname with no configuration."""
+    world, _server, path, _client, proc = standard_setup
+    proc.write_file(f"{path}/home/alice/shared", b"same everywhere")
+    client2 = world.add_client("other-machine")
+    client2.new_agent("guest", 5000)
+    guest = client2.process(uid=5000)
+    # anonymous read of a world-readable file, same pathname
+    assert guest.read_file(f"{path}/public.txt") == b"world readable"
+
+
+def test_server_authorizes_users_not_clients(standard_setup):
+    """"Servers grant access to users, not to clients": alice's
+    credentials work from any machine; strangers on the same machine get
+    anonymous access."""
+    world, server, path, client, proc = standard_setup
+    proc.write_file(f"{path}/home/alice/private", b"alice only")
+    proc.chmod(f"{path}/home/alice/private", 0o600)
+    stranger = client.process(uid=7777)  # same client, no agent
+    with pytest.raises(KernelError) as excinfo:
+        stranger.read_file(f"{path}/home/alice/private")
+    assert excinfo.value.errno == errno.EACCES
+
+
+def test_multiple_servers_simultaneously(world):
+    """Users can have accounts on multiple, independently administered
+    servers and access them all from one client."""
+    mit = world.add_server("sfs.lcs.mit.edu")
+    mit_path = mit.export_fs()
+    mit_user = mit.add_user("alice", uid=1000)
+    pathops.write_file(mit.fs, "/campus", b"mit data")
+
+    nyu = world.add_server("cs.nyu.edu")
+    nyu_path = nyu.export_fs()
+    nyu_user = nyu.add_user("am1234", uid=4242)
+    pathops.write_file(nyu.fs, "/campus", b"nyu data")
+
+    client = world.add_client("laptop")
+    agent = client.new_agent("alice", 1000)
+    agent.add_key(mit_user.key)
+    agent.add_key(nyu_user.key)  # one agent, two identities
+    proc = client.process(uid=1000)
+    assert proc.read_file(f"{mit_path}/campus") == b"mit data"
+    assert proc.read_file(f"{nyu_path}/campus") == b"nyu data"
+    # Each remote file system got its own device number.
+    assert proc.stat(str(mit_path)).fsid != proc.stat(str(nyu_path)).fsid
+
+
+def test_sfs_listing_is_per_agent(standard_setup):
+    world, _server, path, client, proc = standard_setup
+    proc.readdir(str(path))  # ensure referenced
+    assert path.mount_name in proc.readdir("/sfs")
+    # A different user on the same client sees an empty /sfs.
+    client.new_agent("bob", 2000)
+    bob = client.process(uid=2000)
+    assert path.mount_name not in bob.readdir("/sfs")
+    # After bob references it, it appears in his listing too.
+    bob.readdir(str(path))
+    assert path.mount_name in bob.readdir("/sfs")
+
+
+def test_pwd_returns_self_certifying_path(standard_setup):
+    _world, _server, path, _client, proc = standard_setup
+    proc.makedirs(f"{path}/home/alice/deep/dir")
+    proc.chdir(f"{path}/home/alice/deep/dir")
+    assert proc.getcwd() == f"{path}/home/alice/deep/dir"
+    assert proc.getcwd().startswith("/sfs/sfs.lcs.mit.edu:")
+
+
+def test_unknown_mount_name_is_noent(standard_setup):
+    _world, _server, _path, _client, proc = standard_setup
+    bogus = "/sfs/nonexistent.example.com:" + "2" * 32
+    with pytest.raises(KernelError) as excinfo:
+        proc.readdir(bogus)
+    assert excinfo.value.errno == errno.ENOENT
+
+
+def test_nonexistent_plain_name_is_noent(standard_setup):
+    _world, _server, _path, _client, proc = standard_setup
+    with pytest.raises(KernelError) as excinfo:
+        proc.read_file("/sfs/unresolvable-name/file")
+    assert excinfo.value.errno == errno.ENOENT
+
+
+def test_anonymous_access_when_permitted(standard_setup):
+    """Users without accounts fall back to anonymous credentials and can
+    still read world-readable data (paper section 2.5)."""
+    world, _server, path, _client, _proc = standard_setup
+    client2 = world.add_client("kiosk")
+    client2.new_agent("nobody", 999)  # agent with NO keys
+    nobody = client2.process(uid=999)
+    assert nobody.read_file(f"{path}/public.txt") == b"world readable"
+    with pytest.raises(KernelError):
+        nobody.write_file(f"{path}/public.txt", b"vandalism")
+
+
+def test_write_visible_across_clients(standard_setup):
+    world, server, path, _client, proc = standard_setup
+    proc.write_file(f"{path}/home/alice/note", b"from laptop")
+    client2 = world.add_client("desktop")
+    alice_key = None
+    # reuse alice's registered key by fetching it from the first agent
+    first_client = next(iter(world.clients.values()))
+    client2.new_agent("reader", 3000)
+    reader = client2.process(uid=3000)
+    proc.chmod(f"{path}/home/alice/note", 0o644)
+    assert reader.read_file(f"{path}/home/alice/note") == b"from laptop"
+
+
+def test_deep_paths_and_many_files(standard_setup):
+    _world, _server, path, _client, proc = standard_setup
+    base = f"{path}/home/alice"
+    for index in range(20):
+        proc.write_file(f"{base}/f{index:02d}", bytes([index]) * 100)
+    names = proc.readdir(base)
+    assert len([n for n in names if n.startswith("f")]) == 20
+    assert proc.read_file(f"{base}/f07") == b"\x07" * 100

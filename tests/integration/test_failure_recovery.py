@@ -1,0 +1,134 @@
+"""Failure injection: crashed daemons, dead servers, takeover (paper
+section 3.3: "The NFS mounter makes it difficult to lock up an SFS
+client — even when developing buggy daemons")."""
+
+import errno
+
+import pytest
+
+from repro.fs import pathops
+from repro.fs.memfs import Cred
+from repro.kernel.vfs import KernelError
+from repro.kernel.world import World
+
+
+@pytest.fixture
+def setup():
+    world = World(seed=81)
+    server = world.add_server("srv.example.com")
+    path = server.export_fs()
+    work = pathops.mkdirs(server.fs, "/w")
+    server.fs.setattr(work.ino, Cred(0, 0), mode=0o777)
+    client = world.add_client("c")
+    client.new_agent("u", 1000)
+    proc = client.process(uid=1000)
+    return world, server, path, client, proc
+
+
+def test_takeover_of_crashed_subordinate_daemon(setup):
+    """nfsmounter takes over a dead daemon's mount; the rest of the
+    system (other mounts, the local fs) keeps working."""
+    world, server, path, client, proc = setup
+    proc.write_file(f"{path}/w/file", b"before the crash")
+    mount_path = f"/sfs/{path.mount_name}"
+    assert client.mounter.takeover(mount_path)
+    # The defunct mount is gone; access now raises cleanly, not hangs.
+    with pytest.raises(KernelError):
+        proc.read_file(f"{path}/w/file")
+    # Local file system is unaffected.
+    root = client.root_process()
+    root.write_file("/local-still-works", b"yes")
+    assert root.read_file("/local-still-works") == b"yes"
+
+
+def test_other_mounts_survive_one_crash(setup):
+    world, server, path, client, proc = setup
+    other = world.add_server("other.example.com")
+    other_path = other.export_fs()
+    pathops.write_file(other.fs, "/alive", b"independent")
+    proc.write_file(f"{path}/w/f", b"x")
+    assert proc.read_file(f"{other_path}/alive") == b"independent"
+    client.mounter.takeover(f"/sfs/{path.mount_name}")
+    # "Using multiple mount points also prevents one slow server from
+    # affecting the performance of other servers."
+    assert proc.read_file(f"{other_path}/alive") == b"independent"
+
+
+def test_server_vanishes_mid_session(setup):
+    """A server whose links die mid-session produces I/O errors, not
+    hangs or wrong data."""
+    world, server, path, client, proc = setup
+    proc.write_file(f"{path}/w/f", b"x")
+    for link in world.links:
+        link.close()
+    with pytest.raises(KernelError) as excinfo:
+        proc.write_file(f"{path}/w/g", b"y")
+    assert excinfo.value.errno == errno.EIO
+
+
+def test_remount_after_takeover(setup):
+    """After a takeover, a *new* client session can mount the same
+    pathname again (the server is fine; only the daemon died)."""
+    world, server, path, client, proc = setup
+    proc.write_file(f"{path}/w/f", b"persistent")
+    client.mounter.takeover(f"/sfs/{path.mount_name}")
+    client2 = world.add_client("c2")
+    client2.new_agent("u", 1000)
+    proc2 = client2.process(uid=1000)
+    assert proc2.read_file(f"{path}/w/f") == b"persistent"
+
+
+def test_key_rotation_via_sfskey(setup):
+    """sfskey update: a user replaces their public key; the new key
+    logs in, the old one no longer does."""
+    from repro.core import proto, sfskey
+
+    world, server, path, client, proc = setup
+    server.authserver._unix_passwords["bob"] = "unix"
+    old = sfskey.prepare_enrolment("bob", b"pw-old", world.rng)
+    sfskey.register(world.connector, "srv.example.com", old, "unix",
+                    world.rng)
+    record = server.authserver.local_db.lookup_user("bob")
+    home = pathops.mkdirs(server.fs, "/home/bob")
+    server.fs.setattr(home.ino, Cred(0, 0), uid=record.uid, gid=100)
+
+    # Rotate: enrol a fresh key (existing users may replace their own).
+    new = sfskey.prepare_enrolment("bob", b"pw-new", world.rng)
+    sfskey.register(world.connector, "srv.example.com", new, "", world.rng)
+
+    # New key works...
+    c_new = world.add_client("c-new")
+    agent_new = c_new.new_agent("bob", record.uid)
+    agent_new.add_key(new.key)
+    proc_new = c_new.process(uid=record.uid)
+    proc_new.write_file(f"{path}/home/bob/f", b"rotated")
+
+    # ...the old key authenticates as nobody (anonymous).
+    c_old = world.add_client("c-old")
+    agent_old = c_old.new_agent("bob", record.uid)
+    agent_old.add_key(old.key)
+    proc_old = c_old.process(uid=record.uid)
+    with pytest.raises(KernelError):
+        proc_old.write_file(f"{path}/home/bob/g", b"stale key")
+
+
+def test_password_guessing_leaves_log_trail(setup):
+    """Footnote 3: "an attacker who guesses 1,000 passwords will
+    generate 1,000 log messages on the server"."""
+    from repro.core import sfskey
+
+    world, server, path, client, proc = setup
+    server.authserver._unix_passwords["carol"] = "unix"
+    enrolment = sfskey.prepare_enrolment("carol", b"the-password",
+                                         world.rng)
+    sfskey.register(world.connector, "srv.example.com", enrolment, "unix",
+                    world.rng)
+    attacker_client = world.add_client("attacker")
+    agent = attacker_client.new_agent("mallory", 6666)
+    guesses = [b"123456", b"password", b"letmein"]
+    for guess in guesses:
+        with pytest.raises(sfskey.SfsKeyError):
+            sfskey.add(world.connector, agent, "carol", "srv.example.com",
+                       guess, world.rng)
+    log = server.authserver.security_log
+    assert len([line for line in log if "carol" in line]) == len(guesses)

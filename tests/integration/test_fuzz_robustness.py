@@ -1,0 +1,110 @@
+"""Property-based robustness: garbage and adversarial bytes never crash
+a server or smuggle data through the secure channel."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.channel import SecureChannel
+from repro.fs.memfs import MemFs
+from repro.nfs3.client import Nfs3Client, Nfs3Error
+from repro.nfs3.server import Nfs3Server
+from repro.rpc.peer import Program, RpcError, RpcPeer
+from repro.rpc.rpcmsg import AuthSys, CallHeader, pack_call
+from repro.rpc.xdr import UInt32, VOID
+from repro.sim.clock import Clock
+from repro.sim.network import NetworkParameters, link_pair
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=100)
+def test_rpc_server_survives_garbage_records(data):
+    """Arbitrary bytes on the wire never crash the dispatcher, and the
+    connection keeps working afterwards."""
+    clock = Clock()
+    a, b = link_pair(clock, NetworkParameters.instant())
+    server = RpcPeer(b, "server")
+    program = Program("echo", 700000, 1)
+    program.add_proc(1, "ECHO", UInt32, UInt32, lambda args, ctx: args)
+    server.register(program)
+    client = RpcPeer(a, "client")
+    a.send(data)  # raw garbage straight onto the wire
+    assert client.call(700000, 1, 1, UInt32, 5, UInt32) == 5
+
+
+@given(st.binary(max_size=120))
+@settings(max_examples=100)
+def test_nfs_server_survives_garbage_args(body):
+    """A syntactically valid RPC CALL with random argument bytes gets
+    GARBAGE_ARGS or a clean NFS error — never a crash."""
+    clock = Clock()
+    a, b = link_pair(clock, NetworkParameters.instant())
+    nfsd = Nfs3Server(MemFs())
+    RpcPeer(b, "nfsd").register(nfsd.program)
+    client_peer = RpcPeer(a, "client")
+    header = CallHeader(xid=1, prog=100003, vers=3, proc=3,  # LOOKUP
+                        cred=AuthSys(uid=0, gid=0).to_auth())
+    replies = []
+    client_peer._pending[1] = None
+    a.send(pack_call(header, body))
+    # Either a parsed reply arrived (any status) or nothing — both fine;
+    # what matters is the server is still alive:
+    client = Nfs3Client(client_peer, AuthSys(uid=0, gid=0))
+    attrs = client.getattr(nfsd.root_handle())
+    assert attrs.fileid == 2
+
+
+@given(st.binary(min_size=1, max_size=300))
+@settings(max_examples=150)
+def test_channel_never_delivers_injected_bytes(data):
+    """No injected record — whatever its content — reaches the layer
+    above an intact secure channel."""
+    clock = Clock()
+    a, b = link_pair(clock, NetworkParameters.instant())
+    SecureChannel(a, send_key=b"c" * 20, recv_key=b"s" * 20)
+    receiver = SecureChannel(b, send_key=b"s" * 20, recv_key=b"c" * 20)
+    delivered = []
+    receiver.on_receive(delivered.append)
+    a.send(data)
+    assert delivered == []
+
+
+@given(st.integers(min_value=0, max_value=300),
+       st.integers(min_value=0, max_value=7))
+@settings(max_examples=60)
+def test_channel_bitflip_never_alters_payload(byte_index, bit):
+    """Flipping any single bit of a channel record either drops it or —
+    never — changes what gets delivered."""
+    clock = Clock()
+    captured = []
+
+    from repro.sim.network import Adversary
+
+    class Flip(Adversary):
+        def process(self, record, direction):
+            corrupted = bytearray(record)
+            corrupted[byte_index % len(corrupted)] ^= 1 << bit
+            return [bytes(corrupted)]
+
+    a, b = link_pair(clock, NetworkParameters.instant(), Flip())
+    sender = SecureChannel(a, send_key=b"c" * 20, recv_key=b"s" * 20)
+    receiver = SecureChannel(b, send_key=b"s" * 20, recv_key=b"c" * 20)
+    receiver.on_receive(captured.append)
+    payload = b"the one true payload"
+    sender.send(payload)
+    assert captured in ([], [payload])
+    # (and for a real flip, it is always [])
+    assert captured == [] or receiver.rejected_records == 0
+
+
+@given(st.lists(st.binary(max_size=64), min_size=1, max_size=6))
+@settings(max_examples=60)
+def test_channel_preserves_order_and_content(records):
+    clock = Clock()
+    a, b = link_pair(clock, NetworkParameters.instant())
+    sender = SecureChannel(a, send_key=b"c" * 20, recv_key=b"s" * 20)
+    receiver = SecureChannel(b, send_key=b"s" * 20, recv_key=b"c" * 20)
+    delivered = []
+    receiver.on_receive(delivered.append)
+    for record in records:
+        sender.send(record)
+    assert delivered == records

@@ -1,0 +1,88 @@
+"""Property-based end-to-end I/O: random write patterns through the full
+SFS stack (kernel -> sfscd -> secure channel -> sfssd -> nfsd -> MemFs)
+always read back exactly what a byte-array model predicts."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fs import pathops
+from repro.fs.memfs import Cred
+from repro.kernel.world import World
+
+_worlds = {}
+
+
+def _stack():
+    """One long-lived world per test session (hypothesis re-runs are
+    cheap file creations, not full-world rebuilds)."""
+    if "stack" not in _worlds:
+        world = World(seed=181)
+        server = world.add_server("prop.example.com")
+        path = server.export_fs()
+        work = pathops.mkdirs(server.fs, "/w")
+        server.fs.setattr(work.ino, Cred(0, 0), mode=0o777)
+        client = world.add_client("c")
+        client.new_agent("u", 1000)
+        proc = client.process(uid=1000)
+        _worlds["stack"] = (path, proc)
+        _worlds["counter"] = 0
+    _worlds["counter"] += 1
+    return _worlds["stack"], _worlds["counter"]
+
+
+@given(st.lists(
+    st.tuples(st.integers(min_value=0, max_value=30_000),
+              st.binary(min_size=1, max_size=2_000)),
+    min_size=1, max_size=8,
+))
+@settings(max_examples=25, deadline=None)
+def test_random_writes_match_model(writes):
+    (path, proc), serial = _stack()
+    name = f"{path}/w/prop{serial}"
+    model = bytearray()
+    fd = proc.open(name, "w")
+    for offset, data in writes:
+        proc.lseek(fd, offset)
+        proc.write(fd, data)
+        if len(model) < offset + len(data):
+            model.extend(bytes(offset + len(data) - len(model)))
+        model[offset : offset + len(data)] = data
+    proc.close(fd)
+    assert proc.stat(name).size == len(model)
+    assert proc.read_file(name) == bytes(model)
+    proc.unlink(name)
+
+
+@given(st.integers(min_value=0, max_value=40_000),
+       st.integers(min_value=0, max_value=40_000))
+@settings(max_examples=25, deadline=None)
+def test_random_reads_of_sparse_file(offset, count):
+    (path, proc), serial = _stack()
+    name = f"{path}/w/sparse{serial}"
+    proc.write_file(name, b"")
+    proc.truncate(name, 32_768)
+    fd = proc.open(name, "r")
+    proc.lseek(fd, offset)
+    data = proc.read(fd, count)
+    proc.close(fd)
+    expected_len = max(0, min(32_768 - offset, count))
+    assert data == bytes(expected_len)
+    proc.unlink(name)
+
+
+@given(st.lists(st.sampled_from(["a", "bb", "ccc", "dddd", "e-e"]),
+                min_size=1, max_size=5, unique=True))
+@settings(max_examples=20, deadline=None)
+def test_rename_chains_preserve_content(names):
+    (path, proc), serial = _stack()
+    base = f"{path}/w/chain{serial}"
+    proc.makedirs(base)
+    current = f"{base}/start"
+    body = f"chain {serial}".encode()
+    proc.write_file(current, body)
+    for name in names:
+        target = f"{base}/{name}"
+        proc.rename(current, target)
+        current = target
+    assert proc.read_file(current) == body
+    assert proc.readdir(base) == [current.rsplit("/", 1)[1]]

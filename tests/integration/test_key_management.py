@@ -1,0 +1,249 @@
+"""The key-management schemes of section 2.4, each exercised end to end.
+
+The point of the paper: all of these coexist on one file system, none
+needed file system support, and they compose ("people can bootstrap one
+key management mechanism using another").
+"""
+
+import errno
+
+import pytest
+
+from repro.core import sfskey
+from repro.core.pathnames import parse_path
+from repro.crypto.rabin import generate_key
+from repro.fs import pathops
+from repro.fs.memfs import Cred
+from repro.kernel.vfs import KernelError
+from repro.kernel.world import World
+from repro.keymgmt import (
+    CertificationAuthority,
+    SslBridgeResolver,
+    SslDirectory,
+    bookmark,
+    cd_bookmark,
+    install_link,
+    make_secure_link,
+    resolve_secure_link,
+    set_certification_path,
+)
+
+
+@pytest.fixture
+def world():
+    return World(seed=31)
+
+
+def make_server(world, location, files=None):
+    server = world.add_server(location)
+    path = server.export_fs()
+    for name, body in (files or {}).items():
+        pathops.write_file(server.fs, name, body)
+    return server, path
+
+
+# --- manual key distribution -----------------------------------------------
+
+def test_manual_key_distribution(world):
+    _server, path = make_server(world, "corp.example.com",
+                                {"/users/ann/notes": b"ann's notes"})
+    client = world.add_client("desktop")
+    install_link(client.root_process(), "/fs", path)
+    client.new_agent("ann", 1000)
+    ann = client.process(uid=1000)
+    # "Users in that environment would simply refer to files as /fs/..."
+    assert ann.read_file("/fs/users/ann/notes") == b"ann's notes"
+    assert resolve_secure_link(ann, "/fs") == path
+
+
+# --- secure links ------------------------------------------------------------
+
+def test_secure_links_cross_servers(world):
+    server_a, path_a = make_server(world, "a.example.com")
+    _server_b, path_b = make_server(world, "b.example.com",
+                                    {"/shared/doc": b"on server b"})
+    client = world.add_client("c")
+    client.new_agent("u", 1000)
+    proc = client.process(uid=1000)
+    # A symlink ON server a pointing AT server b's self-certifying path.
+    pathops.symlink(server_a.fs, "/partner",
+                    str(path_b) + "/shared")
+    assert proc.read_file(f"{path_a}/partner/doc") == b"on server b"
+
+
+# --- secure bookmarks -----------------------------------------------------------
+
+def test_bookmark_and_cd(world):
+    _server, path = make_server(world, "research.example.com",
+                                {"/lab/results": b"data"})
+    client = world.add_client("c")
+    root = client.root_process()
+    root.makedirs("/home/u1000")
+    root.chown("/home/u1000", 1000, 100)
+    client.new_agent("u", 1000)
+    proc = client.process(uid=1000)
+    proc.chdir(f"{path}/lab")
+    link = bookmark(proc)
+    assert link.endswith("/research.example.com")
+    # Later, "cd research.example.com" returns securely.
+    proc.chdir("/")
+    cwd = cd_bookmark(proc, "research.example.com")
+    assert cwd == str(path)
+    assert proc.read_file("lab/results") == b"data"
+
+
+def test_bookmark_outside_sfs_rejected(world):
+    from repro.keymgmt import BookmarkError
+
+    client = world.add_client("c")
+    proc = client.root_process()
+    proc.makedirs("/plain")
+    proc.chdir("/plain")
+    with pytest.raises(BookmarkError):
+        bookmark(proc)
+
+
+# --- certification authorities + certification paths ------------------------------
+
+def test_ca_certification_path_and_composition(world):
+    _acme, acme_path = make_server(world, "acme.com",
+                                   {"/catalog": b"anvils"})
+    ca = CertificationAuthority("verisign.com", world.rng)
+    ca.certify("acme", acme_path)
+    ca_host = world.add_server("verisign.com")
+    ca_path = ca_host.master.add_ro_export(ca.publish_image())
+
+    client = world.add_client("c")
+    install_link(client.root_process(), "/verisign", ca_path)
+    agent = client.new_agent("u", 1000)
+    set_certification_path(agent, ["/verisign"])
+    proc = client.process(uid=1000)
+
+    # Browsing through the CA link...
+    assert proc.read_file("/verisign/acme/catalog") == b"anvils"
+    # ...and through the agent's certification path (bare /sfs names).
+    assert proc.read_file("/sfs/acme/catalog") == b"anvils"
+    # The manufactured symlink is visible (and user-scoped).
+    assert "acme" in proc.readdir("/sfs")
+    other = client.process(uid=2000)
+    assert "acme" not in other.readdir("/sfs")
+
+
+def test_certification_path_bootstraps_from_password(world):
+    """Composition: a symlink retrieved via password auth (sfskey) can
+    serve as a certification-path entry for other names."""
+    server, path = make_server(world, "sfs.lcs.mit.edu")
+    _acme, acme_path = make_server(world, "acme.com", {"/x": b"1"})
+    # The MIT server's admins maintain a links directory.
+    pathops.symlink(server.fs, "/links/acme", str(acme_path))
+
+    server.authserver._unix_passwords["alice"] = "unix"
+    enrolment = sfskey.prepare_enrolment("alice", b"pw", world.rng)
+    sfskey.register(world.connector, "sfs.lcs.mit.edu", enrolment,
+                    "unix", world.rng)
+
+    client = world.add_client("c")
+    agent = client.new_agent("alice", 1000)
+    sfskey.add(world.connector, agent, "alice", "sfs.lcs.mit.edu",
+               b"pw", world.rng)
+    # Use the password-derived link as a certification path root.
+    set_certification_path(agent, ["/sfs/sfs.lcs.mit.edu/links"])
+    proc = client.process(uid=1000)
+    assert proc.read_file("/sfs/acme/x") == b"1"
+
+
+# --- password authentication (sfskey) -----------------------------------------------
+
+def test_sfskey_travel_flow(world):
+    server, path = make_server(world, "sfs.lcs.mit.edu")
+    server.authserver._unix_passwords["alice"] = "unixpw"
+    enrolment = sfskey.prepare_enrolment("alice", b"travelpw", world.rng)
+    sfskey.register(world.connector, "sfs.lcs.mit.edu", enrolment,
+                    "unixpw", world.rng)
+    record = server.authserver.local_db.lookup_user("alice")
+    home = pathops.mkdirs(server.fs, "/home/alice")
+    server.fs.setattr(home.ino, Cred(0, 0), uid=record.uid, gid=100)
+
+    lab = world.add_client("lab-machine")
+    agent = lab.new_agent("alice", record.uid)
+    result = sfskey.add(world.connector, agent, "alice",
+                        "sfs.lcs.mit.edu", b"travelpw", world.rng)
+    assert parse_path(result.pathname) == path
+    assert agent.key_count == 1
+    proc = lab.process(uid=record.uid)
+    proc.write_file("/sfs/sfs.lcs.mit.edu/home/alice/work", b"done")
+    assert proc.stat(f"{path}/home/alice/work").uid == record.uid
+
+
+def test_sfskey_wrong_password(world):
+    server, _path = make_server(world, "sfs.lcs.mit.edu")
+    server.authserver._unix_passwords["alice"] = "unixpw"
+    enrolment = sfskey.prepare_enrolment("alice", b"right", world.rng)
+    sfskey.register(world.connector, "sfs.lcs.mit.edu", enrolment,
+                    "unixpw", world.rng)
+    client = world.add_client("c")
+    agent = client.new_agent("alice", 1000)
+    with pytest.raises(sfskey.SfsKeyError):
+        sfskey.add(world.connector, agent, "alice", "sfs.lcs.mit.edu",
+                   b"wrong", world.rng)
+    assert agent.key_count == 0
+
+
+def test_sfskey_unknown_user(world):
+    make_server(world, "sfs.lcs.mit.edu")
+    client = world.add_client("c")
+    agent = client.new_agent("ghost", 1000)
+    with pytest.raises(sfskey.SfsKeyError):
+        sfskey.add(world.connector, agent, "ghost", "sfs.lcs.mit.edu",
+                   b"pw", world.rng)
+
+
+def test_register_requires_unix_password(world):
+    make_server(world, "sfs.lcs.mit.edu")
+    enrolment = sfskey.prepare_enrolment("eve", b"pw", world.rng)
+    with pytest.raises(sfskey.SfsKeyError):
+        sfskey.register(world.connector, "sfs.lcs.mit.edu", enrolment,
+                        "guessed", world.rng)
+
+
+# --- external PKI bridge ----------------------------------------------------------------
+
+def test_ssl_bridge_resolver(world):
+    _server, path = make_server(world, "shop.example.com",
+                                {"/store": b"open for business"})
+    host_key = world.servers["shop.example.com"].master.rw_export(
+        path.hostid
+    ).key
+    ssl_ca_key = generate_key(768, world.rng)
+    directory = SslDirectory(ssl_ca_key)
+    directory.issue("shop.example.com", host_key.public_key)
+
+    client = world.add_client("c")
+    agent = client.new_agent("u", 1000)
+    resolver = SslBridgeResolver(directory, ssl_ca_key.public_key)
+    agent.add_resolver(resolver)
+    proc = client.process(uid=1000)
+    assert proc.read_file("/sfs/shop.example.com.ssl/store") == (
+        b"open for business"
+    )
+    assert resolver.resolutions == 1
+
+
+def test_ssl_bridge_rejects_untrusted_ca(world):
+    _server, path = make_server(world, "shop.example.com", {"/store": b"x"})
+    host_key = world.servers["shop.example.com"].master.rw_export(
+        path.hostid
+    ).key
+    rogue_ca = generate_key(768, world.rng)
+    trusted_ca = generate_key(768, world.rng)
+    directory = SslDirectory(rogue_ca)  # certificates signed by rogue
+    directory.issue("shop.example.com", host_key.public_key)
+    client = world.add_client("c")
+    agent = client.new_agent("u", 1000)
+    resolver = SslBridgeResolver(directory, trusted_ca.public_key)
+    agent.add_resolver(resolver)
+    proc = client.process(uid=1000)
+    with pytest.raises(KernelError) as excinfo:
+        proc.read_file("/sfs/shop.example.com.ssl/store")
+    assert excinfo.value.errno == errno.ENOENT
+    assert resolver.rejected == 1

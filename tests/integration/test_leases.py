@@ -1,0 +1,119 @@
+"""Lease caching and server invalidation callbacks (paper section 3.3)."""
+
+import pytest
+
+from repro.fs import pathops
+from repro.fs.memfs import Cred
+from repro.kernel.world import World
+
+
+@pytest.fixture
+def two_clients():
+    world = World(seed=61)
+    server = world.add_server("cache.example.com")
+    path = server.export_fs(lease_duration=1000.0)
+    work = pathops.mkdirs(server.fs, "/shared")
+    server.fs.setattr(work.ino, Cred(0, 0), mode=0o777)
+    c1 = world.add_client("c1")
+    c1.new_agent("u", 1000)
+    p1 = c1.process(uid=1000)
+    c2 = world.add_client("c2")
+    c2.new_agent("u", 1000)
+    p2 = c2.process(uid=1000)
+    return world, server, path, c1, p1, c2, p2
+
+
+def _mount_of(client, path):
+    return client.sfscd._mounts[path.hostid]
+
+
+def test_attribute_cache_absorbs_repeat_stats(two_clients):
+    _world, _server, path, c1, p1, _c2, _p2 = two_clients
+    p1.write_file(f"{path}/shared/f", b"data")
+    mount = _mount_of(c1, path)
+    before = mount.rpcs_relayed
+    for _ in range(10):
+        p1.stat(f"{path}/shared/f")
+    absorbed = mount.caches.attrs.hits + mount.caches.lookups.hits
+    assert absorbed > 0
+    # Far fewer wire RPCs than the 10 stats would naively need.
+    assert mount.rpcs_relayed - before < 10
+
+
+def test_invalidation_callback_on_remote_write(two_clients):
+    """When client 2 writes, the server calls back to client 1 (which
+    has a lease) without waiting for acknowledgment."""
+    _world, server, path, c1, p1, _c2, p2 = two_clients
+    p1.write_file(f"{path}/shared/f", b"version 1")
+    p1.stat(f"{path}/shared/f")  # c1 now caches attributes
+    mount1 = _mount_of(c1, path)
+    invalidations_before = mount1.caches.attrs.invalidations
+
+    p2.write_file(f"{path}/shared/f", b"version 2 is longer")
+
+    connection_count = len(server.master.rw_export(path.hostid).connections)
+    assert connection_count == 2
+    sent = sum(
+        conn.invalidations_sent
+        for conn in server.master.rw_export(path.hostid).connections
+    )
+    assert sent > 0, "server must have issued callbacks"
+    # And client 1 sees fresh data + fresh attributes immediately.
+    assert p1.read_file(f"{path}/shared/f") == b"version 2 is longer"
+    assert p1.stat(f"{path}/shared/f").size == 19
+
+
+def test_leases_expire_with_clock(two_clients):
+    world, _server, path, c1, p1, _c2, _p2 = two_clients
+    p1.write_file(f"{path}/shared/g", b"x")
+    p1.stat(f"{path}/shared/g")
+    mount = _mount_of(c1, path)
+    hits_before = mount.caches.attrs.hits
+    p1.stat(f"{path}/shared/g")
+    assert mount.caches.attrs.hits > hits_before  # cache is live
+    world.clock.advance(2000.0)  # beyond the lease
+    misses_before = mount.caches.attrs.misses
+    p1.stat(f"{path}/shared/g")
+    assert mount.caches.attrs.misses > misses_before  # lease expired
+
+
+def test_local_writes_invalidate_own_cache(two_clients):
+    _world, _server, path, c1, p1, _c2, _p2 = two_clients
+    p1.write_file(f"{path}/shared/h", b"short")
+    assert p1.stat(f"{path}/shared/h").size == 5
+    p1.write_file(f"{path}/shared/h", b"much longer contents")
+    assert p1.stat(f"{path}/shared/h").size == 20
+
+
+def test_caching_disabled_goes_to_server_every_time():
+    world = World(seed=62)
+    server = world.add_server("nocache.example.com")
+    path = server.export_fs()
+    work = pathops.mkdirs(server.fs, "/w")
+    server.fs.setattr(work.ino, Cred(0, 0), mode=0o777)
+    client = world.add_client("c", caching=False)
+    client.new_agent("u", 1000)
+    proc = client.process(uid=1000)
+    proc.write_file(f"{path}/w/f", b"1")
+    mount = client.sfscd._mounts[path.hostid]
+    before = mount.rpcs_relayed
+    for _ in range(5):
+        proc.stat(f"{path}/w/f")
+    assert mount.caches.attrs.hits == 0
+    assert mount.rpcs_relayed - before >= 5
+
+
+def test_access_cache_is_per_uid(two_clients):
+    _world, _server, path, c1, p1, c2, _p2 = two_clients
+    p1.write_file(f"{path}/shared/k", b"x")
+    mount = _mount_of(c1, path)
+    p1.access(f"{path}/shared/k", 0x1)
+    hits_before = mount.caches.access.hits
+    p1.access(f"{path}/shared/k", 0x1)
+    assert mount.caches.access.hits > hits_before
+    # A different uid's identical access query is a separate entry.
+    c1.new_agent("v", 2000)
+    other = c1.process(uid=2000)
+    misses_before = mount.caches.access.misses
+    other.access(f"{path}/shared/k", 0x1)
+    assert mount.caches.access.misses > misses_before

@@ -1,0 +1,132 @@
+"""The read-only dialect end to end: CAs, mirrors, tampering detection."""
+
+import errno
+
+import pytest
+
+from repro.core.readonly import publish
+from repro.crypto.rabin import generate_key
+from repro.fs import pathops
+from repro.fs.memfs import MemFs
+from repro.kernel.vfs import KernelError
+from repro.kernel.world import World
+
+
+@pytest.fixture
+def world():
+    return World(seed=51)
+
+
+def make_image(world, location="ro.example.com"):
+    key = generate_key(768, world.rng)
+    fs = MemFs()
+    pathops.write_file(fs, "/docs/guide.txt", b"how to use sfs")
+    pathops.write_file(fs, "/docs/big.bin", bytes(range(256)) * 64)
+    pathops.symlink(fs, "/current", "docs")
+    return publish(fs, key, location), key
+
+
+def test_mount_and_read_readonly(world):
+    image, _key = make_image(world)
+    host = world.add_server("ro.example.com")
+    path = host.master.add_ro_export(image)
+    client = world.add_client("c")
+    client.new_agent("u", 1000)
+    proc = client.process(uid=1000)
+    assert proc.read_file(f"{path}/docs/guide.txt") == b"how to use sfs"
+    assert proc.read_file(f"{path}/current/guide.txt") == b"how to use sfs"
+    assert sorted(proc.readdir(f"{path}/docs")) == ["big.bin", "guide.txt"]
+    st = proc.stat(f"{path}/docs/big.bin")
+    assert st.size == 256 * 64
+    assert proc.lstat(f"{path}/current").is_symlink
+
+
+def test_readonly_rejects_writes(world):
+    image, _key = make_image(world)
+    host = world.add_server("ro.example.com")
+    path = host.master.add_ro_export(image)
+    client = world.add_client("c")
+    client.new_agent("u", 1000)
+    proc = client.process(uid=1000)
+    proc.readdir(str(path))  # mount
+    with pytest.raises(KernelError) as excinfo:
+        proc.write_file(f"{path}/newfile", b"nope")
+    assert excinfo.value.errno == errno.EROFS
+    with pytest.raises(KernelError):
+        proc.unlink(f"{path}/docs/guide.txt")
+    with pytest.raises(KernelError):
+        proc.mkdir(f"{path}/newdir")
+
+
+def test_untrusted_mirror_serves_verified_data(world):
+    image, _key = make_image(world)
+    mirror = world.add_server("volunteer.mirror.net")
+    path = mirror.master.add_ro_export(image.replicate())
+    world.route("ro.example.com", mirror)
+    client = world.add_client("c")
+    client.new_agent("u", 1000)
+    proc = client.process(uid=1000)
+    assert proc.read_file(f"{path}/docs/guide.txt") == b"how to use sfs"
+
+
+def test_tampered_mirror_detected(world):
+    image, _key = make_image(world)
+    evil = image.replicate()
+    for digest, blob in list(evil.store.items()):
+        if b"how to use sfs" in blob:
+            evil.store[digest] = blob.replace(b"sfs", b"nfs")
+    mirror = world.add_server("evil.mirror.net")
+    path = mirror.master.add_ro_export(evil)
+    world.route("ro.example.com", mirror)
+    client = world.add_client("c")
+    client.new_agent("u", 1000)
+    proc = client.process(uid=1000)
+    with pytest.raises(KernelError):
+        proc.read_file(f"{path}/docs/guide.txt")
+
+
+def test_mirror_with_wrong_signature_rejected_at_mount(world):
+    image, _key = make_image(world)
+    evil = image.replicate()
+    evil.signature = bytes(len(evil.signature))
+    mirror = world.add_server("bad.mirror.net")
+    path = mirror.master.add_ro_export(evil)
+    world.route("ro.example.com", mirror)
+    client = world.add_client("c")
+    client.new_agent("u", 1000)
+    proc = client.process(uid=1000)
+    with pytest.raises(KernelError) as excinfo:
+        proc.readdir(str(path))
+    assert excinfo.value.errno == errno.ENOENT  # mount refused
+
+
+def test_new_version_republish(world):
+    key = generate_key(768, world.rng)
+    fs = MemFs()
+    pathops.write_file(fs, "/version", b"v1")
+    image1 = publish(fs, key, "rel.example.com", serial=1)
+    pathops.write_file(fs, "/version", b"v2")
+    image2 = publish(fs, key, "rel.example.com", serial=2)
+    assert image1.root_digest != image2.root_digest
+    assert image2.serial == 2
+    host = world.add_server("rel.example.com")
+    path = host.master.add_ro_export(image2)
+    client = world.add_client("c")
+    client.new_agent("u", 1000)
+    proc = client.process(uid=1000)
+    assert proc.read_file(f"{path}/version") == b"v2"
+
+
+def test_readonly_and_readwrite_coexist(world):
+    """One server master serves both dialects side by side."""
+    host = world.add_server("multi.example.com")
+    rw_path = host.export_fs()
+    pathops.write_file(host.fs, "/rw-file", b"writable world")
+    image, _key = make_image(world, location="multi.example.com")
+    ro_path = host.master.add_ro_export(image)
+    assert rw_path.hostid != ro_path.hostid
+    client = world.add_client("c")
+    client.new_agent("u", 1000)
+    proc = client.process(uid=1000)
+    assert proc.read_file(f"{rw_path}/rw-file") == b"writable world"
+    assert proc.read_file(f"{ro_path}/docs/guide.txt") == b"how to use sfs"

@@ -1,0 +1,87 @@
+"""Tests for ARC4 (repro.crypto.arc4), including the SFS key-schedule
+variant for 20-byte keys."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.arc4 import ARC4
+
+# RFC 6229 test vectors (single-spin keystreams).
+RFC6229 = [
+    (bytes.fromhex("0102030405"), 0,
+     "b2396305f03dc027ccc3524a0a1118a8"),
+    (bytes.fromhex("0102030405060708"), 0,
+     "97ab8a1bf0afb96132f2f67258da15a8"),
+    (bytes.fromhex("0102030405060708090a0b0c0d0e0f10"), 0,
+     "9ac7cc9a609d1ef7b2932899cde41b97"),
+    (bytes.fromhex("0102030405060708090a0b0c0d0e0f101112131415161718"
+                   "191a1b1c1d1e1f20"), 0,
+     "eaa6bd25880bf93d3f5d1e4ca2611d91"),
+]
+
+
+@pytest.mark.parametrize("key,offset,expected", RFC6229)
+def test_rfc6229_keystream(key, offset, expected):
+    cipher = ARC4(key, spins=1)
+    cipher.keystream(offset)
+    assert cipher.keystream(16).hex() == expected
+
+
+def test_sfs_20_byte_key_spins_twice():
+    key = b"K" * 20
+    double = ARC4(key)                 # default: ceil(160/128) = 2 spins
+    single = ARC4(key, spins=1)
+    explicit = ARC4(key, spins=2)
+    assert double.keystream(32) == explicit.keystream(32)
+    assert ARC4(key).keystream(32) != single.keystream(32)
+
+
+def test_16_byte_key_defaults_to_single_spin():
+    key = b"k" * 16
+    assert ARC4(key).keystream(16) == ARC4(key, spins=1).keystream(16)
+
+
+def test_encrypt_decrypt_are_symmetric():
+    data = b"the length, message, and MAC all get encrypted"
+    ciphertext = ARC4(b"secret key").encrypt(data)
+    assert ciphertext != data
+    assert ARC4(b"secret key").decrypt(ciphertext) == data
+
+
+def test_stream_is_stateful():
+    cipher = ARC4(b"secret key")
+    first = cipher.process(b"AAAA")
+    second = cipher.process(b"AAAA")
+    assert first != second  # keystream advanced
+
+
+def test_empty_input():
+    assert ARC4(b"k").process(b"") == b""
+
+
+@pytest.mark.parametrize("key", [b"", b"x" * 257])
+def test_invalid_keys_rejected(key):
+    with pytest.raises(ValueError):
+        ARC4(key)
+
+
+@given(st.binary(min_size=1, max_size=64), st.binary(max_size=512))
+def test_roundtrip_property(key, data):
+    assert ARC4(key).decrypt(ARC4(key).encrypt(data)) == data
+
+
+@given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=256))
+def test_process_equals_bytewise_xor(key, data):
+    stream = ARC4(key).keystream(len(data))
+    expected = bytes(a ^ b for a, b in zip(data, stream))
+    assert ARC4(key).process(data) == expected
+
+
+@given(st.binary(min_size=1, max_size=32),
+       st.lists(st.integers(min_value=0, max_value=64), max_size=6))
+def test_keystream_chunking_invariance(key, chunks):
+    total = sum(chunks)
+    whole = ARC4(key).keystream(total)
+    cipher = ARC4(key)
+    pieces = b"".join(cipher.keystream(n) for n in chunks)
+    assert pieces == whole

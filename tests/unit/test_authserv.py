@@ -1,0 +1,212 @@
+"""Tests for the authserver (repro.core.authserv) and figure 4's
+validation logic."""
+
+import random
+
+import pytest
+
+from repro.core import proto
+from repro.core.authserv import (
+    AuthServer,
+    KeyDatabase,
+    PrivateRecord,
+    SrpSession,
+    UserRecord,
+)
+from repro.core.sealing import unseal
+from repro.crypto.rabin import generate_key
+from repro.crypto.sha1 import sha1
+from repro.crypto.srp import SRPClient, Verifier
+
+
+@pytest.fixture(scope="module")
+def user_key():
+    return generate_key(768, random.Random(70))
+
+
+@pytest.fixture
+def authserver():
+    return AuthServer(random.Random(71), pathname="/sfs/host:" + "2" * 32)
+
+
+def make_authmsg(key, authid: bytes, seqno: int) -> bytes:
+    signed = proto.SignedAuthReq.pack(proto.SignedAuthReq.make(
+        req_type="SignedAuthReq", authid=authid, seqno=seqno,
+    ))
+    return proto.AuthMsg.pack(proto.AuthMsg.make(
+        signed_req=signed,
+        public_key=key.public_key.to_bytes(),
+        signature=key.sign(signed),
+    ))
+
+
+def register_user(authserver, key, user="alice", uid=1000):
+    record = UserRecord(user, uid, 100, (), key.public_key.to_bytes())
+    authserver.local_db.add_user(record)
+    return record
+
+
+def test_validate_accepts_good_request(authserver, user_key):
+    register_user(authserver, user_key)
+    authid = sha1(b"some-authinfo")
+    msg = make_authmsg(user_key, authid, 7)
+    record = authserver.validate(authid, 7, msg)
+    assert record is not None
+    assert record.user == "alice"
+    assert record.uid == 1000
+    assert authserver.failed_validations == 0
+
+
+def test_validate_rejects_unknown_key(authserver, user_key):
+    authid = sha1(b"info")
+    msg = make_authmsg(user_key, authid, 1)
+    assert authserver.validate(authid, 1, msg) is None
+    assert authserver.failed_validations == 1
+
+
+def test_validate_rejects_wrong_authid(authserver, user_key):
+    register_user(authserver, user_key)
+    msg = make_authmsg(user_key, sha1(b"session A"), 1)
+    assert authserver.validate(sha1(b"session B"), 1, msg) is None
+
+
+def test_validate_rejects_wrong_seqno(authserver, user_key):
+    register_user(authserver, user_key)
+    authid = sha1(b"info")
+    msg = make_authmsg(user_key, authid, 5)
+    assert authserver.validate(authid, 6, msg) is None
+
+
+def test_validate_rejects_bad_signature(authserver, user_key):
+    register_user(authserver, user_key)
+    authid = sha1(b"info")
+    signed = proto.SignedAuthReq.pack(proto.SignedAuthReq.make(
+        req_type="SignedAuthReq", authid=authid, seqno=1,
+    ))
+    msg = proto.AuthMsg.pack(proto.AuthMsg.make(
+        signed_req=signed,
+        public_key=user_key.public_key.to_bytes(),
+        signature=bytes(user_key.public_key.size + 1),
+    ))
+    assert authserver.validate(authid, 1, msg) is None
+
+
+def test_validate_rejects_garbage(authserver):
+    assert authserver.validate(sha1(b"x"), 1, b"not an authmsg") is None
+
+
+def test_validate_rejects_wrong_req_type(authserver, user_key):
+    register_user(authserver, user_key)
+    authid = sha1(b"info")
+    signed = proto.SignedAuthReq.pack(proto.SignedAuthReq.make(
+        req_type="SomethingElse", authid=authid, seqno=1,
+    ))
+    msg = proto.AuthMsg.pack(proto.AuthMsg.make(
+        signed_req=signed,
+        public_key=user_key.public_key.to_bytes(),
+        signature=user_key.sign(signed),
+    ))
+    assert authserver.validate(authid, 1, msg) is None
+
+
+def test_multiple_databases_searched(authserver, user_key):
+    remote = KeyDatabase("imported", writable=False)
+    remote.add_user(UserRecord("bob", 2000, 100, (),
+                               user_key.public_key.to_bytes()))
+    authserver.attach_database(remote)
+    authid = sha1(b"info")
+    msg = make_authmsg(user_key, authid, 3)
+    record = authserver.validate(authid, 3, msg)
+    assert record is not None and record.user == "bob"
+
+
+def test_public_copy_strips_private_data(user_key):
+    db = KeyDatabase("local")
+    record = UserRecord("alice", 1000, 100, (), user_key.public_key.to_bytes())
+    private = PrivateRecord(b"salt", 12345, 2, b"encrypted-key")
+    db.add_user(record, private)
+    public = db.public_copy()
+    assert public.lookup_user("alice") is not None
+    assert public.lookup_private("alice") is None
+    assert not public.writable
+
+
+def test_register_requires_unix_password(authserver, user_key):
+    authserver._unix_passwords["newbie"] = "pw123"
+    args = proto.RegisterArgs.make(
+        user="newbie", public_key=user_key.public_key.to_bytes(),
+        srp_salt=b"s" * 16, srp_verifier=b"\x01\x02", srp_cost=2,
+        encrypted_privkey=b"blob", unix_password="pw123",
+    )
+    decoded = proto.RegisterArgs.unpack(proto.RegisterArgs.pack(args))
+    assert authserver.register(decoded)
+    assert authserver.local_db.lookup_user("newbie") is not None
+    bad = proto.RegisterArgs.unpack(proto.RegisterArgs.pack(
+        proto.RegisterArgs.make(
+            user="stranger", public_key=b"k", srp_salt=b"s",
+            srp_verifier=b"v", srp_cost=2, encrypted_privkey=b"",
+            unix_password="wrong",
+        )
+    ))
+    assert not authserver.register(bad)
+
+
+def test_existing_user_can_update_keys(authserver, user_key):
+    register_user(authserver, user_key)
+    new_key = generate_key(768, random.Random(72))
+    args = proto.RegisterArgs.unpack(proto.RegisterArgs.pack(
+        proto.RegisterArgs.make(
+            user="alice", public_key=new_key.public_key.to_bytes(),
+            srp_salt=b"s" * 16, srp_verifier=b"\x05", srp_cost=2,
+            encrypted_privkey=b"ek", unix_password="",
+        )
+    ))
+    assert authserver.register(args)
+    updated = authserver.local_db.lookup_user("alice")
+    assert updated.public_key_bytes == new_key.public_key.to_bytes()
+    assert updated.uid == 1000  # credentials preserved
+
+
+def test_srp_session_flow(authserver):
+    rng = random.Random(73)
+    verifier = Verifier.from_password("alice", b"pw", rng, cost=2)
+    record = UserRecord("alice", 1000, 100, (), b"")
+    private = PrivateRecord(verifier.salt, verifier.v, verifier.cost,
+                            b"sealed-key-blob")
+    authserver.local_db.add_user(record, private)
+
+    client = SRPClient("alice", b"pw", rng)
+    session = SrpSession(authserver)
+    challenge = session.init("alice", client.start())
+    assert challenge is not None
+    salt, B, cost = challenge
+    m1 = client.process_challenge(salt, B, cost)
+    outcome = session.confirm(m1)
+    assert outcome is not None
+    m2, sealed = outcome
+    client.verify_server(m2)
+    payload = proto.SrpPayload.unpack(
+        unseal(client.session_key, sealed, label=b"srp-payload")
+    )
+    assert payload.pathname == authserver.pathname
+    assert payload.encrypted_privkey == b"sealed-key-blob"
+
+
+def test_srp_session_unknown_user(authserver):
+    session = SrpSession(authserver)
+    assert session.init("ghost", 12345) is None
+    assert session.confirm(b"\x00" * 20) is None
+
+
+def test_srp_session_wrong_password(authserver):
+    rng = random.Random(74)
+    verifier = Verifier.from_password("alice", b"right", rng, cost=2)
+    authserver.local_db.add_user(
+        UserRecord("alice", 1000, 100, (), b""),
+        PrivateRecord(verifier.salt, verifier.v, verifier.cost, b""),
+    )
+    client = SRPClient("alice", b"wrong", rng)
+    session = SrpSession(authserver)
+    salt, B, cost = session.init("alice", client.start())
+    m1 = client.process_challenge(salt, B, cost)
+    assert session.confirm(m1) is None

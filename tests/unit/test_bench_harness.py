@@ -1,0 +1,120 @@
+"""Sanity coverage of the benchmark harness itself (tiny workloads), so
+`pytest tests/` exercises the figure-generation code paths."""
+
+import pytest
+
+from repro.bench import (
+    ALL_CONFIGS,
+    LOCAL,
+    NFS_UDP,
+    SFS,
+    make_setup,
+)
+from repro.bench.compile import run_compile
+from repro.bench.mab import PHASES, make_source_tree, run_mab
+from repro.bench.micro import measure_latency, measure_throughput
+from repro.bench.sprite import run_large_file, run_small_file
+from repro.bench.timing import Measurement, Timer, format_table
+from repro.sim.clock import Clock
+
+
+@pytest.mark.parametrize("name", ALL_CONFIGS)
+def test_every_setup_builds_and_works(name):
+    setup = make_setup(name)
+    proc = setup.process
+    proc.write_file(f"{setup.workdir}/probe", b"alive")
+    assert proc.read_file(f"{setup.workdir}/probe") == b"alive"
+
+
+def test_unknown_setup_rejected():
+    with pytest.raises(ValueError):
+        make_setup("VMS")
+
+
+def test_timer_accumulates_cpu_and_sim():
+    clock = Clock()
+    timer = Timer(clock)
+
+    def work():
+        clock.advance(0.5)
+
+    measurement = timer.measure("phase", work)
+    assert measurement.sim_seconds == pytest.approx(0.5)
+    assert measurement.cpu_seconds >= 0
+    assert measurement.total >= 0.5
+    assert timer.total() == measurement.total
+    assert timer.by_name()["phase"] is measurement
+    assert "phase" in str(measurement)
+
+
+def test_format_table_alignment():
+    table = format_table("Title", ["a", "bbbb"], [("x", 1.5), ("yy", 20.0)])
+    lines = table.splitlines()
+    assert lines[0] == "Title"
+    assert "1.500" in table and "20.000" in table
+    # all data lines equally wide columns
+    assert lines[2].startswith("-")
+
+
+def test_micro_benchmarks_tiny():
+    setup = make_setup(NFS_UDP)
+    latency = measure_latency(setup, ops=5)
+    assert latency > 0
+    rate = measure_throughput(setup, size=64 * 1024)
+    assert rate > 0
+
+
+def test_mab_tiny_runs_all_phases():
+    setup = make_setup(LOCAL)
+    result = run_mab(setup)
+    assert list(result.phases) == PHASES
+    assert result.total > 0
+
+
+def test_mab_source_tree_is_deterministic():
+    import random
+
+    t1 = make_source_tree(random.Random(3))
+    t2 = make_source_tree(random.Random(3))
+    assert t1 == t2
+    assert len(t1) == 70
+
+
+def test_compile_tiny():
+    setup = make_setup(LOCAL)
+    result = run_compile(setup)
+    assert result.seconds > 0
+    # the build artifacts exist on the measured fs
+    assert setup.process.stat(f"{setup.workdir}/kernel/kernel.bin").size > 0
+
+
+def test_sprite_small_tiny():
+    setup = make_setup(LOCAL)
+    result = run_small_file(setup, count=10)
+    assert set(result.phases) == {"create", "read", "unlink"}
+    # after unlink the directory is empty
+    assert setup.process.readdir(f"{setup.workdir}/small") == []
+
+
+def test_sprite_large_tiny():
+    setup = make_setup(LOCAL)
+    result = run_large_file(setup, size=64 * 1024)
+    assert len(result.phases) == 5
+    assert setup.process.stat(f"{setup.workdir}/large").size == 64 * 1024
+
+
+def test_sfs_setup_uses_secure_channel():
+    setup = make_setup(SFS)
+    proc = setup.process
+    proc.write_file(f"{setup.workdir}/f", b"x")
+    client = next(iter(setup.world.clients.values()))
+    assert client.sfscd._mounts, "SFS setup must actually mount over SFS"
+
+
+def test_bench_main_module_quick(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["fig5", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "SFS" in out

@@ -1,0 +1,96 @@
+"""Tests for Blowfish (repro.crypto.blowfish), whose tables are derived
+from pi computed at runtime."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.blowfish import Blowfish, pi_hex_digits
+
+# Published Blowfish test vectors: (key, plaintext, ciphertext).
+VECTORS = [
+    ("0000000000000000", "0000000000000000", "4ef997456198dd78"),
+    ("ffffffffffffffff", "ffffffffffffffff", "51866fd5b85ecb8a"),
+    ("3000000000000000", "1000000000000001", "7d856f9a613063f2"),
+    ("1111111111111111", "1111111111111111", "2466dd878b963c9d"),
+    ("0123456789abcdef", "1111111111111111", "61f9c3802281b096"),
+    ("fedcba9876543210", "0123456789abcdef", "0aceab0fc6a0a28d"),
+    ("7ca110454a1a6e57", "01a1d6d039776742", "59c68245eb05282b"),
+]
+
+
+@pytest.mark.parametrize("key,plain,cipher", VECTORS)
+def test_published_vectors(key, plain, cipher):
+    bf = Blowfish(bytes.fromhex(key))
+    assert bf.encrypt_block(bytes.fromhex(plain)).hex() == cipher
+    assert bf.decrypt_block(bytes.fromhex(cipher)).hex() == plain
+
+
+def test_pi_digits_known_prefix():
+    # pi = 3.243f6a8885a308d31319... in hex
+    assert pi_hex_digits(24) == "243f6a8885a308d313198a2e"
+
+
+def test_variable_key_lengths():
+    # Variable-length key vectors from Schneier's distribution.
+    key = bytes.fromhex("f0e1d2c3b4a59687786a")  # 10 bytes
+    bf = Blowfish(key)
+    plain = bytes.fromhex("fedcba9876543210")
+    assert bf.decrypt_block(bf.encrypt_block(plain)) == plain
+
+
+@pytest.mark.parametrize("key", [b"", b"x" * 57])
+def test_key_length_limits(key):
+    with pytest.raises(ValueError):
+        Blowfish(key)
+
+
+def test_block_size_enforced():
+    bf = Blowfish(b"key")
+    with pytest.raises(ValueError):
+        bf.encrypt_block(b"short")
+    with pytest.raises(ValueError):
+        bf.decrypt_block(b"way too long!")
+
+
+def test_cbc_roundtrip_and_chaining():
+    bf = Blowfish(b"cbc key")
+    iv = b"12345678"
+    data = b"A" * 32
+    ct = bf.encrypt_cbc(data, iv)
+    assert bf.decrypt_cbc(ct, iv) == data
+    # identical plaintext blocks must produce distinct ciphertext blocks
+    blocks = [ct[i : i + 8] for i in range(0, len(ct), 8)]
+    assert len(set(blocks)) == len(blocks)
+
+
+def test_cbc_iv_sensitivity():
+    bf = Blowfish(b"cbc key")
+    data = b"B" * 16
+    assert bf.encrypt_cbc(data, b"11111111") != bf.encrypt_cbc(data, b"22222222")
+
+
+def test_cbc_rejects_bad_sizes():
+    bf = Blowfish(b"k")
+    with pytest.raises(ValueError):
+        bf.encrypt_cbc(b"odd length", b"12345678")
+    with pytest.raises(ValueError):
+        bf.encrypt_cbc(b"8bytes!!", b"short")
+
+
+@given(st.binary(min_size=1, max_size=56), st.binary(min_size=8, max_size=8))
+@settings(max_examples=40)
+def test_block_roundtrip_property(key, block):
+    bf = Blowfish(key)
+    assert bf.decrypt_block(bf.encrypt_block(block)) == block
+
+
+@given(
+    st.binary(min_size=1, max_size=56),
+    st.binary(min_size=8, max_size=8),
+    st.integers(min_value=0, max_value=6),
+)
+@settings(max_examples=25)
+def test_cbc_roundtrip_property(key, iv, nblocks):
+    bf = Blowfish(key)
+    data = bytes(range(8)) * nblocks
+    assert bf.decrypt_cbc(bf.encrypt_cbc(data, iv), iv) == data

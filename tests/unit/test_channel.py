@@ -1,0 +1,145 @@
+"""Tests for the SFS secure channel (repro.core.channel)."""
+
+import pytest
+
+from repro.core.channel import SecureChannel
+from repro.sim.clock import Clock
+from repro.sim.network import (
+    DropAdversary,
+    NetworkParameters,
+    RecordingAdversary,
+    ReplayAdversary,
+    TamperAdversary,
+    link_pair,
+)
+
+K_CS = b"c" * 20
+K_SC = b"s" * 20
+
+
+def make_channel_pair(adversary=None):
+    clock = Clock()
+    a, b = link_pair(clock, NetworkParameters.instant(), adversary)
+    client = SecureChannel(a, send_key=K_CS, recv_key=K_SC)
+    server = SecureChannel(b, send_key=K_SC, recv_key=K_CS)
+    client_in, server_in = [], []
+    client.on_receive(client_in.append)
+    server.on_receive(server_in.append)
+    return client, server, client_in, server_in
+
+
+def test_bidirectional_delivery():
+    client, server, client_in, server_in = make_channel_pair()
+    client.send(b"request one")
+    server.send(b"reply one")
+    client.send(b"request two")
+    assert server_in == [b"request one", b"request two"]
+    assert client_in == [b"reply one"]
+
+
+def test_ciphertext_differs_from_plaintext():
+    recorder = RecordingAdversary()
+    client, _server, _ci, server_in = make_channel_pair(recorder)
+    client.send(b"super secret payload")
+    assert server_in == [b"super secret payload"]
+    wire = recorder.transcript[0][1]
+    assert b"super secret payload" not in wire
+    assert len(wire) == 4 + len(b"super secret payload") + 20
+
+
+def test_identical_records_encrypt_differently():
+    recorder = RecordingAdversary()
+    client, _server, _ci, _si = make_channel_pair(recorder)
+    client.send(b"same")
+    client.send(b"same")
+    assert recorder.transcript[0][1] != recorder.transcript[1][1]
+
+
+def test_tampered_record_dropped_not_delivered():
+    client, server, _ci, server_in = make_channel_pair(
+        TamperAdversary(target_index=0)
+    )
+    client.send(b"payload")
+    assert server_in == []
+    assert server.rejected_records == 1
+
+
+def test_replayed_record_dropped():
+    client, _server, _ci, server_in = make_channel_pair(
+        ReplayAdversary(replay_after=1, replay_index=0)
+    )
+    client.send(b"one")
+    client.send(b"two")  # adversary appends a replay of "one"
+    assert server_in == [b"one", b"two"]
+
+
+def test_dropped_record_desynchronizes_stream():
+    # A dropped record means subsequent traffic fails the MAC: the
+    # attacker achieves denial of service, nothing more.
+    client, server, _ci, server_in = make_channel_pair(
+        DropAdversary(target_index=0)
+    )
+    client.send(b"lost")
+    client.send(b"after")
+    assert server_in == []
+    assert server.rejected_records >= 1
+
+
+def test_injected_garbage_dropped():
+    clock = Clock()
+    a, b = link_pair(clock, NetworkParameters.instant())
+    client = SecureChannel(a, send_key=K_CS, recv_key=K_SC)
+    server = SecureChannel(b, send_key=K_SC, recv_key=K_CS)
+    server_in = []
+    server.on_receive(server_in.append)
+    client.on_receive(lambda d: None)
+    a.send(b"raw injected bytes that are not a valid channel record")
+    assert server_in == []
+    assert server.rejected_records == 1
+
+
+def test_short_record_dropped():
+    clock = Clock()
+    a, b = link_pair(clock, NetworkParameters.instant())
+    SecureChannel(a, send_key=K_CS, recv_key=K_SC)
+    server = SecureChannel(b, send_key=K_SC, recv_key=K_CS)
+    server.on_receive(lambda d: None)
+    a.send(b"tiny")
+    assert server.rejected_records == 1
+
+
+def test_plaintext_mode_passthrough():
+    recorder = RecordingAdversary()
+    clock = Clock()
+    a, b = link_pair(clock, NetworkParameters.instant(), recorder)
+    client = SecureChannel(a, send_key=K_CS, recv_key=K_SC, encrypt=False)
+    server = SecureChannel(b, send_key=K_SC, recv_key=K_CS, encrypt=False)
+    server_in = []
+    server.on_receive(server_in.append)
+    client.on_receive(lambda d: None)
+    client.send(b"visible")
+    assert server_in == [b"visible"]
+    assert recorder.transcript[0][1] == b"visible"
+
+
+def test_empty_record():
+    client, _server, _ci, server_in = make_channel_pair()
+    client.send(b"")
+    assert server_in == [b""]
+
+
+def test_large_record():
+    client, _server, _ci, server_in = make_channel_pair()
+    blob = bytes(range(256)) * 128
+    client.send(blob)
+    assert server_in == [blob]
+
+
+def test_stats_counters():
+    client, server, _ci, _si = make_channel_pair()
+    client.send(b"a")
+    client.send(b"b")
+    server.send(b"c")
+    assert client.records_sent == 2
+    assert server.records_received == 2
+    assert client.records_received == 1

@@ -1,0 +1,138 @@
+"""Tests for sfssd.conf parsing and the sfsls tool."""
+
+import pytest
+
+from repro.core import proto
+from repro.core.config import DispatchConfig
+from repro.core.pathnames import hostid_to_text
+from repro.fs import pathops
+from repro.fs.memfs import Cred
+from repro.kernel.lstool import sfsls
+from repro.core.libsfs import LocalAccounts
+from repro.kernel.world import World
+
+
+# --- config file parsing -----------------------------------------------------
+
+def test_load_basic_rule():
+    config = DispatchConfig()
+    config.add_export("default", b"H" * 20, proto.DIALECT_RW)
+    added = config.load("rule catchall export special\n")
+    assert added == 1
+    assert config.dispatch(1, b"X" * 20, []) == "special"
+
+
+def test_load_conditions_and_priority():
+    config = DispatchConfig()
+    config.add_export("default", b"H" * 20, proto.DIALECT_RW)
+    hostid_text = hostid_to_text(b"Z" * 20)
+    text = f"""
+    # experimental protocol v2 by extension
+    rule v2 export experimental extension=v2
+    rule pinned export pinned-export hostid={hostid_text} service=1
+    """
+    assert config.load(text) == 2
+    # file order: the first line wins over later lines and older rules
+    assert config.dispatch(1, b"Z" * 20, ["v2"]) == "experimental"
+    assert config.dispatch(1, b"Z" * 20, []) == "pinned-export"
+    # service/hostid conditions must both hold for the pinned rule
+    assert config.dispatch(2, b"Z" * 20, []) is None
+    assert config.dispatch(1, b"Y" * 20, []) is None
+
+
+def test_load_service_condition():
+    config = DispatchConfig()
+    config.load("rule authonly export auth service=2\n")
+    assert config.dispatch(2, b"A" * 20, []) == "auth"
+    assert config.dispatch(1, b"A" * 20, []) is None
+
+
+def test_load_rejects_bad_syntax():
+    config = DispatchConfig()
+    with pytest.raises(ValueError):
+        config.load("this is not a rule\n")
+    with pytest.raises(ValueError):
+        config.load("rule x export y badcondition\n")
+    with pytest.raises(ValueError):
+        config.load("rule x export y color=red\n")
+
+
+def test_load_comments_and_blanks():
+    config = DispatchConfig()
+    assert config.load("\n# only comments here\n   \n") == 0
+
+
+def test_loaded_rules_drive_a_real_server():
+    """End to end: a conf line routes an unknown HostID to an export."""
+    world = World(seed=131)
+    server = world.add_server("conf.example.com")
+    path = server.export_fs(name="main")
+    pathops.write_file(server.exports["main"][1], "/x", b"routed by conf")
+    server.master.config.load("rule hijack export main\n")
+    # A client asking for a *different* HostID now reaches the export --
+    # and correctly rejects it for failing the HostID check.
+    from repro.core.client import SecurityError, ServerSession
+    from repro.core.keyneg import EphemeralKeyCache
+    from repro.core.pathnames import SelfCertifyingPath
+
+    bogus = SelfCertifyingPath("conf.example.com", b"\x01" * 20)
+    link = world.connector("conf.example.com", proto.SERVICE_FILESERVER)
+    with pytest.raises(SecurityError):
+        ServerSession.connect(link, bogus, EphemeralKeyCache(world.rng),
+                              world.rng)
+
+
+# --- sfsls ---------------------------------------------------------------------
+
+@pytest.fixture
+def ls_world():
+    world = World(seed=132)
+    server = world.add_server("ls.example.com")
+    path = server.export_fs()
+    alice = server.add_user("alice", uid=1000)
+    home = pathops.mkdirs(server.fs, "/home/alice")
+    server.fs.setattr(home.ino, Cred(0, 0), uid=1000, gid=100)
+    client = world.add_client("box")
+    proc = client.login_user("alice", alice.key, uid=1000)
+    return world, server, path, proc
+
+
+def test_sfsls_local_directory(ls_world):
+    _world, _server, _path, proc = ls_world
+    root = proc  # alice can list /
+    lines = sfsls(root, "/", LocalAccounts(users={0: "root"}))
+    assert any(line.endswith(" sfs") for line in lines)
+    assert all(line[0] in "d-l" for line in lines)
+
+
+def test_sfsls_remote_shows_remote_names(ls_world):
+    _world, _server, path, proc = ls_world
+    proc.write_file(f"{path}/home/alice/mine.txt", b"x" * 42)
+    # Locally, uid 1000 is "al"; remotely it is "alice" -> %alice.
+    accounts = LocalAccounts(users={1000: "al"})
+    lines = sfsls(proc, f"{path}/home/alice", accounts)
+    line = next(l for l in lines if l.endswith("mine.txt"))
+    assert "%alice" in line
+    assert "        42" in line or " 42 " in line
+
+
+def test_sfsls_remote_same_name_unprefixed(ls_world):
+    _world, _server, path, proc = ls_world
+    proc.write_file(f"{path}/home/alice/f", b"1")
+    accounts = LocalAccounts(users={1000: "alice"})
+    lines = sfsls(proc, f"{path}/home/alice", accounts)
+    line = next(l for l in lines if l.endswith(" f"))
+    assert " alice " in line
+    assert "%alice" not in line
+
+
+def test_sfsls_mode_strings(ls_world):
+    _world, _server, path, proc = ls_world
+    proc.write_file(f"{path}/home/alice/x", b"1", mode=0o640)
+    proc.mkdir(f"{path}/home/alice/d", mode=0o750)
+    proc.symlink("x", f"{path}/home/alice/lnk")
+    lines = {l.rsplit(" ", 1)[1]: l for l in
+             sfsls(proc, f"{path}/home/alice")}
+    assert lines["x"].startswith("-rw-r-----")
+    assert lines["d"].startswith("drwxr-x---")
+    assert lines["lnk"].startswith("l")

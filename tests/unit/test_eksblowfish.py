@@ -1,0 +1,79 @@
+"""Tests for eksblowfish / bcrypt (repro.crypto.eksblowfish)."""
+
+import pytest
+
+from repro.crypto.eksblowfish import (
+    bcrypt_b64decode,
+    bcrypt_b64encode,
+    bcrypt_hash,
+    bcrypt_raw,
+    eksblowfish_setup,
+    harden_password,
+)
+
+# Published OpenBSD bcrypt test vectors.
+BCRYPT_VECTORS = [
+    (b"U*U", "$2a$05$CCCCCCCCCCCCCCCCCCCCC.E5YPO9kmyuRGyh0XouQYb4YMJKvyOeW"),
+    (b"U*U*", "$2a$05$CCCCCCCCCCCCCCCCCCCCC.VGOzA784oUp/Z0DY336zx7pLYAy0lwK"),
+    (b"U*U*U", "$2a$05$XXXXXXXXXXXXXXXXXXXXXOAcXxm9kjPGEMsLznoKqmqw7tc8WCx4a"),
+]
+
+
+@pytest.mark.parametrize("password,expected", BCRYPT_VECTORS)
+def test_bcrypt_vectors(password, expected):
+    salt_string = expected[:29]
+    assert bcrypt_hash(password, salt_string) == expected
+
+
+def test_bcrypt_b64_roundtrip():
+    data = bytes(range(16))
+    assert bcrypt_b64decode(bcrypt_b64encode(data), 16) == data
+
+
+def test_bcrypt_b64_rejects_bad_chars():
+    with pytest.raises(ValueError):
+        bcrypt_b64decode("!!!", 2)
+
+
+def test_bcrypt_requires_2a():
+    with pytest.raises(ValueError):
+        bcrypt_hash(b"pw", "$2b$05$CCCCCCCCCCCCCCCCCCCCC.")
+
+
+def test_cost_changes_output():
+    salt = b"0123456789abcdef"
+    assert bcrypt_raw(b"pw\x00", salt, 2) != bcrypt_raw(b"pw\x00", salt, 3)
+
+
+def test_salt_changes_output():
+    assert (
+        bcrypt_raw(b"pw\x00", b"a" * 16, 2)
+        != bcrypt_raw(b"pw\x00", b"b" * 16, 2)
+    )
+
+
+def test_setup_parameter_validation():
+    with pytest.raises(ValueError):
+        eksblowfish_setup(-1, b"s" * 16, b"k")
+    with pytest.raises(ValueError):
+        eksblowfish_setup(32, b"s" * 16, b"k")
+    with pytest.raises(ValueError):
+        eksblowfish_setup(2, b"short", b"k")
+    with pytest.raises(ValueError):
+        eksblowfish_setup(2, b"s" * 16, b"")
+    with pytest.raises(ValueError):
+        eksblowfish_setup(2, b"s" * 16, b"x" * 73)
+
+
+def test_harden_password_properties():
+    key = harden_password(b"hunter2", b"salty", cost=2)
+    assert len(key) == 20
+    assert key == harden_password(b"hunter2", b"salty", cost=2)
+    assert key != harden_password(b"hunter2", b"other", cost=2)
+    assert key != harden_password(b"hunter3", b"salty", cost=2)
+    assert key != harden_password(b"hunter2", b"salty", cost=3)
+
+
+def test_harden_password_accepts_any_salt_length():
+    assert harden_password(b"pw", b"", cost=2)
+    assert harden_password(b"pw", b"x" * 100, cost=2)

@@ -1,0 +1,130 @@
+"""Unit tests for the keymgmt schemes (CA internals, SSL bridge)."""
+
+import random
+
+import pytest
+
+from repro.core.pathnames import make_path
+from repro.core.revocation import (
+    CertificateError,
+    make_forwarding_pointer,
+    make_revocation_certificate,
+)
+from repro.crypto.rabin import generate_key
+from repro.fs import pathops
+from repro.keymgmt.ca import CertificationAuthority
+from repro.keymgmt.extpki import (
+    SslBridgeResolver,
+    SslDirectory,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(121)
+
+
+def test_ca_certify_creates_symlink(rng):
+    ca = CertificationAuthority("ca.example.net", rng)
+    target_key = generate_key(768, rng)
+    target = make_path("acme.com", target_key.public_key)
+    ca.certify("acme", target)
+    inode = pathops.resolve(ca.fs, "/acme", follow=False)
+    assert inode.target == str(target)
+
+
+def test_ca_decertify(rng):
+    ca = CertificationAuthority("ca.example.net", rng)
+    target_key = generate_key(768, rng)
+    ca.certify("x", make_path("x.com", target_key.public_key))
+    ca.decertify("x")
+    assert "x" not in pathops.listdir(ca.fs, "/")
+
+
+def test_ca_publish_serial_increments(rng):
+    ca = CertificationAuthority("ca.example.net", rng)
+    image1 = ca.publish_image()
+    image2 = ca.publish_image()
+    assert image1.serial == 1
+    assert image2.serial == 2
+
+
+def test_ca_path_is_self_certifying(rng):
+    ca = CertificationAuthority("ca.example.net", rng)
+    path = ca.path
+    assert path.location == "ca.example.net"
+    assert path.matches_key(ca.key.public_key)
+
+
+def test_ca_rejects_forwarding_pointer_as_revocation(rng):
+    ca = CertificationAuthority("ca.example.net", rng)
+    key = generate_key(768, rng)
+    pointer = make_forwarding_pointer(key, "moved.com", "/sfs/x:" + "2" * 32)
+    with pytest.raises(CertificateError):
+        ca.publish_revocation(pointer)
+
+
+def test_ca_files_revocation_by_hostid(rng):
+    from repro.core.pathnames import compute_hostid, hostid_to_text
+
+    ca = CertificationAuthority("ca.example.net", rng)
+    key = generate_key(768, rng)
+    cert = make_revocation_certificate(key, "dead.com")
+    where = ca.publish_revocation(cert)
+    expected = hostid_to_text(compute_hostid("dead.com", key.public_key))
+    assert where == f"/revocations/{expected}"
+
+
+# --- SSL bridge --------------------------------------------------------------
+
+def test_ssl_directory_issue_and_fetch(rng):
+    ca_key = generate_key(768, rng)
+    directory = SslDirectory(ca_key)
+    host_key = generate_key(768, rng)
+    directory.issue("web.example.com", host_key.public_key)
+    assert directory.fetch("web.example.com") is not None
+    assert directory.fetch("other.example.com") is None
+
+
+def test_ssl_resolver_only_handles_ssl_suffix(rng):
+    ca_key = generate_key(768, rng)
+    resolver = SslBridgeResolver(SslDirectory(ca_key), ca_key.public_key)
+    assert resolver("plain-name") is None
+    assert resolver("missing.example.com.ssl") is None
+
+
+def test_ssl_resolver_builds_correct_path(rng):
+    ca_key = generate_key(768, rng)
+    directory = SslDirectory(ca_key)
+    host_key = generate_key(768, rng)
+    directory.issue("web.example.com", host_key.public_key)
+    resolver = SslBridgeResolver(directory, ca_key.public_key)
+    target = resolver("web.example.com.ssl")
+    assert target == str(make_path("web.example.com", host_key.public_key))
+
+
+def test_ssl_resolver_rejects_hostname_mismatch(rng):
+    """A valid certificate for host A must not authenticate host B."""
+    ca_key = generate_key(768, rng)
+    directory = SslDirectory(ca_key)
+    host_key = generate_key(768, rng)
+    cert = directory.issue("real.example.com", host_key.public_key)
+    # splice the real cert under a different name
+    directory._certs["fake.example.com.ssl"[: -len(".ssl")]] = cert
+    resolver = SslBridgeResolver(directory, ca_key.public_key)
+    assert resolver("fake.example.com.ssl") is None
+    assert resolver.rejected == 1
+
+
+def test_ssl_resolver_rejects_tampered_cert(rng):
+    from repro.keymgmt.extpki import IssuedCert
+
+    ca_key = generate_key(768, rng)
+    directory = SslDirectory(ca_key)
+    host_key = generate_key(768, rng)
+    cert = directory.issue("web.example.com", host_key.public_key)
+    corrupted = bytearray(cert.blob)
+    corrupted[10] ^= 1
+    directory._certs["web.example.com"] = IssuedCert(bytes(corrupted))
+    resolver = SslBridgeResolver(directory, ca_key.public_key)
+    assert resolver("web.example.com.ssl") is None

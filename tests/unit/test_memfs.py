@@ -1,0 +1,389 @@
+"""Tests for the in-memory Unix file system (repro.fs.memfs)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fs.memfs import (
+    ACCESS_LOOKUP,
+    ACCESS_MODIFY,
+    ACCESS_READ,
+    ANONYMOUS,
+    Cred,
+    ERR_ACCES,
+    ERR_EXIST,
+    ERR_INVAL,
+    ERR_ISDIR,
+    ERR_NOENT,
+    ERR_NOTDIR,
+    ERR_NOTEMPTY,
+    ERR_PERM,
+    ERR_ROFS,
+    ERR_STALE,
+    FileData,
+    FsError,
+    MemFs,
+    NF_DIR,
+    NF_LNK,
+    NF_REG,
+)
+
+ROOT = Cred(0, 0)
+ALICE = Cred(1000, 100)
+BOB = Cred(1001, 100, groups=(200,))
+
+
+@pytest.fixture
+def fs():
+    return MemFs(fsid=42)
+
+
+def err(code):
+    return pytest.raises(FsError, match="") if False else pytest.raises(FsError)
+
+
+# --- FileData ----------------------------------------------------------------
+
+def test_filedata_sparse_reads_zero():
+    data = FileData()
+    data.write(10_000, b"tail")
+    assert data.size == 10_004
+    assert data.read(0, 10) == bytes(10)
+    assert data.read(10_000, 4) == b"tail"
+    assert data.read(9_998, 6) == b"\x00\x00tail"
+
+
+def test_filedata_read_past_eof():
+    data = FileData()
+    data.write(0, b"abc")
+    assert data.read(2, 100) == b"c"
+    assert data.read(3, 10) == b""
+    assert data.read(100, 10) == b""
+
+
+def test_filedata_overwrite_spanning_blocks():
+    data = FileData()
+    data.write(0, bytes(9000))
+    data.write(4090, b"X" * 12)
+    assert data.read(4090, 12) == b"X" * 12
+    assert data.size == 9000
+
+
+def test_filedata_truncate():
+    data = FileData()
+    data.write(0, b"A" * 9000)
+    data.truncate(4097)
+    assert data.size == 4097
+    assert data.read(4096, 10) == b"A"
+    data.truncate(10000)
+    assert data.read(4097, 10) == bytes(10)  # extended area is zeros
+    data.truncate(0)
+    assert data.allocated_bytes == 0
+
+
+def test_filedata_allocated_in():
+    data = FileData()
+    data.write(8192, b"z")
+    assert data.allocated_in(0, 8192) == 0
+    assert data.allocated_in(8192, 1) == 4096
+    assert data.allocated_in(0, 1) == 0
+
+
+@given(st.lists(st.tuples(st.integers(0, 50_000), st.binary(min_size=1, max_size=500)),
+                min_size=1, max_size=12))
+@settings(max_examples=50)
+def test_filedata_matches_reference_model(writes):
+    data = FileData()
+    reference = bytearray()
+    for offset, chunk in writes:
+        data.write(offset, chunk)
+        if len(reference) < offset + len(chunk):
+            reference.extend(bytes(offset + len(chunk) - len(reference)))
+        reference[offset : offset + len(chunk)] = chunk
+    assert data.size == len(reference)
+    assert data.read(0, len(reference)) == bytes(reference)
+
+
+# --- structure -----------------------------------------------------------
+
+def test_create_lookup_read_write(fs):
+    d = fs.mkdir(fs.root_ino, "home", ROOT)
+    f = fs.create(d.ino, "file", ROOT)
+    fs.write(f.ino, 0, b"content", ROOT)
+    found = fs.lookup(d.ino, "file", ROOT)
+    assert found.ino == f.ino
+    data, eof = fs.read(f.ino, 0, 100, ROOT)
+    assert data == b"content" and eof
+
+
+def test_lookup_dot_and_dotdot(fs):
+    d = fs.mkdir(fs.root_ino, "d", ROOT)
+    assert fs.lookup(d.ino, ".", ROOT).ino == d.ino
+    assert fs.lookup(d.ino, "..", ROOT).ino == fs.root_ino
+    assert fs.lookup(fs.root_ino, "..", ROOT).ino == fs.root_ino
+
+
+def test_invalid_names_rejected(fs):
+    for name in ("", ".", "..", "a/b", "nul\x00byte", "x" * 256):
+        with pytest.raises(FsError) as excinfo:
+            fs.create(fs.root_ino, name, ROOT)
+        assert excinfo.value.code in (ERR_INVAL, 63)
+
+
+def test_create_exclusive(fs):
+    fs.create(fs.root_ino, "f", ROOT)
+    again = fs.create(fs.root_ino, "f", ROOT)  # UNCHECKED returns existing
+    assert again.ino == fs.lookup(fs.root_ino, "f", ROOT).ino
+    with pytest.raises(FsError) as excinfo:
+        fs.create(fs.root_ino, "f", ROOT, exclusive=True)
+    assert excinfo.value.code == ERR_EXIST
+
+
+def test_mkdir_duplicate_rejected(fs):
+    fs.mkdir(fs.root_ino, "d", ROOT)
+    with pytest.raises(FsError) as excinfo:
+        fs.mkdir(fs.root_ino, "d", ROOT)
+    assert excinfo.value.code == ERR_EXIST
+
+
+def test_symlink_and_readlink(fs):
+    link = fs.symlink(fs.root_ino, "l", "/target/path", ROOT)
+    assert link.ftype == NF_LNK
+    assert fs.readlink(link.ino, ROOT) == "/target/path"
+    f = fs.create(fs.root_ino, "f", ROOT)
+    with pytest.raises(FsError):
+        fs.readlink(f.ino, ROOT)
+
+
+def test_hard_links(fs):
+    f = fs.create(fs.root_ino, "a", ROOT)
+    fs.link(f.ino, fs.root_ino, "b", ROOT)
+    assert f.nlink == 2
+    fs.write(f.ino, 0, b"shared", ROOT)
+    b = fs.lookup(fs.root_ino, "b", ROOT)
+    assert fs.read(b.ino, 0, 10, ROOT)[0] == b"shared"
+    fs.remove(fs.root_ino, "a", ROOT)
+    assert fs.lookup(fs.root_ino, "b", ROOT).nlink == 1
+    fs.remove(fs.root_ino, "b", ROOT)
+    with pytest.raises(FsError) as excinfo:
+        fs.get_inode(f.ino)
+    assert excinfo.value.code == ERR_STALE
+
+
+def test_cannot_hard_link_directory(fs):
+    d = fs.mkdir(fs.root_ino, "d", ROOT)
+    with pytest.raises(FsError) as excinfo:
+        fs.link(d.ino, fs.root_ino, "d2", ROOT)
+    assert excinfo.value.code == ERR_ISDIR
+
+
+def test_remove_and_rmdir_type_checks(fs):
+    d = fs.mkdir(fs.root_ino, "d", ROOT)
+    f = fs.create(fs.root_ino, "f", ROOT)
+    with pytest.raises(FsError) as excinfo:
+        fs.remove(fs.root_ino, "d", ROOT)
+    assert excinfo.value.code == ERR_ISDIR
+    with pytest.raises(FsError) as excinfo:
+        fs.rmdir(fs.root_ino, "f", ROOT)
+    assert excinfo.value.code == ERR_NOTDIR
+
+
+def test_rmdir_requires_empty(fs):
+    d = fs.mkdir(fs.root_ino, "d", ROOT)
+    fs.create(d.ino, "child", ROOT)
+    with pytest.raises(FsError) as excinfo:
+        fs.rmdir(fs.root_ino, "d", ROOT)
+    assert excinfo.value.code == ERR_NOTEMPTY
+    fs.remove(d.ino, "child", ROOT)
+    fs.rmdir(fs.root_ino, "d", ROOT)
+    with pytest.raises(FsError):
+        fs.lookup(fs.root_ino, "d", ROOT)
+
+
+def test_rename_basic_and_replace(fs):
+    a = fs.mkdir(fs.root_ino, "a", ROOT)
+    b = fs.mkdir(fs.root_ino, "b", ROOT)
+    f = fs.create(a.ino, "f", ROOT)
+    fs.write(f.ino, 0, b"1", ROOT)
+    fs.rename(a.ino, "f", b.ino, "g", ROOT)
+    assert fs.lookup(b.ino, "g", ROOT).ino == f.ino
+    with pytest.raises(FsError):
+        fs.lookup(a.ino, "f", ROOT)
+    # replacing an existing file
+    g2 = fs.create(b.ino, "h", ROOT)
+    fs.rename(b.ino, "g", b.ino, "h", ROOT)
+    assert fs.lookup(b.ino, "h", ROOT).ino == f.ino
+    with pytest.raises(FsError) as excinfo:
+        fs.get_inode(g2.ino)
+    assert excinfo.value.code == ERR_STALE
+
+
+def test_rename_directory_updates_parent(fs):
+    a = fs.mkdir(fs.root_ino, "a", ROOT)
+    b = fs.mkdir(fs.root_ino, "b", ROOT)
+    sub = fs.mkdir(a.ino, "sub", ROOT)
+    fs.rename(a.ino, "sub", b.ino, "sub", ROOT)
+    assert fs.lookup(sub.ino, "..", ROOT).ino == b.ino
+    assert a.nlink == 2 and b.nlink == 3
+
+
+def test_rename_into_own_subtree_rejected(fs):
+    a = fs.mkdir(fs.root_ino, "a", ROOT)
+    sub = fs.mkdir(a.ino, "sub", ROOT)
+    with pytest.raises(FsError) as excinfo:
+        fs.rename(fs.root_ino, "a", sub.ino, "oops", ROOT)
+    assert excinfo.value.code == ERR_INVAL
+
+
+def test_rename_noop_same_entry(fs):
+    f = fs.create(fs.root_ino, "f", ROOT)
+    fs.rename(fs.root_ino, "f", fs.root_ino, "f", ROOT)
+    assert fs.lookup(fs.root_ino, "f", ROOT).ino == f.ino
+
+
+# --- permissions ----------------------------------------------------------
+
+def test_permission_read_denied(fs):
+    f = fs.create(fs.root_ino, "secret", ROOT, mode=0o600)
+    fs.write(f.ino, 0, b"top", ROOT)
+    with pytest.raises(FsError) as excinfo:
+        fs.read(f.ino, 0, 3, ALICE)
+    assert excinfo.value.code == ERR_ACCES
+
+
+def test_permission_group(fs):
+    d = fs.mkdir(fs.root_ino, "shared", ROOT, mode=0o770)
+    fs.setattr(d.ino, ROOT, gid=200)
+    fs.create(d.ino, "ok", BOB)  # bob is in group 200
+    with pytest.raises(FsError):
+        fs.create(d.ino, "nope", ALICE)
+
+
+def test_permission_write_into_readonly_dir(fs):
+    d = fs.mkdir(fs.root_ino, "ro", ROOT, mode=0o555)
+    with pytest.raises(FsError) as excinfo:
+        fs.create(d.ino, "f", ALICE)
+    assert excinfo.value.code == ERR_ACCES
+
+
+def test_chmod_chown_permission_rules(fs):
+    f = fs.create(fs.root_ino, "f", ROOT)
+    fs.setattr(f.ino, ROOT, uid=ALICE.uid)
+    fs.setattr(f.ino, ALICE, mode=0o640)  # owner may chmod
+    with pytest.raises(FsError) as excinfo:
+        fs.setattr(f.ino, BOB, mode=0o777)  # non-owner may not
+    assert excinfo.value.code == ERR_PERM
+    with pytest.raises(FsError) as excinfo:
+        fs.setattr(f.ino, ALICE, uid=BOB.uid)  # chown needs root
+    assert excinfo.value.code == ERR_PERM
+    fs.setattr(f.ino, ROOT, uid=BOB.uid)
+    assert fs.get_inode(f.ino).uid == BOB.uid
+
+
+def test_chgrp_owner_in_group(fs):
+    f = fs.create(fs.root_ino, "f", ROOT)
+    fs.setattr(f.ino, ROOT, uid=BOB.uid)
+    fs.setattr(f.ino, BOB, gid=200)  # bob belongs to 200
+    with pytest.raises(FsError):
+        fs.setattr(f.ino, BOB, gid=999)  # not a member
+
+
+def test_truncate_via_setattr(fs):
+    f = fs.create(fs.root_ino, "f", ROOT)
+    fs.write(f.ino, 0, b"0123456789", ROOT)
+    fs.setattr(f.ino, ROOT, size=4)
+    assert fs.read(f.ino, 0, 10, ROOT)[0] == b"0123"
+
+
+def test_access_mask(fs):
+    f = fs.create(fs.root_ino, "f", ROOT, mode=0o640)
+    assert fs.access(f.ino, ROOT, ACCESS_READ | ACCESS_MODIFY) == (
+        ACCESS_READ | ACCESS_MODIFY
+    )
+    fs.setattr(f.ino, ROOT, gid=ALICE.gid)
+    assert fs.access(f.ino, ALICE, ACCESS_READ | ACCESS_MODIFY) == ACCESS_READ
+    assert fs.access(f.ino, Cred(5, 5), ACCESS_READ) == 0
+
+
+def test_anonymous_follows_other_bits(fs):
+    f = fs.create(fs.root_ino, "f", ROOT, mode=0o644)
+    fs.write(f.ino, 0, b"public", ROOT)
+    assert fs.read(f.ino, 0, 6, ANONYMOUS)[0] == b"public"
+    with pytest.raises(FsError):
+        fs.write(f.ino, 0, b"x", ANONYMOUS)
+
+
+def test_read_only_fs(fs):
+    f = fs.create(fs.root_ino, "f", ROOT)
+    fs.read_only = True
+    with pytest.raises(FsError) as excinfo:
+        fs.write(f.ino, 0, b"x", ROOT)
+    assert excinfo.value.code == ERR_ROFS
+    with pytest.raises(FsError):
+        fs.create(fs.root_ino, "g", ROOT)
+
+
+# --- readdir ------------------------------------------------------------------
+
+def test_readdir_includes_dot_entries(fs):
+    fs.create(fs.root_ino, "a", ROOT)
+    fs.create(fs.root_ino, "b", ROOT)
+    entries, eof = fs.readdir(fs.root_ino, ROOT)
+    names = [name for name, _ino, _cookie in entries]
+    assert names[:2] == [".", ".."]
+    assert set(names[2:]) == {"a", "b"}
+    assert eof
+
+
+def test_readdir_cookie_pagination(fs):
+    for index in range(10):
+        fs.create(fs.root_ino, f"f{index}", ROOT)
+    collected = []
+    cookie = 0
+    while True:
+        entries, eof = fs.readdir(fs.root_ino, ROOT, cookie=cookie, count=100)
+        assert entries, "must make progress"
+        collected.extend(name for name, _i, _c in entries)
+        cookie = entries[-1][2]
+        if eof:
+            break
+    assert set(collected) == {".", ".."} | {f"f{i}" for i in range(10)}
+    assert len(collected) == 12  # no duplicates
+
+
+def test_readdir_on_file_rejected(fs):
+    f = fs.create(fs.root_ino, "f", ROOT)
+    with pytest.raises(FsError) as excinfo:
+        fs.readdir(f.ino, ROOT)
+    assert excinfo.value.code == ERR_NOTDIR
+
+
+# --- misc -----------------------------------------------------------------------
+
+def test_statfs_accounts_usage(fs):
+    before = fs.statfs()
+    f = fs.create(fs.root_ino, "big", ROOT)
+    fs.write(f.ino, 0, b"x" * 100_000, ROOT)
+    after = fs.statfs()
+    assert after["fbytes"] < before["fbytes"]
+    assert after["ffiles"] == before["ffiles"] - 1
+
+
+def test_write_quota(fs):
+    fs.total_bytes = 1000
+    f = fs.create(fs.root_ino, "f", ROOT)
+    with pytest.raises(FsError):
+        fs.write(f.ino, 0, b"x" * 2000, ROOT)
+
+
+def test_times_advance(fs):
+    f = fs.create(fs.root_ino, "f", ROOT)
+    before = f.mtime
+    fs.write(f.ino, 0, b"x", ROOT)
+    assert f.mtime > before
+
+
+def test_dir_size_and_nlink(fs):
+    d = fs.mkdir(fs.root_ino, "d", ROOT)
+    assert d.nlink == 2
+    assert fs.get_inode(fs.root_ino).nlink == 3
+    assert d.size > 0

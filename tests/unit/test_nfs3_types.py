@@ -1,0 +1,137 @@
+"""Codec roundtrip tests for the NFS3 protocol types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nfs3 import const, types
+from repro.nfs3.types import LinkedList, sattr
+from repro.rpc.xdr import Record, Struct, UInt32
+
+
+def roundtrip(codec, value):
+    return codec.unpack(codec.pack(value))
+
+
+def make_time(seconds=0):
+    return types.NfsTime.make(seconds=seconds, nseconds=0)
+
+
+def make_fattr(**overrides):
+    base = dict(
+        type=const.NF3REG, mode=0o644, nlink=1, uid=0, gid=0,
+        size=123, used=4096,
+        rdev=types.SpecData.make(major=0, minor=0),
+        fsid=7, fileid=42,
+        atime=make_time(1), mtime=make_time(2), ctime=make_time(3),
+    )
+    base.update(overrides)
+    return types.Fattr.make(**base)
+
+
+def test_fattr_roundtrip():
+    attrs = make_fattr()
+    decoded = roundtrip(types.Fattr, attrs)
+    assert decoded == attrs
+
+
+def test_sattr_builder():
+    record = sattr(mode=0o600, size=10)
+    decoded = roundtrip(types.Sattr, record)
+    assert decoded.mode == 0o600
+    assert decoded.size == 10
+    assert decoded.uid is None
+    assert decoded.atime == (types.DONT_CHANGE, None)
+
+
+def test_sattr_time_arms():
+    record = sattr(mtime=99)
+    decoded = roundtrip(types.Sattr, record)
+    disc, value = decoded.mtime
+    assert disc == types.SET_TO_CLIENT_TIME
+    assert value.seconds == 99
+
+
+def test_linked_list_roundtrip():
+    item = Struct("item", [("n", UInt32)])
+    codec = LinkedList(item)
+    values = [item.make(n=i) for i in range(5)]
+    assert roundtrip(codec, values) == values
+    assert roundtrip(codec, []) == []
+
+
+def test_readdir_result_roundtrip():
+    ok_body = Record(
+        dir_attributes=make_fattr(type=const.NF3DIR),
+        cookieverf=b"\x00" * 8,
+        entries=[
+            types.DirEntry.make(fileid=1, name=".", cookie=1),
+            types.DirEntry.make(fileid=5, name="file", cookie=2),
+        ],
+        eof=True,
+    )
+    disc, decoded = roundtrip(types.ReaddirRes, (const.NFS3_OK, ok_body))
+    assert disc == const.NFS3_OK
+    assert [e.name for e in decoded.entries] == [".", "file"]
+    assert decoded.eof is True
+
+
+def test_result_failure_arm():
+    fail_body = Record(dir_attributes=None)
+    disc, decoded = roundtrip(
+        types.ReaddirRes, (const.NFS3ERR_NOTDIR, fail_body)
+    )
+    assert disc == const.NFS3ERR_NOTDIR
+    assert decoded.dir_attributes is None
+
+
+def test_write_args_roundtrip():
+    args = types.WriteArgs.make(
+        file=b"H" * 16, offset=4096, count=3,
+        stable=const.FILE_SYNC, data=b"abc",
+    )
+    decoded = roundtrip(types.WriteArgs, args)
+    assert decoded.data == b"abc"
+    assert decoded.stable == const.FILE_SYNC
+
+
+def test_create_how_arms():
+    unchecked = (const.UNCHECKED, sattr(mode=0o644))
+    exclusive = (const.EXCLUSIVE, b"\x01" * 8)
+    args1 = types.CreateArgs.make(
+        where=types.DirOpArgs.make(dir=b"D" * 16, name="f"), how=unchecked
+    )
+    args2 = types.CreateArgs.make(
+        where=types.DirOpArgs.make(dir=b"D" * 16, name="f"), how=exclusive
+    )
+    decoded1 = roundtrip(types.CreateArgs, args1)
+    decoded2 = roundtrip(types.CreateArgs, args2)
+    assert decoded1.how[0] == const.UNCHECKED
+    assert decoded2.how == exclusive
+
+
+def test_every_proc_has_codecs():
+    # All NFS3 procedures except MKNOD (11), which this stack does not
+    # implement (device nodes have no meaning on the simulated machines).
+    expected = set(range(22)) - {const.NFSPROC3_MKNOD}
+    assert set(types.PROC_CODECS) == expected
+    for proc, (arg_codec, res_codec) in types.PROC_CODECS.items():
+        assert arg_codec is not None and res_codec is not None
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1),
+       st.text(min_size=1, max_size=20).filter(lambda s: "\x00" not in s))
+def test_direntry_roundtrip_property(fileid, name):
+    entry = types.DirEntry.make(fileid=fileid, name=name, cookie=1)
+    assert roundtrip(types.DirEntry, entry) == entry
+
+
+def test_wcc_data_roundtrip():
+    wcc = types.WccData.make(
+        before=types.WccAttr.make(size=1, mtime=make_time(1), ctime=make_time(2)),
+        after=make_fattr(),
+    )
+    decoded = roundtrip(types.WccData, wcc)
+    assert decoded.before.size == 1
+    assert decoded.after.fileid == 42
+    empty = types.WccData.make(before=None, after=None)
+    assert roundtrip(types.WccData, empty) == empty

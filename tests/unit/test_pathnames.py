@@ -1,0 +1,150 @@
+"""Tests for self-certifying pathnames (repro.core.pathnames)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pathnames import (
+    HOSTID_B32_LEN,
+    PathnameError,
+    SelfCertifyingPath,
+    compute_hostid,
+    hostid_from_text,
+    hostid_to_text,
+    make_path,
+    parse_mount_name,
+    parse_path,
+)
+from repro.crypto.rabin import generate_key
+from repro.crypto.sha1 import SHA1
+
+
+@pytest.fixture(scope="module")
+def key():
+    return generate_key(768, random.Random(77)).public_key
+
+
+def test_hostid_is_20_bytes(key):
+    hostid = compute_hostid("example.com", key)
+    assert len(hostid) == 20
+
+
+def test_hostid_binds_location_and_key(key):
+    other_key = generate_key(768, random.Random(78)).public_key
+    base = compute_hostid("example.com", key)
+    assert compute_hostid("other.com", key) != base
+    assert compute_hostid("example.com", other_key) != base
+
+
+def test_hostid_input_is_duplicated(key):
+    """Paper footnote 1: the SHA-1 input is deliberately fed twice."""
+    hostid = compute_hostid("example.com", key)
+    location = "example.com"
+    key_bytes = key.to_bytes()
+    part = (
+        b"HostInfo"
+        + len(location).to_bytes(4, "big") + location.encode()
+        + len(key_bytes).to_bytes(4, "big") + key_bytes
+    )
+    assert SHA1(part + part).digest() == hostid
+    assert SHA1(part).digest() != hostid
+
+
+def test_invalid_location_rejected(key):
+    for bad in ("", "-leading-dash", "spaces here", "slash/inside", "colon:in"):
+        with pytest.raises(PathnameError):
+            compute_hostid(bad, key)
+
+
+def test_hostid_text_roundtrip(key):
+    hostid = compute_hostid("example.com", key)
+    text = hostid_to_text(hostid)
+    assert len(text) == HOSTID_B32_LEN
+    assert hostid_from_text(text) == hostid
+
+
+def test_hostid_text_validation():
+    with pytest.raises(PathnameError):
+        hostid_to_text(b"short")
+    with pytest.raises(PathnameError):
+        hostid_from_text("tooshort")
+    with pytest.raises(PathnameError):
+        hostid_from_text("l" * 32)  # 'l' is not in the alphabet
+
+
+def test_make_and_parse_path(key):
+    path = make_path("sfs.lcs.mit.edu", key, "home/alice")
+    text = str(path)
+    assert text.startswith("/sfs/sfs.lcs.mit.edu:")
+    parsed = parse_path(text)
+    assert parsed == path
+    assert parsed.location == "sfs.lcs.mit.edu"
+    assert parsed.rest == "home/alice"
+
+
+def test_path_without_rest(key):
+    path = make_path("example.com", key)
+    assert str(path) == f"/sfs/{path.mount_name}"
+    assert parse_path(str(path)).rest == ""
+
+
+def test_matches_key(key):
+    other = generate_key(768, random.Random(79)).public_key
+    path = make_path("example.com", key)
+    assert path.matches_key(key)
+    assert not path.matches_key(other)
+
+
+def test_parse_mount_name(key):
+    path = make_path("a.example.com", key)
+    parsed = parse_mount_name(path.mount_name)
+    assert parsed is not None
+    assert parsed.location == "a.example.com"
+    assert parsed.hostid == path.hostid
+
+
+@pytest.mark.parametrize("name", [
+    "no-colon-here",
+    ":missinglocation22222222222222222222222222222222",
+    "host:tooshort",
+    "host:" + "l" * 32,       # invalid character
+    "bad host:" + "2" * 32,   # invalid location
+])
+def test_parse_mount_name_rejects(name):
+    assert parse_mount_name(name) is None
+
+
+@pytest.mark.parametrize("path", [
+    "/not/sfs/path",
+    "/sfs",
+    "/sfs/",
+    "/sfs/plainname",
+    "/sfs/host:short",
+])
+def test_parse_path_rejects(path):
+    with pytest.raises(PathnameError):
+        parse_path(path)
+
+
+def test_two_keys_same_host_distinct_paths(key):
+    """The AFS-conundrum property: disagreeing about a server's key means
+    accessing different names (section 5.1)."""
+    other = generate_key(768, random.Random(80)).public_key
+    p1 = make_path("shared.example.com", key)
+    p2 = make_path("shared.example.com", other)
+    assert p1.mount_name != p2.mount_name
+
+
+@given(st.binary(min_size=20, max_size=20))
+def test_hostid_text_roundtrip_property(hostid):
+    assert hostid_from_text(hostid_to_text(hostid)) == hostid
+
+
+@given(st.from_regex(r"[a-z][a-z0-9.\-]{0,30}", fullmatch=True),
+       st.binary(min_size=20, max_size=20),
+       st.from_regex(r"([a-z0-9]{1,8}(/[a-z0-9]{1,8}){0,3})?", fullmatch=True))
+@settings(max_examples=50)
+def test_parse_format_roundtrip_property(location, hostid, rest):
+    path = SelfCertifyingPath(location, hostid, rest)
+    assert parse_path(str(path)) == path

@@ -1,0 +1,74 @@
+"""Tests for server-side path helpers (repro.fs.pathops)."""
+
+import pytest
+
+from repro.fs.memfs import Cred, FsError, MemFs, NF_DIR, NF_LNK
+from repro.fs import pathops
+
+
+@pytest.fixture
+def fs():
+    return MemFs()
+
+
+def test_mkdirs_creates_chain(fs):
+    leaf = pathops.mkdirs(fs, "/a/b/c")
+    assert leaf.ftype == NF_DIR
+    again = pathops.mkdirs(fs, "/a/b/c")
+    assert again.ino == leaf.ino  # idempotent
+
+
+def test_mkdirs_conflicts_with_file(fs):
+    pathops.write_file(fs, "/a", b"file")
+    with pytest.raises(FsError):
+        pathops.mkdirs(fs, "/a/b")
+
+
+def test_write_read_file(fs):
+    pathops.write_file(fs, "/dir/file.txt", b"contents")
+    assert pathops.read_file(fs, "/dir/file.txt") == b"contents"
+    # overwrite truncates
+    pathops.write_file(fs, "/dir/file.txt", b"x")
+    assert pathops.read_file(fs, "/dir/file.txt") == b"x"
+
+
+def test_symlink_resolution(fs):
+    pathops.write_file(fs, "/real/data", b"1")
+    pathops.symlink(fs, "/alias", "real")
+    assert pathops.read_file(fs, "/alias/data") == b"1"
+    pathops.symlink(fs, "/abs", "/real/data")
+    assert pathops.read_file(fs, "/abs") == b"1"
+
+
+def test_resolve_nofollow(fs):
+    pathops.symlink(fs, "/link", "/anywhere")
+    inode = pathops.resolve(fs, "/link", follow=False)
+    assert inode.ftype == NF_LNK
+
+
+def test_symlink_loop_detected(fs):
+    pathops.symlink(fs, "/l1", "/l2")
+    pathops.symlink(fs, "/l2", "/l1")
+    with pytest.raises(FsError):
+        pathops.resolve(fs, "/l1")
+
+
+def test_listdir(fs):
+    pathops.write_file(fs, "/d/a", b"")
+    pathops.write_file(fs, "/d/b", b"")
+    pathops.mkdirs(fs, "/d/sub")
+    assert sorted(pathops.listdir(fs, "/d")) == ["a", "b", "sub"]
+
+
+def test_missing_path(fs):
+    with pytest.raises(FsError):
+        pathops.resolve(fs, "/no/such/path")
+    with pytest.raises(FsError):
+        pathops.read_file(fs, "/absent")
+
+
+def test_empty_path_errors(fs):
+    with pytest.raises(FsError):
+        pathops.write_file(fs, "", b"x")
+    with pytest.raises(FsError):
+        pathops.symlink(fs, "/", "target")

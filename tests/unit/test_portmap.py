@@ -1,0 +1,81 @@
+"""Tests for the port mapper (repro.rpc.portmap)."""
+
+import pytest
+
+from repro.rpc.peer import Program, RpcPeer
+from repro.rpc.portmap import (
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    PortMapper,
+    PortMapperClient,
+)
+from repro.rpc.xdr import Struct, UInt32
+from repro.sim.clock import Clock
+from repro.sim.network import NetworkParameters, link_pair
+
+ADD_ARGS = Struct("AddArgs", [("x", UInt32), ("y", UInt32)])
+
+
+@pytest.fixture
+def stack():
+    clock = Clock()
+    a, b = link_pair(clock, NetworkParameters.instant())
+    server_peer = RpcPeer(b, "rpcbind-host")
+    pmap = PortMapper(callit_peer=server_peer)
+    server_peer.register(pmap.program)
+    demo = Program("demo", 300300, 1)
+    demo.add_proc(1, "ADD", ADD_ARGS, UInt32,
+                  lambda args, ctx: args.x + args.y)
+    server_peer.register(demo)
+    client = PortMapperClient(RpcPeer(a, "querier"))
+    return pmap, client
+
+
+def test_set_getport(stack):
+    _pmap, client = stack
+    assert client.set(300300, 1, IPPROTO_TCP, 2049)
+    assert client.getport(300300, 1, IPPROTO_TCP) == 2049
+    assert client.getport(300300, 1, IPPROTO_UDP) == 0
+    assert client.getport(999999, 1) == 0
+
+
+def test_first_registration_wins(stack):
+    _pmap, client = stack
+    assert client.set(300300, 1, IPPROTO_TCP, 2049)
+    assert not client.set(300300, 1, IPPROTO_TCP, 9999)
+    assert client.getport(300300, 1) == 2049
+
+
+def test_unset(stack):
+    _pmap, client = stack
+    client.set(300300, 1, IPPROTO_TCP, 2049)
+    client.set(300300, 1, IPPROTO_UDP, 2049)
+    assert client.unset(300300, 1)
+    assert client.getport(300300, 1, IPPROTO_TCP) == 0
+    assert not client.unset(300300, 1)  # nothing left
+
+
+def test_dump(stack):
+    _pmap, client = stack
+    client.set(100003, 3, IPPROTO_UDP, 2049)
+    client.set(100005, 3, IPPROTO_UDP, 635)
+    listing = client.dump()
+    assert (100003, 3, IPPROTO_UDP, 2049) in listing
+    assert (100005, 3, IPPROTO_UDP, 635) in listing
+
+
+def test_callit_relays_and_launders_identity(stack):
+    """CALLIT forwards an RPC through the portmapper — which is exactly
+    why the paper advises firewalls to block portmap traffic."""
+    _pmap, client = stack
+    client.set(300300, 1, IPPROTO_UDP, 1234)
+    result = client.callit(300300, 1, 1, ADD_ARGS, {"x": 40, "y": 2}, UInt32)
+    assert result == 42
+
+
+def test_callit_unregistered_target_fails(stack):
+    _pmap, client = stack
+    from repro.rpc.peer import RpcRejected
+
+    with pytest.raises(RpcRejected):
+        client.callit(300300, 1, 1, ADD_ARGS, {"x": 1, "y": 1}, UInt32)

@@ -1,0 +1,167 @@
+"""Tests for the read-only dialect (repro.core.readonly)."""
+
+import random
+
+import pytest
+
+from repro.core.pathnames import make_path
+from repro.core.readonly import (
+    CHUNK_SIZE,
+    ReadOnlyClient,
+    ReadOnlyError,
+    ReadOnlyStore,
+    RO_DIR,
+    RO_REG,
+    publish,
+)
+from repro.crypto.rabin import generate_key
+from repro.fs import pathops
+from repro.fs.memfs import MemFs
+
+
+@pytest.fixture(scope="module")
+def key():
+    return generate_key(768, random.Random(90))
+
+
+@pytest.fixture(scope="module")
+def image(key):
+    fs = MemFs()
+    pathops.write_file(fs, "/docs/readme.txt", b"hello read-only world")
+    pathops.write_file(fs, "/docs/big.bin", bytes(range(256)) * 100)
+    pathops.symlink(fs, "/latest", "docs")
+    return publish(fs, key, "ro.example.com", serial=5)
+
+
+def make_client(image, key, path=None):
+    store = ReadOnlyStore(image)
+
+    def fetch_root():
+        res = store.get_root()
+        res.public_key = key.public_key.to_bytes()
+        return res
+
+    return ReadOnlyClient(
+        path or make_path("ro.example.com", key.public_key),
+        fetch_root, store.get_data,
+    ), store
+
+
+def test_publish_produces_signed_root(image, key):
+    assert image.serial == 5
+    assert key.public_key.verify(image.root_bytes, image.signature)
+    assert image.root_digest in image.store
+
+
+def test_client_verifies_and_navigates(image, key):
+    client, _store = make_client(image, key)
+    docs = client.lookup(client.root_digest, "docs")
+    readme = client.lookup(docs, "readme.txt")
+    assert client.read_file(readme) == b"hello read-only world"
+    assert client.readlink(client.lookup(client.root_digest, "latest")) == "docs"
+    names = [name for name, _d in client.listdir(client.root_digest)]
+    assert names == ["docs", "latest"]
+
+
+def test_resolve_path(image, key):
+    client, _store = make_client(image, key)
+    digest = client.resolve_path("docs/readme.txt")
+    assert client.read_file(digest) == b"hello read-only world"
+
+
+def test_chunked_reads(image, key):
+    client, _store = make_client(image, key)
+    digest = client.resolve_path("docs/big.bin")
+    full = bytes(range(256)) * 100
+    assert client.read_file(digest) == full
+    assert client.read_file(digest, 5, 10) == full[5:15]
+    assert client.read_file(digest, CHUNK_SIZE - 3, 10) == (
+        full[CHUNK_SIZE - 3 : CHUNK_SIZE + 7]
+    )
+    assert client.read_file(digest, len(full) + 10, 5) == b""
+
+
+def test_wrong_key_for_pathname_rejected(image, key):
+    other = generate_key(768, random.Random(91))
+    wrong_path = make_path("ro.example.com", other.public_key)
+    with pytest.raises(ReadOnlyError):
+        make_client(image, key, path=wrong_path)
+
+
+def test_wrong_location_rejected(image, key):
+    wrong_path = make_path("other.example.com", key.public_key)
+    with pytest.raises(ReadOnlyError):
+        make_client(image, key, path=wrong_path)
+
+
+def test_tampered_signature_rejected(image, key):
+    evil = image.replicate()
+    evil.signature = bytes(len(evil.signature))
+    with pytest.raises(ReadOnlyError):
+        make_client(evil, key)
+
+
+def test_tampered_blob_detected(image, key):
+    evil = image.replicate()
+    # corrupt the blob holding the readme's content
+    for digest, blob in evil.store.items():
+        if b"hello read-only" in blob:
+            evil.store[digest] = blob.replace(b"hello", b"jello")
+            break
+    client, _store = make_client(evil, key)
+    with pytest.raises(ReadOnlyError):
+        client.read_file(client.resolve_path("docs/readme.txt"))
+
+
+def test_missing_blob_detected(image, key):
+    evil = image.replicate()
+    client, _store = make_client(image, key)
+    target = client.resolve_path("docs/big.bin")
+    del evil.store[target]
+    client2, _store2 = make_client(evil, key)
+    with pytest.raises(ReadOnlyError):
+        client2.node(target)
+
+
+def test_type_confusion_rejected(image, key):
+    client, _store = make_client(image, key)
+    file_digest = client.resolve_path("docs/readme.txt")
+    with pytest.raises(ReadOnlyError):
+        client.lookup(file_digest, "x")
+    with pytest.raises(ReadOnlyError):
+        client.listdir(file_digest)
+    with pytest.raises(ReadOnlyError):
+        client.readlink(file_digest)
+    dir_digest = client.resolve_path("docs")
+    with pytest.raises(ReadOnlyError):
+        client.read_file(dir_digest)
+
+
+def test_lookup_missing_entry(image, key):
+    client, _store = make_client(image, key)
+    with pytest.raises(ReadOnlyError):
+        client.lookup(client.root_digest, "nonexistent")
+
+
+def test_client_caches_blobs(image, key):
+    client, store = make_client(image, key)
+    client.read_file(client.resolve_path("docs/readme.txt"))
+    calls_before = store.getdata_calls
+    client.read_file(client.resolve_path("docs/readme.txt"))
+    assert store.getdata_calls == calls_before  # all cache hits
+
+
+def test_replicate_is_deep_enough(image):
+    copy = image.replicate()
+    copy.store.clear()
+    assert image.store  # original unaffected
+
+
+def test_publish_content_addressing_dedupes(key):
+    fs = MemFs()
+    pathops.write_file(fs, "/a", b"same bytes")
+    pathops.write_file(fs, "/b", b"same bytes")
+    image = publish(fs, key, "dedupe.example.com")
+    # identical chunks and identical file nodes share storage
+    content_blobs = [b for b in image.store.values() if b == b"same bytes"]
+    assert len(content_blobs) == 1

@@ -1,0 +1,112 @@
+"""Tests for revocation certificates and forwarding pointers."""
+
+import random
+
+import pytest
+
+from repro.core import proto
+from repro.core.pathnames import compute_hostid
+from repro.core.revocation import (
+    CertificateError,
+    REVOKED_LINK_TARGET,
+    make_forwarding_pointer,
+    make_revocation_certificate,
+    verify_certificate,
+)
+from repro.crypto.rabin import generate_key
+from repro.rpc.xdr import Record
+
+
+@pytest.fixture(scope="module")
+def key():
+    return generate_key(768, random.Random(60))
+
+
+@pytest.fixture(scope="module")
+def other_key():
+    return generate_key(768, random.Random(61))
+
+
+def test_revocation_certificate_verifies(key):
+    cert = make_revocation_certificate(key, "example.com")
+    verified = verify_certificate(cert)
+    assert verified.is_revocation
+    assert not verified.is_forwarding_pointer
+    assert verified.location == "example.com"
+    assert verified.hostid == compute_hostid("example.com", key.public_key)
+
+
+def test_forwarding_pointer_verifies(key):
+    cert = make_forwarding_pointer(key, "old.com", "/sfs/new.com:abc")
+    verified = verify_certificate(cert)
+    assert verified.is_forwarding_pointer
+    assert verified.redirect == "/sfs/new.com:abc"
+
+
+def test_certificates_are_self_authenticating(key, other_key):
+    """Only the key owner can produce a cert for their HostID: a cert
+    signed by a different key yields a *different* HostID, never the
+    victim's."""
+    victim_hostid = compute_hostid("victim.com", key.public_key)
+    forged = make_revocation_certificate(other_key, "victim.com")
+    verified = verify_certificate(forged)  # verifies as other_key's cert
+    assert verified.hostid != victim_hostid
+
+
+def test_tampered_signature_rejected(key):
+    cert = make_revocation_certificate(key, "example.com")
+    bad = Record(
+        body=cert.body,
+        public_key=cert.public_key,
+        signature=bytes(len(cert.signature)),
+    )
+    with pytest.raises(CertificateError):
+        verify_certificate(bad)
+
+
+def test_tampered_body_rejected(key):
+    cert = make_revocation_certificate(key, "example.com")
+    body = bytearray(cert.body)
+    body[-1] ^= 1
+    bad = Record(body=bytes(body), public_key=cert.public_key,
+                 signature=cert.signature)
+    with pytest.raises(CertificateError):
+        verify_certificate(bad)
+
+
+def test_swapped_key_rejected(key, other_key):
+    cert = make_revocation_certificate(key, "example.com")
+    bad = Record(body=cert.body,
+                 public_key=other_key.public_key.to_bytes(),
+                 signature=cert.signature)
+    with pytest.raises(CertificateError):
+        verify_certificate(bad)
+
+
+def test_malformed_body_rejected(key):
+    bad = Record(body=b"garbage", public_key=key.public_key.to_bytes(),
+                 signature=key.sign(b"garbage"))
+    with pytest.raises(CertificateError):
+        verify_certificate(bad)
+
+
+def test_wrong_message_type_rejected(key):
+    body = proto.RevokeBody.pack(proto.RevokeBody.make(
+        msg_type="SomethingElse", location="example.com", redirect=None,
+    ))
+    bad = Record(body=body, public_key=key.public_key.to_bytes(),
+                 signature=key.sign(body))
+    with pytest.raises(CertificateError):
+        verify_certificate(bad)
+
+
+def test_certificate_serializes_through_xdr(key):
+    cert = make_revocation_certificate(key, "example.com")
+    blob = proto.SignedCertificate.pack(cert)
+    restored = proto.SignedCertificate.unpack(blob)
+    assert verify_certificate(restored).is_revocation
+
+
+def test_revoked_link_target_is_not_a_valid_name():
+    assert "/" not in REVOKED_LINK_TARGET
+    assert REVOKED_LINK_TARGET.startswith(":")

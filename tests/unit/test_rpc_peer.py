@@ -1,0 +1,165 @@
+"""Tests for the symmetric RPC peer (repro.rpc.peer)."""
+
+import pytest
+
+from repro.rpc.peer import Program, RpcPeer, RpcRejected, RpcTimeout
+from repro.rpc.xdr import String, Struct, UInt32, VOID
+from repro.sim.clock import Clock
+from repro.sim.network import DropAdversary, NetworkParameters, link_pair
+
+ADD_ARGS = Struct("AddArgs", [("x", UInt32), ("y", UInt32)])
+
+
+def make_pair(adversary=None):
+    clock = Clock()
+    a, b = link_pair(clock, NetworkParameters.instant(), adversary)
+    return RpcPeer(a, "client"), RpcPeer(b, "server"), clock
+
+
+def demo_program():
+    program = Program("demo", 400000, 2)
+
+    @program.proc(1, "ADD", ADD_ARGS, UInt32)
+    def add(args, ctx):
+        return (args.x + args.y) & 0xFFFFFFFF
+
+    @program.proc(2, "FAIL", VOID, VOID)
+    def fail(args, ctx):
+        raise RuntimeError("handler exploded")
+
+    return program
+
+
+def test_basic_call():
+    client, server, _clock = make_pair()
+    server.register(demo_program())
+    assert client.call(400000, 2, 1, ADD_ARGS, {"x": 2, "y": 3}, UInt32) == 5
+    assert client.calls_sent == 1
+    assert server.calls_served == 1
+
+
+def test_null_procedure_automatic():
+    client, server, _clock = make_pair()
+    server.register(demo_program())
+    assert client.call(400000, 2, 0, VOID, None, VOID) is None
+
+
+def test_unknown_program_rejected():
+    client, server, _clock = make_pair()
+    with pytest.raises(RpcRejected) as excinfo:
+        client.call(999999, 1, 1, VOID, None, VOID)
+    assert excinfo.value.header.accept_stat == 1  # PROG_UNAVAIL
+
+
+def test_version_mismatch_reports_range():
+    client, server, _clock = make_pair()
+    server.register(demo_program())
+    with pytest.raises(RpcRejected) as excinfo:
+        client.call(400000, 9, 1, ADD_ARGS, {"x": 1, "y": 1}, UInt32)
+    assert excinfo.value.header.accept_stat == 2  # PROG_MISMATCH
+    assert excinfo.value.header.mismatch_low == 2
+    assert excinfo.value.header.mismatch_high == 2
+
+
+def test_unknown_procedure_rejected():
+    client, server, _clock = make_pair()
+    server.register(demo_program())
+    with pytest.raises(RpcRejected) as excinfo:
+        client.call(400000, 2, 77, VOID, None, VOID)
+    assert excinfo.value.header.accept_stat == 3  # PROC_UNAVAIL
+
+
+def test_garbage_args_rejected():
+    client, server, _clock = make_pair()
+    server.register(demo_program())
+    # Send a string where a struct of two uint32s is expected.
+    with pytest.raises(RpcRejected) as excinfo:
+        client.call(400000, 2, 1, String(), "not numbers", UInt32)
+    assert excinfo.value.header.accept_stat == 4  # GARBAGE_ARGS
+
+
+def test_handler_exception_becomes_system_err():
+    client, server, _clock = make_pair()
+    server.register(demo_program())
+    with pytest.raises(RpcRejected) as excinfo:
+        client.call(400000, 2, 2, VOID, None, VOID)
+    assert excinfo.value.header.accept_stat == 5  # SYSTEM_ERR
+
+
+def test_dropped_record_times_out():
+    client, server, _clock = make_pair(DropAdversary(target_index=0))
+    server.register(demo_program())
+    with pytest.raises(RpcTimeout):
+        client.call(400000, 2, 1, ADD_ARGS, {"x": 1, "y": 2}, UInt32)
+    # The connection still works for the next call.
+    assert client.call(400000, 2, 1, ADD_ARGS, {"x": 1, "y": 2}, UInt32) == 3
+
+
+def test_bidirectional_calls():
+    client, server, _clock = make_pair()
+    server.register(demo_program())
+    notifications = []
+    callback = Program("cb", 500000, 1)
+
+    @callback.proc(1, "NOTIFY", String(), VOID)
+    def notify(args, ctx):
+        notifications.append(args)
+
+    client.register(callback)
+    assert client.call(400000, 2, 1, ADD_ARGS, {"x": 1, "y": 1}, UInt32) == 2
+    server.call(500000, 1, 1, String(), "cache invalid", VOID)
+    assert notifications == ["cache invalid"]
+
+
+def test_callback_during_handler():
+    """A server handler can call back into the client mid-request."""
+    client, server, _clock = make_pair()
+    program = Program("nested", 600000, 1)
+    callback = Program("cb", 600001, 1)
+    events = []
+
+    @callback.proc(1, "PING", VOID, VOID)
+    def ping(args, ctx):
+        events.append("ping")
+
+    client.register(callback)
+
+    @program.proc(1, "TRIGGER", VOID, VOID)
+    def trigger(args, ctx):
+        ctx.peer.call(600001, 1, 1, VOID, None, VOID)
+        events.append("handled")
+
+    server.register(program)
+    client.call(600000, 1, 1, VOID, None, VOID)
+    assert events == ["ping", "handled"]
+
+
+def test_unparseable_record_dropped():
+    client, server, _clock = make_pair()
+    server.register(demo_program())
+    traces = []
+    server.trace = traces.append
+    # Inject raw garbage directly at the server's receive handler.
+    server._on_record(b"\x00garbage")
+    assert any("unparseable" in t for t in traces)
+    # Still serves normal calls.
+    assert client.call(400000, 2, 1, ADD_ARGS, {"x": 4, "y": 4}, UInt32) == 8
+
+
+def test_trace_pretty_prints_traffic():
+    client, server, _clock = make_pair()
+    server.register(demo_program())
+    log = []
+    client.trace = log.append
+    server.trace = log.append
+    client.call(400000, 2, 1, ADD_ARGS, {"x": 1, "y": 2}, UInt32)
+    assert any("ADD" in line for line in log)
+    assert any("call" in line for line in log)
+
+
+def test_unregister():
+    client, server, _clock = make_pair()
+    server.register(demo_program())
+    server.unregister(400000, 2)
+    with pytest.raises(RpcRejected):
+        client.call(400000, 2, 1, ADD_ARGS, {"x": 1, "y": 1}, UInt32)

@@ -1,0 +1,96 @@
+"""Tests for Sun RPC message framing (repro.rpc.rpcmsg)."""
+
+import pytest
+
+from repro.rpc import rpcmsg
+from repro.rpc.rpcmsg import (
+    AuthSys,
+    CallHeader,
+    NULL_AUTH,
+    OpaqueAuth,
+    ReplyHeader,
+    RpcMsgError,
+    pack_call,
+    pack_reply,
+    parse_message,
+)
+
+
+def test_call_roundtrip():
+    header = CallHeader(xid=7, prog=100003, vers=3, proc=1)
+    parsed = parse_message(pack_call(header, b"ARGS"))
+    assert parsed.mtype == rpcmsg.CALL
+    assert parsed.call == header
+    assert parsed.body == b"ARGS"
+
+
+def test_call_with_authsys():
+    cred = AuthSys(stamp=5, machinename="host", uid=10, gid=20,
+                   gids=(30, 40)).to_auth()
+    header = CallHeader(xid=1, prog=2, vers=3, proc=4, cred=cred)
+    parsed = parse_message(pack_call(header, b""))
+    decoded = AuthSys.from_auth(parsed.call.cred)
+    assert decoded == AuthSys(5, "host", 10, 20, (30, 40))
+
+
+def test_authsys_rejects_wrong_flavor():
+    with pytest.raises(RpcMsgError):
+        AuthSys.from_auth(NULL_AUTH)
+
+
+def test_authsys_group_limit():
+    auth = AuthSys(gids=tuple(range(20))).to_auth()
+    decoded = AuthSys.from_auth(auth)
+    assert len(decoded.gids) == 16
+
+
+def test_success_reply_roundtrip():
+    reply = ReplyHeader(xid=9)
+    parsed = parse_message(pack_reply(reply, b"RESULT"))
+    assert parsed.mtype == rpcmsg.REPLY
+    assert parsed.reply.successful
+    assert parsed.body == b"RESULT"
+
+
+@pytest.mark.parametrize("accept_stat", [
+    rpcmsg.PROG_UNAVAIL, rpcmsg.PROC_UNAVAIL,
+    rpcmsg.GARBAGE_ARGS, rpcmsg.SYSTEM_ERR,
+])
+def test_error_replies(accept_stat):
+    reply = ReplyHeader(xid=3, accept_stat=accept_stat)
+    parsed = parse_message(pack_reply(reply))
+    assert not parsed.reply.successful
+    assert parsed.reply.accept_stat == accept_stat
+    assert parsed.body == b""
+
+
+def test_prog_mismatch_carries_versions():
+    reply = ReplyHeader(xid=3, accept_stat=rpcmsg.PROG_MISMATCH,
+                        mismatch_low=2, mismatch_high=4)
+    parsed = parse_message(pack_reply(reply))
+    assert parsed.reply.mismatch_low == 2
+    assert parsed.reply.mismatch_high == 4
+
+
+def test_denied_reply():
+    reply = ReplyHeader(xid=5, reply_stat=rpcmsg.MSG_DENIED,
+                        reject_stat=rpcmsg.AUTH_ERROR, auth_stat=1)
+    parsed = parse_message(pack_reply(reply))
+    assert parsed.reply.reply_stat == rpcmsg.MSG_DENIED
+    assert parsed.reply.auth_stat == 1
+
+
+def test_wrong_rpc_version_rejected():
+    header = CallHeader(xid=1, prog=2, vers=3, proc=4)
+    raw = bytearray(pack_call(header, b""))
+    raw[11] = 9  # rpcvers field
+    with pytest.raises(RpcMsgError):
+        parse_message(bytes(raw))
+
+
+def test_garbage_rejected():
+    with pytest.raises(Exception):
+        parse_message(b"\x00\x01")
+    bad_mtype = (1).to_bytes(4, "big") + (5).to_bytes(4, "big")
+    with pytest.raises(RpcMsgError):
+        parse_message(bad_mtype)

@@ -1,0 +1,57 @@
+"""Unit tests for the sfskey utility's client-side pieces."""
+
+import random
+
+import pytest
+
+from repro.core import sfskey
+from repro.crypto.rabin import generate_key
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return random.Random(95)
+
+
+@pytest.fixture(scope="module")
+def key(rng):
+    return generate_key(768, rng)
+
+
+def test_private_key_encryption_roundtrip(key):
+    blob = sfskey.encrypt_private_key(key, b"password", b"salt", cost=2)
+    restored = sfskey.decrypt_private_key(blob, b"password", b"salt", cost=2)
+    assert restored == key
+
+
+def test_private_key_blob_hides_key(key):
+    blob = sfskey.encrypt_private_key(key, b"password", b"salt", cost=2)
+    assert key.to_bytes() not in blob
+
+
+def test_wrong_password_fails(key):
+    blob = sfskey.encrypt_private_key(key, b"password", b"salt", cost=2)
+    with pytest.raises(sfskey.SfsKeyError):
+        sfskey.decrypt_private_key(blob, b"wrong", b"salt", cost=2)
+    with pytest.raises(sfskey.SfsKeyError):
+        sfskey.decrypt_private_key(blob, b"password", b"other", cost=2)
+    with pytest.raises(sfskey.SfsKeyError):
+        sfskey.decrypt_private_key(blob, b"password", b"salt", cost=3)
+
+
+def test_prepare_enrolment(rng):
+    enrolment = sfskey.prepare_enrolment("alice", b"pw", rng,
+                                         cost=2, key_bits=768)
+    assert enrolment.user == "alice"
+    assert enrolment.srp_cost == 2
+    assert enrolment.srp_verifier > 0
+    assert len(enrolment.srp_salt) == 16
+    restored = sfskey.decrypt_private_key(
+        enrolment.encrypted_privkey, b"pw", enrolment.srp_salt, 2
+    )
+    assert restored == enrolment.key
+
+
+def test_prepare_enrolment_with_existing_key(rng, key):
+    enrolment = sfskey.prepare_enrolment("bob", b"pw", rng, key=key, cost=2)
+    assert enrolment.key is key

@@ -1,0 +1,93 @@
+"""Tests for the from-scratch SHA-1 (repro.crypto.sha1)."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import backend
+from repro.crypto.sha1 import SHA1, sha1, sha1_concat
+
+# FIPS 180-1 test vectors.
+VECTORS = [
+    (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+    (
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+    ),
+    (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+    (b"a" * 1_000_000, "34aa973cd4c4daa4f61eeb2bdbad27316534016f"),
+]
+
+
+@pytest.mark.parametrize("message,expected", VECTORS)
+def test_fips_vectors(message, expected):
+    assert SHA1(message).hexdigest() == expected
+
+
+def test_streaming_matches_one_shot():
+    h = SHA1()
+    for chunk in (b"ab", b"c", b"", b"def" * 100):
+        h.update(chunk)
+    assert h.digest() == SHA1(b"abc" + b"def" * 100).digest()
+
+
+def test_digest_is_idempotent():
+    h = SHA1(b"hello")
+    first = h.digest()
+    assert h.digest() == first
+    h.update(b" world")
+    assert h.digest() == SHA1(b"hello world").digest()
+
+
+def test_copy_is_independent():
+    h = SHA1(b"base")
+    clone = h.copy()
+    clone.update(b"-more")
+    assert h.digest() == SHA1(b"base").digest()
+    assert clone.digest() == SHA1(b"base-more").digest()
+
+
+@pytest.mark.parametrize("length", [0, 1, 55, 56, 57, 63, 64, 65, 127, 128, 1000])
+def test_padding_boundaries_match_hashlib(length):
+    data = bytes(range(256)) * (length // 256 + 1)
+    data = data[:length]
+    assert SHA1(data).digest() == hashlib.sha1(data).digest()
+
+
+@given(st.binary(max_size=2048))
+@settings(max_examples=200)
+def test_matches_hashlib(data):
+    assert SHA1(data).digest() == hashlib.sha1(data).digest()
+
+
+@given(st.lists(st.binary(max_size=128), max_size=8))
+def test_streaming_split_invariance(chunks):
+    h = SHA1()
+    for chunk in chunks:
+        h.update(chunk)
+    assert h.digest() == SHA1(b"".join(chunks)).digest()
+
+
+def test_fast_backend_is_bit_identical():
+    data = b"self-certifying pathnames" * 9
+    backend.set_fast(True)
+    fast = sha1(data)
+    backend.set_fast(False)
+    try:
+        pure = sha1(data)
+    finally:
+        backend.set_fast(True)
+    assert fast == pure == hashlib.sha1(data).digest()
+
+
+def test_sha1_concat_equals_joined():
+    assert sha1_concat(b"a", b"b", b"c") == sha1(b"abc")
+
+
+def test_digest_size_attributes():
+    h = SHA1()
+    assert h.digest_size == 20
+    assert h.block_size == 64
+    assert len(h.digest()) == 20
+    assert len(h.hexdigest()) == 40

@@ -1,0 +1,190 @@
+"""Tests for the simulation substrate (repro.sim)."""
+
+import pytest
+
+from repro.sim.clock import Clock, Stopwatch
+from repro.sim.disk import Disk, DiskParameters
+from repro.sim.network import (
+    DropAdversary,
+    LinkDown,
+    NetworkParameters,
+    RecordingAdversary,
+    ReplayAdversary,
+    TamperAdversary,
+    link_pair,
+)
+
+
+# --- clock ---------------------------------------------------------------
+
+def test_clock_accumulates():
+    clock = Clock()
+    clock.advance(0.5)
+    clock.advance(0.25)
+    assert clock.now == pytest.approx(0.75)
+    clock.reset()
+    assert clock.now == 0.0
+
+
+def test_clock_rejects_negative():
+    with pytest.raises(ValueError):
+        Clock().advance(-1)
+
+
+def test_stopwatch():
+    clock = Clock()
+    watch = Stopwatch(clock)
+    clock.advance(1.0)
+    assert watch.elapsed() == pytest.approx(1.0)
+    watch.restart()
+    assert watch.elapsed() == 0.0
+
+
+# --- disk ---------------------------------------------------------------
+
+def test_sequential_reads_cheaper_than_random():
+    params = DiskParameters()
+    clock_seq = Clock()
+    disk_seq = Disk(clock_seq, params)
+    disk_seq.read(0, 8192)
+    for block in range(1, 20):
+        disk_seq.read(block, 8192)
+
+    clock_rand = Clock()
+    disk_rand = Disk(clock_rand, params)
+    for block in range(0, 200, 10):
+        disk_rand.read(block, 8192)
+    assert clock_seq.now < clock_rand.now
+
+
+def test_async_writes_free_sync_writes_cost():
+    clock = Clock()
+    disk = Disk(clock)
+    disk.write(0, 8192, sync=False)
+    assert clock.now == 0.0
+    disk.write(1, 8192, sync=True)
+    assert clock.now > 0.0
+    assert disk.writes == 2
+    assert disk.syncs == 1
+
+
+def test_explicit_sync_charges_seek():
+    clock = Clock()
+    disk = Disk(clock)
+    disk.sync(65536)
+    assert clock.now > 0.0
+    assert disk.syncs == 1
+
+
+def test_transfer_time_scales_with_size():
+    clock = Clock()
+    disk = Disk(clock)
+    disk.read(0, 8192)
+    small = clock.now
+    clock2 = Clock()
+    disk2 = Disk(clock2)
+    disk2.read(0, 8192 * 100)
+    assert clock2.now > small
+
+
+# --- network --------------------------------------------------------------
+
+def test_link_delivers_and_charges():
+    clock = Clock()
+    a, b = link_pair(clock, NetworkParameters.lan_100mbit())
+    inbox = []
+    b.on_receive(inbox.append)
+    a.on_receive(lambda data: None)
+    a.send(b"hello")
+    assert inbox == [b"hello"]
+    assert clock.now > 0.0
+    assert a.link.messages == 1
+
+
+def test_instant_network_is_free():
+    clock = Clock()
+    a, b = link_pair(clock, NetworkParameters.instant())
+    b.on_receive(lambda data: None)
+    a.send(b"x" * 10000)
+    assert clock.now == 0.0
+
+
+def test_closed_link_raises():
+    clock = Clock()
+    a, b = link_pair(clock)
+    b.on_receive(lambda data: None)
+    a.close()
+    with pytest.raises(LinkDown):
+        a.send(b"data")
+
+
+def test_missing_handler_raises():
+    clock = Clock()
+    a, _b = link_pair(clock)
+    with pytest.raises(LinkDown):
+        a.send(b"data")
+
+
+def test_tamper_adversary_flips_one_bit():
+    clock = Clock()
+    adversary = TamperAdversary(target_index=1)
+    a, b = link_pair(clock, NetworkParameters.instant(), adversary)
+    inbox = []
+    b.on_receive(inbox.append)
+    a.send(b"\x00\x00")
+    a.send(b"\x00\x00")
+    a.send(b"\x00\x00")
+    assert inbox[0] == b"\x00\x00"
+    assert inbox[1] != b"\x00\x00"
+    assert inbox[2] == b"\x00\x00"
+    assert adversary.tampered == 1
+
+
+def test_tamper_adversary_direction_filter():
+    clock = Clock()
+    adversary = TamperAdversary(target_index=0, direction="b->a")
+    a, b = link_pair(clock, NetworkParameters.instant(), adversary)
+    a_in, b_in = [], []
+    a.on_receive(a_in.append)
+    b.on_receive(b_in.append)
+    a.send(b"\x00")          # a->b untouched
+    b.send(b"\x00")          # b->a tampered
+    assert b_in == [b"\x00"]
+    assert a_in[0] != b"\x00"
+
+
+def test_replay_adversary_duplicates():
+    clock = Clock()
+    adversary = ReplayAdversary(replay_after=1, replay_index=0)
+    a, b = link_pair(clock, NetworkParameters.instant(), adversary)
+    inbox = []
+    b.on_receive(inbox.append)
+    a.send(b"one")
+    a.send(b"two")
+    assert inbox == [b"one", b"two", b"one"]
+    assert adversary.replayed == 1
+
+
+def test_drop_adversary():
+    clock = Clock()
+    adversary = DropAdversary(target_index=0)
+    a, b = link_pair(clock, NetworkParameters.instant(), adversary)
+    inbox = []
+    b.on_receive(inbox.append)
+    a.send(b"lost")
+    a.send(b"kept")
+    assert inbox == [b"kept"]
+    assert adversary.dropped == 1
+
+
+def test_recording_adversary_transcript():
+    clock = Clock()
+    adversary = RecordingAdversary()
+    a, b = link_pair(clock, NetworkParameters.instant(), adversary)
+    b.on_receive(lambda d: None)
+    a.on_receive(lambda d: None)
+    a.send(b"request")
+    b.send(b"response")
+    assert adversary.transcript == [
+        ("a->b", b"request"), ("b->a", b"response"),
+    ]

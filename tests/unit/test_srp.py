@@ -1,0 +1,117 @@
+"""Tests for SRP (repro.crypto.srp)."""
+
+import random
+
+import pytest
+
+from repro.crypto.srp import (
+    GROUP_N,
+    SRPClient,
+    SRPError,
+    SRPServer,
+    Verifier,
+    private_exponent,
+)
+
+COST = 2  # keep eksblowfish cheap in tests
+
+
+def _handshake(password_client: bytes, password_server: bytes,
+               seed: int = 7):
+    rng = random.Random(seed)
+    verifier = Verifier.from_password("alice", password_server, rng, COST)
+    client = SRPClient("alice", password_client, rng)
+    server = SRPServer(verifier, rng)
+    A = client.start()
+    salt, B, cost = server.challenge(A)
+    m1 = client.process_challenge(salt, B, cost)
+    m2 = server.verify_client(m1)
+    client.verify_server(m2)
+    return client, server
+
+
+def test_successful_agreement():
+    client, server = _handshake(b"pw", b"pw")
+    assert client.session_key == server.session_key
+    assert len(client.session_key) == 20
+
+
+def test_wrong_password_rejected():
+    rng = random.Random(8)
+    verifier = Verifier.from_password("alice", b"right", rng, COST)
+    client = SRPClient("alice", b"wrong", rng)
+    server = SRPServer(verifier, rng)
+    A = client.start()
+    salt, B, cost = server.challenge(A)
+    m1 = client.process_challenge(salt, B, cost)
+    with pytest.raises(SRPError):
+        server.verify_client(m1)
+    with pytest.raises(SRPError):
+        _ = server.session_key
+
+
+def test_client_detects_fake_server():
+    # A server without the verifier cannot produce a valid M2.
+    rng = random.Random(9)
+    client = SRPClient("alice", b"pw", rng)
+    client.start()
+    fake_verifier = Verifier.from_password("alice", b"not-the-password",
+                                           rng, COST)
+    fake = SRPServer(fake_verifier, rng)
+    salt, B, cost = fake.challenge(client._A)
+    client.process_challenge(salt, B, cost)
+    with pytest.raises(SRPError):
+        client.verify_server(b"\x00" * 20)
+
+
+def test_illegal_public_values_rejected():
+    rng = random.Random(10)
+    verifier = Verifier.from_password("alice", b"pw", rng, COST)
+    server = SRPServer(verifier, rng)
+    with pytest.raises(SRPError):
+        server.challenge(0)
+    with pytest.raises(SRPError):
+        server.challenge(GROUP_N)
+    client = SRPClient("alice", b"pw", rng)
+    client.start()
+    with pytest.raises(SRPError):
+        client.process_challenge(b"salt", 0, COST)
+
+
+def test_protocol_ordering_enforced():
+    rng = random.Random(11)
+    client = SRPClient("alice", b"pw", rng)
+    with pytest.raises(SRPError):
+        client.process_challenge(b"s", 12345, COST)
+    with pytest.raises(SRPError):
+        client.verify_server(b"\x00" * 20)
+    with pytest.raises(SRPError):
+        _ = client.session_key
+    verifier = Verifier.from_password("alice", b"pw", rng, COST)
+    server = SRPServer(verifier, rng)
+    with pytest.raises(SRPError):
+        server.verify_client(b"\x00" * 20)
+
+
+def test_session_keys_differ_per_run():
+    c1, _ = _handshake(b"pw", b"pw", seed=1)
+    c2, _ = _handshake(b"pw", b"pw", seed=2)
+    assert c1.session_key != c2.session_key
+
+
+def test_verifier_not_password_equivalent():
+    # The verifier is g^x; recovering x (the hardened password) needs a
+    # discrete log.  At minimum, different salts give unrelated verifiers.
+    rng = random.Random(12)
+    v1 = Verifier.from_password("alice", b"pw", rng, COST)
+    v2 = Verifier.from_password("alice", b"pw", rng, COST)
+    assert v1.salt != v2.salt
+    assert v1.v != v2.v
+
+
+def test_private_exponent_depends_on_all_inputs():
+    x = private_exponent("alice", b"pw", b"salt", COST)
+    assert x != private_exponent("bob", b"pw", b"salt", COST)
+    assert x != private_exponent("alice", b"qw", b"salt", COST)
+    assert x != private_exponent("alice", b"pw", b"flat", COST)
+    assert x == private_exponent("alice", b"pw", b"salt", COST)

@@ -1,0 +1,112 @@
+"""Tests for the world builder (repro.kernel.world)."""
+
+import pytest
+
+from repro.core.tcpstack import TcpConnector
+from repro.fs import pathops
+from repro.kernel.world import World
+
+
+def test_unknown_location_unreachable():
+    world = World(seed=161)
+    with pytest.raises(ConnectionError):
+        world.connector("nowhere.example.com", 1)
+
+
+def test_route_aliases_location():
+    world = World(seed=162)
+    real = world.add_server("real.example.com")
+    real.export_fs()
+    world.route("alias.example.com", real)
+    link = world.connector("alias.example.com", 1)
+    assert link is not None
+    assert real.master.connections_accepted == 1
+
+
+def test_server_multiple_exports_distinct_hostids():
+    world = World(seed=163)
+    server = world.add_server("multi.example.com")
+    p1 = server.export_fs(name="one")
+    p2 = server.export_fs(name="two")
+    assert p1.hostid != p2.hostid
+    assert set(server.exports) == {"one", "two"}
+
+
+def test_add_user_registers_key():
+    world = World(seed=164)
+    server = world.add_server("s.example.com")
+    server.export_fs()
+    user = server.add_user("u", uid=1234, gid=77, groups=(88,))
+    record = server.authserver.local_db.lookup_key(
+        user.key.public_key.to_bytes()
+    )
+    assert record is not None
+    assert (record.uid, record.gid, record.groups) == (1234, 77, (88,))
+
+
+def test_client_without_disk_and_without_encryption():
+    world = World(seed=165)
+    server = world.add_server("s.example.com", with_disk=False)
+    path = server.export_fs()
+    pathops.write_file(server.fs, "/f", b"x")
+    client = world.add_client("c", encrypt=False, with_disk=False)
+    client.new_agent("u", 1000)
+    proc = client.process(uid=1000)
+    assert proc.read_file(f"{path}/f") == b"x"
+    mount = client.sfscd._mounts[path.hostid]
+    assert mount.session.encrypt is False
+
+
+def test_ssu_without_agent_raises():
+    world = World(seed=166)
+    client = world.add_client("c")
+    with pytest.raises(KeyError):
+        client.ssu(42)
+
+
+def test_tcp_connector_unknown_route():
+    connector = TcpConnector()
+    with pytest.raises(ConnectionError):
+        connector("unrouted.example.com", 1)
+
+
+def test_many_clients_one_server():
+    """State isolation: ten clients, interleaved traffic, no bleed."""
+    world = World(seed=167)
+    server = world.add_server("hub.example.com")
+    path = server.export_fs()
+    from repro.fs.memfs import Cred
+
+    work = pathops.mkdirs(server.fs, "/w")
+    server.fs.setattr(work.ino, Cred(0, 0), mode=0o777)
+    procs = []
+    for index in range(10):
+        client = world.add_client(f"client{index}")
+        client.new_agent("u", 1000 + index)
+        procs.append(client.process(uid=1000 + index))
+    for index, proc in enumerate(procs):
+        proc.write_file(f"{path}/w/from{index}", f"client {index}".encode())
+    for index, proc in enumerate(procs):
+        # every client sees every other client's (world-readable) file
+        for other in range(10):
+            expected = f"client {other}".encode()
+            assert proc.read_file(f"{path}/w/from{other}") == expected
+    export = server.master.rw_export(path.hostid)
+    assert len(export.connections) == 10
+
+
+def test_one_client_many_servers():
+    world = World(seed=168)
+    paths = []
+    for index in range(6):
+        server = world.add_server(f"s{index}.example.com")
+        paths.append(server.export_fs())
+        pathops.write_file(server.fs, "/id", f"server {index}".encode())
+    client = world.add_client("hub-client")
+    client.new_agent("u", 1000)
+    proc = client.process(uid=1000)
+    for index, path in enumerate(paths):
+        assert proc.read_file(f"{path}/id") == f"server {index}".encode()
+    # Six mounts, six distinct device numbers.
+    fsids = {proc.stat(str(path)).fsid for path in paths}
+    assert len(fsids) == 6

@@ -1,0 +1,253 @@
+"""Tests for the XDR codec layer (repro.rpc.xdr)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rpc.xdr import (
+    Array,
+    Bool,
+    Enum,
+    FixedArray,
+    FixedOpaque,
+    Hyper,
+    Int32,
+    Opaque,
+    Optional,
+    Packer,
+    Record,
+    String,
+    Struct,
+    UHyper,
+    UInt32,
+    Union,
+    Unpacker,
+    VOID,
+    XdrError,
+)
+
+
+def roundtrip(codec, value):
+    return codec.unpack(codec.pack(value))
+
+
+# --- primitives --------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_uint32_roundtrip(value):
+    assert roundtrip(UInt32, value) == value
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_int32_roundtrip(value):
+    assert roundtrip(Int32, value) == value
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_uhyper_roundtrip(value):
+    assert roundtrip(UHyper, value) == value
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+def test_hyper_roundtrip(value):
+    assert roundtrip(Hyper, value) == value
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(XdrError):
+        UInt32.pack(-1)
+    with pytest.raises(XdrError):
+        UInt32.pack(2**32)
+    with pytest.raises(XdrError):
+        Int32.pack(2**31)
+
+
+def test_bool_strictness():
+    assert roundtrip(Bool, True) is True
+    assert roundtrip(Bool, False) is False
+    with pytest.raises(XdrError):
+        Bool.unpack((2).to_bytes(4, "big"))
+
+
+def test_void():
+    assert VOID.pack(None) == b""
+    assert VOID.unpack(b"") is None
+    with pytest.raises(XdrError):
+        VOID.pack("something")
+
+
+# --- opaque / string ---------------------------------------------------------
+
+@given(st.binary(max_size=100))
+def test_opaque_roundtrip(data):
+    assert roundtrip(Opaque(), data) == data
+
+
+def test_opaque_padding_to_four():
+    packed = Opaque().pack(b"abcde")
+    assert len(packed) == 4 + 8  # length word + 5 bytes padded to 8
+    assert packed.endswith(b"\x00\x00\x00")
+
+
+def test_opaque_nonzero_padding_rejected():
+    packed = bytearray(Opaque().pack(b"a"))
+    packed[-1] = 1
+    with pytest.raises(XdrError):
+        Opaque().unpack(bytes(packed))
+
+
+def test_opaque_maximum_enforced():
+    with pytest.raises(XdrError):
+        Opaque(4).pack(b"12345")
+    with pytest.raises(XdrError):
+        Opaque(4).unpack(Opaque().pack(b"12345"))
+
+
+def test_fixed_opaque():
+    codec = FixedOpaque(5)
+    assert roundtrip(codec, b"12345") == b"12345"
+    with pytest.raises(XdrError):
+        codec.pack(b"1234")
+
+
+@given(st.text(max_size=50))
+def test_string_roundtrip(text):
+    assert roundtrip(String(), text) == text
+
+
+def test_string_invalid_utf8_rejected():
+    packed = Opaque().pack(b"\xff\xfe")
+    with pytest.raises(XdrError):
+        String().unpack(packed)
+
+
+def test_truncated_data_rejected():
+    with pytest.raises(XdrError):
+        UInt32.unpack(b"\x00\x00")
+    with pytest.raises(XdrError):
+        Opaque().unpack((10).to_bytes(4, "big") + b"short")
+
+
+def test_trailing_bytes_rejected():
+    with pytest.raises(XdrError):
+        UInt32.unpack(b"\x00" * 8)
+
+
+# --- compound ---------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), max_size=20))
+def test_array_roundtrip(values):
+    assert roundtrip(Array(UInt32), values) == values
+
+
+def test_array_maximum():
+    with pytest.raises(XdrError):
+        Array(UInt32, 2).pack([1, 2, 3])
+
+
+def test_fixed_array():
+    codec = FixedArray(UInt32, 3)
+    assert roundtrip(codec, [1, 2, 3]) == [1, 2, 3]
+    with pytest.raises(XdrError):
+        codec.pack([1, 2])
+
+
+@given(st.one_of(st.none(), st.integers(min_value=0, max_value=100)))
+def test_optional_roundtrip(value):
+    assert roundtrip(Optional(UInt32), value) == value
+
+
+def test_enum():
+    codec = Enum(1, 2, 5)
+    assert roundtrip(codec, 5) == 5
+    with pytest.raises(XdrError):
+        codec.pack(3)
+    with pytest.raises(XdrError):
+        codec.unpack(Int32.pack(4))
+
+
+POINT = Struct("point", [("x", UInt32), ("y", UInt32), ("label", String())])
+
+
+def test_struct_roundtrip():
+    record = roundtrip(POINT, {"x": 1, "y": 2, "label": "origin-ish"})
+    assert (record.x, record.y, record.label) == (1, 2, "origin-ish")
+
+
+def test_struct_accepts_records_and_mappings():
+    record = POINT.make(x=1, y=2, label="a")
+    assert POINT.pack(record) == POINT.pack({"x": 1, "y": 2, "label": "a"})
+
+
+def test_struct_missing_field():
+    with pytest.raises(XdrError):
+        POINT.pack({"x": 1, "y": 2})
+    with pytest.raises(XdrError):
+        POINT.make(x=1, y=2)
+    with pytest.raises(XdrError):
+        POINT.make(x=1, y=2, label="a", extra=3)
+
+
+def test_record_equality_and_repr():
+    a = Record(x=1)
+    assert a == Record(x=1)
+    assert a != Record(x=2)
+    assert "x=1" in repr(a)
+    assert a._asdict() == {"x": 1}
+
+
+RESULT = Union("result", {0: UInt32, 1: None}, default=String())
+
+
+def test_union_arms():
+    assert roundtrip(RESULT, (0, 42)) == (0, 42)
+    assert roundtrip(RESULT, (1, None)) == (1, None)
+    assert roundtrip(RESULT, (7, "error text")) == (7, "error text")
+
+
+def test_union_void_arm_rejects_body():
+    with pytest.raises(XdrError):
+        RESULT.pack((1, "not allowed"))
+
+
+def test_union_without_default_rejects_unknown():
+    strict = Union("strict", {0: UInt32})
+    with pytest.raises(XdrError):
+        strict.pack((1, None))
+    with pytest.raises(XdrError):
+        strict.unpack(UInt32.pack(9))
+
+
+NESTED = Struct("nested", [
+    ("points", Array(POINT, 10)),
+    ("maybe", Optional(POINT)),
+    ("tag", Union("tag", {0: None, 1: UInt32})),
+])
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 999), st.integers(0, 999), st.text(max_size=8)),
+        max_size=5,
+    ),
+    st.booleans(),
+)
+def test_nested_composition_roundtrip(points, with_maybe):
+    value = NESTED.make(
+        points=[POINT.make(x=x, y=y, label=s) for x, y, s in points],
+        maybe=POINT.make(x=1, y=2, label="m") if with_maybe else None,
+        tag=(1, 7),
+    )
+    decoded = NESTED.unpack(NESTED.pack(value))
+    assert len(decoded.points) == len(points)
+    assert decoded.tag == (1, 7)
+    assert (decoded.maybe is not None) == with_maybe
+
+
+def test_packer_unpacker_low_level():
+    packer = Packer()
+    packer.pack_uint32(7)
+    packer.pack_string("hi", 10)
+    unpacker = Unpacker(packer.data())
+    assert unpacker.unpack_uint32() == 7
+    assert unpacker.unpack_string(10) == "hi"
+    unpacker.done()
