@@ -39,7 +39,14 @@ from ..crypto.rabin import PublicKey, RabinError
 from ..crypto.sha1 import sha1
 from ..nfs3 import const as nfs_const
 from ..nfs3 import types as nfs_types
-from ..rpc.peer import CallContext, Program, RpcError, RpcPeer
+from ..rpc.peer import (
+    CallContext,
+    Program,
+    RetryPolicy,
+    RpcError,
+    RpcPeer,
+    RpcTimeout,
+)
 from ..rpc.rpcmsg import AUTH_SYS, AuthSys, OpaqueAuth, RpcMsgError
 from ..rpc.xdr import Record, VOID
 from ..sim.clock import Clock
@@ -47,14 +54,12 @@ from ..sim.network import LinkSide
 from . import handlemap, proto
 from .agent import Agent, AgentRefused
 from .cache import ClientCaches
-from .channel import SecureChannel
+from .channel import RESYNC_ACK, RESYNC_REQUEST, SecureChannel
 from .keyneg import (
     EphemeralKeyCache,
     KeyNegotiationError,
-    decrypt_key_halves,
-    derive_session_keys,
-    encrypt_key_halves,
-    make_key_halves,
+    negotiate_client_keys,
+    rekey_auth,
 )
 from .pathnames import (
     SelfCertifyingPath,
@@ -86,20 +91,51 @@ class SecurityError(MountError):
 # ---------------------------------------------------------------------------
 
 
+#: How many reset-and-rekey rounds one resync() attempt makes before
+#: giving up (each round's own records can be lost too).
+_RESYNC_ROUNDS = 3
+
+
 class ServerSession:
-    """A verified secure channel to one export on one server."""
+    """A verified secure channel to one export on one server.
+
+    The session also *supervises* that channel: the peer's retry policy
+    retransmits lost records, and when retransmission alone does not
+    help (the streams themselves desynchronized), :meth:`resync` runs
+    the plaintext control handshake and an authenticated REKEY to swap
+    fresh streams in — the paper's "no worse than delay" guarantee made
+    operational.
+    """
 
     def __init__(self, peer: RpcPeer, pipe: SwitchablePipe,
                  path: SelfCertifyingPath, servinfo: Record,
-                 session_keys, encrypt: bool) -> None:
+                 session_keys, encrypt: bool,
+                 channel: SecureChannel | None = None,
+                 server_public_key: PublicKey | None = None,
+                 ephemeral_keys: EphemeralKeyCache | None = None,
+                 rng: random.Random | None = None) -> None:
         self.peer = peer
         self.pipe = pipe
         self.path = path
         self.servinfo = servinfo
         self.session_keys = session_keys
         self.encrypt = encrypt
+        self.channel = channel
+        self.server_public_key = server_public_key
+        self.ephemeral_keys = ephemeral_keys
+        self.rng = rng
         self.auth_seqno = 0
         self.invalidate_handler: Callable[[bytes], None] | None = None
+        #: Called after each successful rekey (mounts flush lease caches
+        #: here; authnos survive because the rekey is authenticated).
+        self.on_rekey: Callable[[], None] | None = None
+        self.rekeys = 0
+        self.resyncs_failed = 0
+        self._resyncing = False
+        self._resync_acked = False
+        if self.session_keys is not None and self.channel is not None:
+            pipe.control_handler = self._on_control
+            peer.recovery_hook = self.resync
         self._register_callbacks()
 
     # -- establishment --
@@ -118,6 +154,11 @@ class ServerSession:
         """
         pipe = SwitchablePipe(link)
         peer = RpcPeer(pipe, f"sfscd->{path.location}")
+        # Handshake records are as droppable as any others; plain
+        # retransmission is always safe here (the server's duplicate
+        # cache replays CONNECT/ENCRYPT replies rather than re-running
+        # them) and needs no channel recovery, there being no channel.
+        peer.retry_policy = RetryPolicy()
         # The "currently unused extensions string" of the paper's sfssd
         # dispatch is exactly where a dialect toggle like the
         # no-encryption evaluation mode belongs.
@@ -152,30 +193,115 @@ class ServerSession:
             return cls(peer, pipe, path, servinfo, None, encrypt=False)
         # Figure 3 steps 3-4.
         client_key = ephemeral_keys.current()
-        kc1, kc2 = make_key_halves(rng)
-        sealed = encrypt_key_halves(public_key, kc1, kc2, rng)
-        reply = peer.call(
-            proto.SFS_CONNECT_PROGRAM, proto.SFS_VERSION, proto.PROC_ENCRYPT,
-            proto.EncryptArgs,
-            proto.EncryptArgs.make(
-                client_pubkey=client_key.public_key.to_bytes(),
-                encrypted_keyhalves=sealed,
-            ),
-            proto.EncryptRes,
-        )
+
+        def exchange(pubkey_bytes: bytes, sealed: bytes) -> bytes:
+            reply = peer.call(
+                proto.SFS_CONNECT_PROGRAM, proto.SFS_VERSION,
+                proto.PROC_ENCRYPT,
+                proto.EncryptArgs,
+                proto.EncryptArgs.make(
+                    client_pubkey=pubkey_bytes,
+                    encrypted_keyhalves=sealed,
+                ),
+                proto.EncryptRes,
+            )
+            return reply.encrypted_keyhalves
+
         try:
-            ks1, ks2 = decrypt_key_halves(client_key, reply.encrypted_keyhalves)
+            session_keys = negotiate_client_keys(
+                public_key, client_key, rng, exchange
+            )
         except KeyNegotiationError as exc:
             raise SecurityError(str(exc)) from None
-        session_keys = derive_session_keys(
-            public_key, client_key.public_key, kc1, kc2, ks1, ks2
-        )
         channel = SecureChannel(
-            pipe.lower, send_key=session_keys.kcs,
+            pipe.raw, send_key=session_keys.kcs,
             recv_key=session_keys.ksc, encrypt=encrypt,
         )
         pipe.switch_now(channel)
-        return cls(peer, pipe, path, servinfo, session_keys, encrypt)
+        return cls(peer, pipe, path, servinfo, session_keys, encrypt,
+                   channel=channel, server_public_key=public_key,
+                   ephemeral_keys=ephemeral_keys, rng=rng)
+
+    # -- channel supervision and recovery --
+
+    def _on_control(self, payload: bytes) -> None:
+        if payload == RESYNC_ACK:
+            self._resync_acked = True
+        # Anything else is injected garbage; ignore.
+
+    def resync(self) -> bool:
+        """Recover a desynchronized secure channel on the same link.
+
+        Asks the server (in plaintext control records, the only framing
+        guaranteed to survive broken streams) to fall back for a
+        re-keying exchange, re-runs figure 3 through the REKEY procedure
+        — authenticated under the old SessionID, so an attacker cannot
+        substitute a session of their own — and swaps the fresh streams
+        into both the channel and the pipe.  Returns True on success.
+
+        Installed as the peer's ``recovery_hook``; the guard keeps the
+        REKEY call's own retries from recursing into another resync.
+        """
+        if (self.session_keys is None or self.channel is None
+                or self.ephemeral_keys is None or self._resyncing):
+            return False
+        self._resyncing = True
+        try:
+            for _ in range(_RESYNC_ROUNDS):
+                if self._resync_round():
+                    self.rekeys += 1
+                    if self.on_rekey is not None:
+                        try:
+                            self.on_rekey()
+                        except Exception:  # noqa: BLE001 - advisory
+                            pass
+                    return True
+            self.resyncs_failed += 1
+            return False
+        finally:
+            self._resyncing = False
+
+    def _resync_round(self) -> bool:
+        self._resync_acked = False
+        self.pipe.reset_to_plaintext()
+        self.pipe.send_control(RESYNC_REQUEST)
+        if not self._resync_acked and self.peer.reply_waiter is not None:
+            # Asynchronous transports need a pump for the ACK to land.
+            try:
+                self.peer.reply_waiter()
+            except Exception:  # noqa: BLE001 - counts as a failed round
+                return False
+        if not self._resync_acked:
+            return False  # request or ack lost; next round retries
+        old_keys = self.session_keys
+
+        def exchange(pubkey_bytes: bytes, sealed: bytes) -> bytes:
+            disc, body = self.peer.call(
+                proto.SFS_CONNECT_PROGRAM, proto.SFS_VERSION,
+                proto.PROC_REKEY,
+                proto.RekeyArgs,
+                proto.RekeyArgs.make(
+                    client_pubkey=pubkey_bytes,
+                    encrypted_keyhalves=sealed,
+                    auth=rekey_auth(old_keys, pubkey_bytes, sealed),
+                ),
+                proto.RekeyRes,
+            )
+            if disc != proto.REKEY_OK:
+                raise KeyNegotiationError("server denied re-keying")
+            return body.encrypted_keyhalves
+
+        try:
+            new_keys = negotiate_client_keys(
+                self.server_public_key, self.ephemeral_keys.current(),
+                self.rng, exchange,
+            )
+        except (RpcError, KeyNegotiationError):
+            return False
+        self.channel.rekey(new_keys.kcs, new_keys.ksc)
+        self.pipe.switch_now(self.channel)
+        self.session_keys = new_keys
+        return True
 
     def _register_callbacks(self) -> None:
         program = Program("sfs-cb", proto.SFS_CB_PROGRAM, proto.SFS_VERSION)
@@ -296,6 +422,15 @@ class MountedRemoteFs:
         self.program = self._build_program()
         self.rpcs_relayed = 0
         session.invalidate_handler = self.caches.invalidate
+        session.on_rekey = self._after_rekey
+
+    def _after_rekey(self) -> None:
+        """A rekey means records were lost — possibly including lease
+        invalidation callbacks — so cached leases can't be trusted.
+        Authnos survive: the rekey proved session continuity."""
+        self.caches.attrs.clear()
+        self.caches.access.clear()
+        self.caches.lookups.clear()
 
     # -- authentication --
 
@@ -679,13 +814,33 @@ class SfsClientDaemon:
         if existing is not None:
             self._references.setdefault(uid, set()).add(path.mount_name)
             return existing
-        try:
-            link = self.connector(path.location, proto.SERVICE_FILESERVER)
-        except (ConnectionError, OSError) as exc:
-            raise MountError(f"cannot reach {path.location}: {exc}") from None
-        outcome = ServerSession.connect(
-            link, path, self.ephemeral_keys, self.rng, encrypt=self.encrypt
-        )
+        # A hostile network can drop handshake records; in-call
+        # retransmission covers most of that, but a reply lost *after*
+        # the server armed its secure channel strands the plaintext
+        # handshake permanently — so supervision here means redialing
+        # from scratch.  Security checks (SecurityError) never retry.
+        outcome = None
+        last_timeout: RpcTimeout | None = None
+        for _attempt in range(3):
+            try:
+                link = self.connector(path.location, proto.SERVICE_FILESERVER)
+            except (ConnectionError, OSError) as exc:
+                raise MountError(
+                    f"cannot reach {path.location}: {exc}"
+                ) from None
+            try:
+                outcome = ServerSession.connect(
+                    link, path, self.ephemeral_keys, self.rng,
+                    encrypt=self.encrypt,
+                )
+                break
+            except RpcTimeout as exc:
+                last_timeout = exc
+        if outcome is None:
+            raise MountError(
+                f"cannot establish a session with {path.location}: "
+                f"{last_timeout}"
+            ) from None
         if isinstance(outcome, Record) and hasattr(outcome, "signature"):
             self._handle_certificate(path, outcome)
             raise MountError(f"server redirected or revoked {path.mount_name}")

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Callable
 
+from ..crypto.mac import hmac_sha1
 from ..crypto.rabin import PrivateKey, PublicKey, RabinError, generate_key
 from ..crypto.sha1 import SHA1
 
@@ -100,6 +102,46 @@ def derive_session_keys(
         kcs=_derive(b"KCS", server_key, client_key, kc1, ks1),
         ksc=_derive(b"KSC", server_key, client_key, kc2, ks2),
     )
+
+
+def negotiate_client_keys(
+    server_key: PublicKey,
+    client_key: PrivateKey,
+    rng: random.Random,
+    exchange: Callable[[bytes, bytes], bytes],
+) -> SessionKeys:
+    """Run the client side of figure 3 over any exchange mechanism.
+
+    Picks fresh key halves, seals them to *server_key*, and calls
+    ``exchange(client_pubkey_bytes, sealed_halves)``, which performs the
+    actual round trip (ENCRYPT for a new session, REKEY for channel
+    resynchronization) and returns the server's sealed halves.  Both
+    callers derive identical keys from identical material, so re-keying
+    preserves every property of the original negotiation — including
+    forward secrecy, since nothing from the old streams is reused.
+    """
+    kc1, kc2 = make_key_halves(rng)
+    sealed = encrypt_key_halves(server_key, kc1, kc2, rng)
+    server_sealed = exchange(client_key.public_key.to_bytes(), sealed)
+    ks1, ks2 = decrypt_key_halves(client_key, server_sealed)
+    return derive_session_keys(
+        server_key, client_key.public_key, kc1, kc2, ks1, ks2
+    )
+
+
+def rekey_auth(session_keys: SessionKeys, client_pubkey: bytes,
+               sealed_halves: bytes) -> bytes:
+    """The continuity proof carried by a REKEY request.
+
+    HMAC-SHA1 keyed by the current SessionID over the new key material.
+    The SessionID never crosses the wire, so only the two endpoints of
+    the live session can mint or verify this tag; a network attacker who
+    forced a desync cannot splice in a negotiation of their own.
+    """
+    body = (b"SFS-rekey"
+            + len(client_pubkey).to_bytes(4, "big") + client_pubkey
+            + sealed_halves)
+    return hmac_sha1(session_keys.session_id, body)
 
 
 class EphemeralKeyCache:

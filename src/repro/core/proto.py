@@ -112,8 +112,34 @@ EncryptRes = Struct(
     ],
 )
 
+# Re-keying (channel resynchronization).  Shaped like ENCRYPT plus an
+# HMAC-SHA1 tag keyed by the *current* SessionID over the new key
+# material: only the endpoint of the existing session can produce it, so
+# a network attacker who forces a desync cannot substitute their own
+# negotiation and inherit the session's authnos.
+RekeyArgs = Struct(
+    "RekeyArgs",
+    [
+        ("client_pubkey", Opaque()),        # fresh or reused K_C
+        ("encrypted_keyhalves", Opaque()),  # {k_C1, k_C2} under K_S
+        ("auth", FixedOpaque(20)),          # HMAC(SessionID, pubkey ‖ halves)
+    ],
+)
+
+REKEY_OK = 0
+REKEY_DENIED = 1
+
+RekeyRes = Union(
+    "RekeyRes",
+    {
+        REKEY_OK: EncryptRes,
+        REKEY_DENIED: None,
+    },
+)
+
 PROC_CONNECT = 1
 PROC_ENCRYPT = 2
+PROC_REKEY = 3
 
 # --- user authentication (paper figure 4) -----------------------------------
 

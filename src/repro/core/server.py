@@ -43,11 +43,25 @@ from ..rpc.rpcmsg import AuthSys, OpaqueAuth
 from ..rpc.xdr import Record, VOID
 from ..sim.clock import Clock
 from ..sim.network import LinkSide, link_pair
+from ..crypto.util import constant_time_eq
 from . import handlemap, proto
 from .authserv import AuthServer, SrpSession
-from .channel import SecureChannel
+from .channel import (
+    RESYNC_ACK,
+    RESYNC_REQUEST,
+    SecureChannel,
+    make_control_record,
+    parse_control_record,
+)
 from .config import DispatchConfig
-from .keyneg import decrypt_key_halves, derive_session_keys, make_key_halves
+from .keyneg import (
+    KeyNegotiationError,
+    decrypt_key_halves,
+    derive_session_keys,
+    encrypt_key_halves,
+    make_key_halves,
+    rekey_auth,
+)
 from .pathnames import SelfCertifyingPath, make_path
 from .readonly import ReadOnlyImage, ReadOnlyStore
 
@@ -105,25 +119,46 @@ def parse_sfs_cred(cred: OpaqueAuth) -> int:
 
 
 class SwitchablePipe:
-    """A pipe whose lower transport can be swapped (plaintext -> secure).
+    """A pipe whose lower transport can be swapped (plaintext <-> secure).
 
-    The swap is requested *during* the ENCRYPT RPC handler but must take
-    effect only after the plaintext reply has been sent; ``send`` applies
-    any pending switch after transmitting.
+    The swap to a secure channel is requested *during* the ENCRYPT (or
+    REKEY) RPC handler but must take effect only after the plaintext
+    reply has been sent; ``send`` applies any pending switch after
+    transmitting.  For channel resynchronization the pipe can also fall
+    *back* to the raw transport (:meth:`reset_to_plaintext`) so the
+    re-keying exchange runs below the broken streams, and it routes
+    plaintext control records (:data:`repro.core.channel.CONTROL_PREFIX`)
+    to :attr:`control_handler` in both phases — via the channel's own
+    control routing when secure, directly when plaintext.
     """
 
     def __init__(self, lower: Pipe) -> None:
-        self._lower = lower
+        self._raw = lower
+        self._lower: Pipe = lower
         self._handler: Callable[[bytes], None] | None = None
         self._pending: SecureChannel | None = None
+        #: Receives control-record payloads (the resync handshake).
+        self.control_handler: Callable[[bytes], None] | None = None
         self.suggested_reply_waiter = getattr(
             lower, "suggested_reply_waiter", None
+        )
+        self.suggested_clock = getattr(lower, "suggested_clock", None)
+        self.synchronous_delivery = getattr(
+            lower, "synchronous_delivery", False
         )
         lower.on_receive(self._dispatch)
 
     def _dispatch(self, data: bytes) -> None:
+        payload = parse_control_record(data)
+        if payload is not None:
+            self._forward_control(payload)
+            return
         if self._handler is not None:
             self._handler(data)
+
+    def _forward_control(self, payload: bytes) -> None:
+        if self.control_handler is not None:
+            self.control_handler(payload)
 
     def send(self, data: bytes) -> None:
         self._lower.send(data)
@@ -132,11 +167,17 @@ class SwitchablePipe:
             self._pending = None
             self._install(channel)
 
+    def send_control(self, payload: bytes) -> None:
+        """Send a plaintext control record on the raw transport."""
+        self._raw.send(make_control_record(payload))
+
     def on_receive(self, handler: Callable[[bytes], None]) -> None:
         self._handler = handler
 
     def _install(self, channel: SecureChannel) -> None:
         self._lower = channel
+        channel.control_handler = self._forward_control
+        channel.attach()
         channel.on_receive(self._dispatch)
 
     def switch_after_reply(self, channel: SecureChannel) -> None:
@@ -147,9 +188,24 @@ class SwitchablePipe:
         """Immediately swap (client side, after the ENCRYPT reply)."""
         self._install(channel)
 
+    def reset_to_plaintext(self) -> None:
+        """Take the raw transport back for a resynchronization phase.
+
+        Records sent and received bypass any installed channel until the
+        next switch; control records still route to `control_handler`.
+        """
+        self._pending = None
+        self._lower = self._raw
+        self._raw.on_receive(self._dispatch)
+
     @property
     def lower(self) -> Pipe:
         return self._lower
+
+    @property
+    def raw(self) -> Pipe:
+        """The underlying transport, regardless of any installed channel."""
+        return self._raw
 
 
 @dataclass
@@ -300,6 +356,14 @@ class ServerConnection:
         self._auth_protocol_states: dict[str, dict] = {}
         self._srp_session: SrpSession | None = None
         self.invalidations_sent = 0
+        #: Session keys replaced by the last rekey; a client that never
+        #: saw that rekey's reply still authenticates its next REKEY
+        #: under these (see :meth:`_rekey`).
+        self._prior_session_keys = None
+        self.rekeys = 0
+        self.rekeys_denied = 0
+        self.resyncs_served = 0
+        self.pipe.control_handler = self._on_control
         self.peer.register(self._connect_program())
 
     # --- plaintext phase: CONNECT + ENCRYPT -----------------------------------
@@ -310,6 +374,8 @@ class ServerConnection:
                          proto.ConnectArgs, proto.ConnectRes, self._connect)
         program.add_proc(proto.PROC_ENCRYPT, "ENCRYPT",
                          proto.EncryptArgs, proto.EncryptRes, self._encrypt)
+        program.add_proc(proto.PROC_REKEY, "REKEY",
+                         proto.RekeyArgs, proto.RekeyRes, self._rekey)
         return program
 
     def _connect(self, args: Record, ctx: CallContext):
@@ -371,23 +437,28 @@ class ServerConnection:
         """Figure 3 steps 3-4, server side."""
         if self.export is None:
             raise RuntimeError("ENCRYPT before a successful CONNECT")
+        return self._negotiate(args.client_pubkey, args.encrypted_keyhalves)
+
+    def _negotiate(self, client_pubkey: bytes, sealed_halves: bytes) -> Record:
+        """Derive fresh session keys and arm a new channel (ENCRYPT/REKEY)."""
         from ..crypto.rabin import PublicKey  # local import avoids cycle
 
-        client_key = PublicKey.from_bytes(args.client_pubkey)
-        kc1, kc2 = decrypt_key_halves(self.export.key, args.encrypted_keyhalves)
+        assert self.export is not None
+        client_key = PublicKey.from_bytes(client_pubkey)
+        kc1, kc2 = decrypt_key_halves(self.export.key, sealed_halves)
         ks1, ks2 = make_key_halves(self.master.rng)
         self.session_keys = derive_session_keys(
             self.export.key.public_key, client_key, kc1, kc2, ks1, ks2
         )
-        from .keyneg import encrypt_key_halves
-
         reply = proto.EncryptRes.make(
             encrypted_keyhalves=encrypt_key_halves(
                 client_key, ks1, ks2, self.master.rng
             )
         )
+        # The new channel always sits on the raw transport: during a
+        # rekey the pipe's current lower may be the dead old channel.
         channel = SecureChannel(
-            self.pipe.lower,
+            self.pipe.raw,
             send_key=self.session_keys.ksc,
             recv_key=self.session_keys.kcs,
             encrypt=self.encrypt_traffic,
@@ -397,6 +468,53 @@ class ServerConnection:
         self._register_session_programs()
         return reply
 
+    def _rekey(self, args: Record, ctx: CallContext):
+        """Re-run key negotiation for an established session.
+
+        The request must prove continuity with a tag only the session's
+        real client can mint (HMAC under the SessionID — or the one it
+        replaced, in case the client never saw the last rekey's reply).
+        Authnos therefore survive: the entity on the new streams is
+        cryptographically the entity that authenticated on the old ones.
+        """
+        if self.export is None or self.session_keys is None:
+            return proto.REKEY_DENIED, None
+        for candidate in (self.session_keys, self._prior_session_keys):
+            if candidate is not None and constant_time_eq(
+                args.auth,
+                rekey_auth(candidate, args.client_pubkey,
+                           args.encrypted_keyhalves),
+            ):
+                break
+        else:
+            self.rekeys_denied += 1
+            return proto.REKEY_DENIED, None
+        try:
+            reply = self._negotiate(args.client_pubkey,
+                                    args.encrypted_keyhalves)
+        except (KeyNegotiationError, ValueError):
+            return proto.REKEY_DENIED, None
+        self._prior_session_keys = candidate
+        self.rekeys += 1
+        return proto.REKEY_OK, reply
+
+    def _on_control(self, payload: bytes) -> None:
+        """Plaintext control records: the resync handshake.
+
+        Control records are unauthenticated by necessity (they exist for
+        when the streams are broken), so they grant nothing: a forged
+        RESYNC-REQ only drops this connection to plaintext *framing* —
+        every subsequent data record still needs the secure channel the
+        client will re-establish, making forgery one more DoS lever.
+        """
+        if payload == RESYNC_REQUEST:
+            if self.session_keys is None:
+                return  # nothing to resynchronize yet
+            self.resyncs_served += 1
+            self.pipe.reset_to_plaintext()
+            self.pipe.send_control(RESYNC_ACK)
+        # Unknown payloads (injected garbage) are ignored.
+
     # --- secure phase ------------------------------------------------------------
 
     def _register_session_programs(self) -> None:
@@ -405,7 +523,8 @@ class ServerConnection:
         else:
             self.peer.register(self._rw_program())
             assert self.export is not None
-            self.export.connections.append(self)
+            if self not in self.export.connections:
+                self.export.connections.append(self)
 
     def _register_readonly_program(self) -> None:
         self.peer.register(self._readonly_program())

@@ -43,9 +43,13 @@ class SessionMAC:
     """Per-message re-keyed MAC fed from an ARC4 stream.
 
     Both channel endpoints construct a SessionMAC from the same session
-    key; each :meth:`compute` (or successful :meth:`verify`) consumes 32
-    keystream bytes, so the two sides stay in lock-step exactly as the
-    long-running ARC4 stream does in SFS.
+    key; every :meth:`compute`, :meth:`verify` (successful *or not*), and
+    :meth:`skip` consumes exactly 32 keystream bytes, so the two sides
+    stay in lock-step exactly as the long-running ARC4 stream does in
+    SFS.  Consuming on failed verification is deliberate: the record
+    occupied a message slot on the wire whether or not its tag checked
+    out, and rewinding the keystream for bad records would let an
+    attacker probe tags against a stationary key.
     """
 
     def __init__(self, key: bytes) -> None:
@@ -54,14 +58,29 @@ class SessionMAC:
         # of encryption"; a dedicated keystream keyed by a derived key is
         # the cleanest equivalent that keeps MAC and cipher independent.
         self._stream = ARC4(sha1(b"SFS-MAC-stream" + key))
+        #: Message slots consumed so far (compute + verify + skip).
+        self.slots_consumed = 0
 
     def compute(self, message: bytes) -> bytes:
         """MAC over the length and plaintext of *message*."""
         per_message_key = self._stream.keystream(_REKEY_BYTES)
+        self.slots_consumed += 1
         body = len(message).to_bytes(4, "big") + message
         return hmac_sha1(per_message_key, body)
 
     def verify(self, message: bytes, tag: bytes) -> bool:
-        """Verify *tag*; consumes the keystream for this message slot."""
+        """Verify *tag*; consumes the message slot whether or not it
+        matches (see the class docstring for why)."""
         expected = self.compute(message)
         return constant_time_eq(tag, expected)
+
+    def skip(self) -> None:
+        """Burn one message slot without computing a MAC.
+
+        The channel calls this for records it rejects *before* MAC
+        verification (short body, bad length field) so the MAC keystream
+        advances in lock-step with the cipher keystream, which already
+        consumed the record's bytes during decryption.
+        """
+        self._stream.keystream(_REKEY_BYTES)
+        self.slots_consumed += 1

@@ -20,6 +20,9 @@ can pretty-print RPC traffic for debugging").
 
 from __future__ import annotations
 
+import hashlib
+import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol
 
@@ -43,12 +46,45 @@ class Pipe(Protocol):
     def on_receive(self, handler: Callable[[bytes], None]) -> None: ...
 
 
+def _request_digest(record: bytes) -> bytes:
+    """Identity of a call's bytes, for duplicate detection."""
+    return hashlib.sha1(record).digest()
+
+
 class RpcError(Exception):
     """Base class for RPC-level failures."""
 
 
 class RpcTimeout(RpcError):
     """No reply arrived for an outstanding call (e.g. record dropped)."""
+
+
+class RpcNoWaiter(RpcTimeout):
+    """No reply *could* arrive: delivery is asynchronous and no
+    ``reply_waiter`` is configured.  A transport-wiring problem, not a
+    lost record — distinguished so misconfiguration is never mistaken
+    for packet loss (or an attack)."""
+
+
+@dataclass
+class RetryPolicy:
+    """At-most-once retransmission with exponential backoff.
+
+    A peer with a policy retransmits an unanswered call up to
+    ``max_attempts`` times total, waiting ``base_delay`` before the
+    first retry and multiplying by ``multiplier`` (capped at
+    ``max_delay``) thereafter.  From the second retry on, the peer first
+    invokes its ``recovery_hook`` (if any) so the session layer can
+    repair a desynchronized secure channel before the record is resent.
+    The receiving peer's duplicate-reply cache keeps the semantics
+    at-most-once: a retransmitted call is answered from the cache, never
+    re-executed.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.002
+    multiplier: float = 4.0
+    max_delay: float = 0.5
 
 
 class RpcRejected(RpcError):
@@ -134,12 +170,37 @@ class RpcPeer:
         self.reply_waiter: Callable[[], None] | None = getattr(
             pipe, "suggested_reply_waiter", None
         )
+        #: True when the transport delivers inside ``send`` (the virtual
+        #: network); lets `call` tell a dropped record from a transport
+        #: that has no way to wait for one.
+        self.synchronous_delivery: bool = getattr(
+            pipe, "synchronous_delivery", False
+        )
+        #: Virtual clock to charge retry backoff to; None = wall clock.
+        self.backoff_clock = getattr(pipe, "suggested_clock", None)
+        #: None (default) = classic single-shot calls.  Assign a
+        #: :class:`RetryPolicy` to get retransmission + backoff.
+        self.retry_policy: RetryPolicy | None = None
+        #: Called before the second and later retransmissions; the
+        #: session layer hangs channel resynchronization here.  Returns
+        #: truthy when it believes the path is repaired.
+        self.recovery_hook: Callable[[], bool] | None = None
         self._xid = 0
         self._programs: dict[tuple[int, int], Program] = {}
         self._pending: dict[int, ReplyHeader | None] = {}
         self._results: dict[int, bytes] = {}
+        #: xid -> (request digest, packed reply), for at-most-once
+        #: semantics: a retransmitted call is answered from here, not
+        #: re-executed.  The digest guards against xid collisions — only
+        #: a byte-identical request counts as a retransmission; a new
+        #: call that reuses an old xid executes normally.
+        self._reply_cache: OrderedDict[int, tuple[bytes, bytes]] = OrderedDict()
+        self.reply_cache_size = 128
         self.calls_sent = 0
         self.calls_served = 0
+        self.retransmissions = 0
+        self.recoveries = 0
+        self.duplicates_served = 0
         #: (prog, proc) -> count of calls issued; the per-procedure RPC
         #: mix behind the paper's caching analysis (section 4.2).
         self.proc_counts: dict[tuple[int, int], int] = {}
@@ -155,6 +216,16 @@ class RpcPeer:
         self._programs.pop((prog, vers), None)
 
     def _on_record(self, data: bytes) -> None:
+        peeked = rpcmsg.peek_message(data)
+        if peeked is not None and peeked[0] == rpcmsg.CALL:
+            cached = self._reply_cache.get(peeked[1])
+            if cached is not None and cached[0] == _request_digest(data):
+                # A retransmitted call we already executed: replay the
+                # recorded reply so non-idempotent procedures keep
+                # at-most-once semantics.
+                self.duplicates_served += 1
+                self._pipe.send(cached[1])
+                return
         try:
             message = parse_message(data)
         except XdrError:
@@ -166,7 +237,7 @@ class RpcPeer:
             return
         if message.mtype == rpcmsg.CALL:
             assert message.call is not None
-            self._serve(message.call, message.body)
+            self._serve(message.call, message.body, data)
         else:
             assert message.reply is not None
             xid = message.reply.xid
@@ -176,7 +247,7 @@ class RpcPeer:
             elif self.trace:
                 self.trace(f"{self.name}: reply for unknown xid {xid}")
 
-    def _serve(self, header: CallHeader, body: bytes) -> None:
+    def _serve(self, header: CallHeader, body: bytes, request: bytes) -> None:
         program = self._programs.get((header.prog, header.vers))
         if program is None:
             versions = [v for (p, v) in self._programs if p == header.prog]
@@ -189,18 +260,18 @@ class RpcPeer:
                 )
             else:
                 reply = ReplyHeader(header.xid, accept_stat=rpcmsg.PROG_UNAVAIL)
-            self._pipe.send(rpcmsg.pack_reply(reply))
+            self._send_reply(header.xid, request, rpcmsg.pack_reply(reply))
             return
         procedure = program.procedures.get(header.proc)
         if procedure is None:
             reply = ReplyHeader(header.xid, accept_stat=rpcmsg.PROC_UNAVAIL)
-            self._pipe.send(rpcmsg.pack_reply(reply))
+            self._send_reply(header.xid, request, rpcmsg.pack_reply(reply))
             return
         try:
             args = procedure.arg_codec.unpack(body)
         except XdrError:
             reply = ReplyHeader(header.xid, accept_stat=rpcmsg.GARBAGE_ARGS)
-            self._pipe.send(rpcmsg.pack_reply(reply))
+            self._send_reply(header.xid, request, rpcmsg.pack_reply(reply))
             return
         if self.trace:
             self.trace(
@@ -216,9 +287,20 @@ class RpcPeer:
                     f"{self.name}: {program.name}.{procedure.name} failed: {exc!r}"
                 )
             reply = ReplyHeader(header.xid, accept_stat=rpcmsg.SYSTEM_ERR)
-            self._pipe.send(rpcmsg.pack_reply(reply))
+            self._send_reply(header.xid, request, rpcmsg.pack_reply(reply))
             return
-        self._pipe.send(rpcmsg.pack_reply(ReplyHeader(header.xid), payload))
+        self._send_reply(
+            header.xid, request,
+            rpcmsg.pack_reply(ReplyHeader(header.xid), payload),
+        )
+
+    def _send_reply(self, xid: int, request: bytes, record: bytes) -> None:
+        """Send a reply and remember it for the duplicate-call cache."""
+        self._reply_cache[xid] = (_request_digest(request), record)
+        self._reply_cache.move_to_end(xid)
+        while len(self._reply_cache) > self.reply_cache_size:
+            self._reply_cache.popitem(last=False)
+        self._pipe.send(record)
 
     # --- calling ----------------------------------------------------------
 
@@ -234,25 +316,67 @@ class RpcPeer:
     ) -> Any:
         """Issue a call and return the decoded result.
 
-        Raises :class:`RpcTimeout` if no reply arrives (dropped record)
-        and :class:`RpcRejected` on a non-SUCCESS reply.
+        Raises :class:`RpcTimeout` if no reply arrives (dropped record),
+        :class:`RpcNoWaiter` if none could have (asynchronous transport
+        with no reply waiter configured), and :class:`RpcRejected` on a
+        non-SUCCESS reply.
+
+        With a :attr:`retry_policy` set, an unanswered call is
+        retransmitted verbatim — same xid, same bytes — after an
+        exponentially backed-off delay; the remote peer's duplicate-reply
+        cache guarantees the procedure still executes at most once.
+        From the second retry on, :attr:`recovery_hook` runs first so a
+        desynchronized secure channel can be re-keyed before the record
+        goes out again.
         """
         self._xid += 1
         xid = self._xid
         header = CallHeader(xid, prog, vers, proc, cred=cred)
         payload = arg_codec.pack(args)
+        record = rpcmsg.pack_call(header, payload)
         self._pending[xid] = None
         self.calls_sent += 1
         key = (prog, proc)
         self.proc_counts[key] = self.proc_counts.get(key, 0) + 1
         if self.trace:
             self.trace(f"{self.name}: call prog={prog} proc={proc} args={args!r}")
+        policy = self.retry_policy
+        attempts = policy.max_attempts if policy is not None else 1
         try:
-            self._pipe.send(rpcmsg.pack_call(header, payload))
-            reply = self._pending[xid]
-            while reply is None and self.reply_waiter is not None:
-                self.reply_waiter()
+            delay = policy.base_delay if policy is not None else 0.0
+            reply = None
+            for attempt in range(attempts):
+                if attempt:
+                    self._backoff(delay)
+                    delay = min(delay * policy.multiplier, policy.max_delay)
+                    if attempt >= 2 and self.recovery_hook is not None:
+                        # A bare retransmission already failed once:
+                        # assume the channel, not the record, is broken.
+                        try:
+                            if self.recovery_hook():
+                                self.recoveries += 1
+                        except Exception:  # noqa: BLE001 - keep retrying
+                            pass
+                    self.retransmissions += 1
+                    if self.trace:
+                        self.trace(
+                            f"{self.name}: retransmit xid={xid} "
+                            f"(attempt {attempt + 1}/{attempts})"
+                        )
+                self._pipe.send(record)
                 reply = self._pending[xid]
+                while reply is None and self.reply_waiter is not None:
+                    self.reply_waiter()
+                    reply = self._pending[xid]
+                if reply is not None:
+                    break
+                if self.reply_waiter is None and not self.synchronous_delivery:
+                    raise RpcNoWaiter(
+                        f"no reply for xid {xid} (prog={prog} proc={proc}): "
+                        "transport delivers asynchronously and no "
+                        "reply_waiter is configured — wire one up "
+                        "(e.g. TcpPipe.pump) before calling"
+                    )
             if reply is None:
                 raise RpcTimeout(f"no reply for xid {xid} (prog={prog} proc={proc})")
             if not reply.successful:
@@ -261,3 +385,12 @@ class RpcPeer:
         finally:
             self._pending.pop(xid, None)
             self._results.pop(xid, None)
+
+    def _backoff(self, delay: float) -> None:
+        """Wait before a retransmission, on whichever clock applies."""
+        if delay <= 0:
+            return
+        if self.backoff_clock is not None:
+            self.backoff_clock.advance(delay)
+        else:
+            time.sleep(delay)

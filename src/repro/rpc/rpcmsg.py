@@ -180,6 +180,22 @@ class ParsedMessage:
     body: bytes
 
 
+def peek_message(data: bytes) -> tuple[int, int] | None:
+    """Cheaply read ``(mtype, xid)`` off a record without full parsing.
+
+    The duplicate-reply cache consults this on every inbound record to
+    spot retransmitted calls before paying for header/auth unpacking.
+    Returns None for records too short or of unknown type.
+    """
+    if len(data) < 8:
+        return None
+    xid = int.from_bytes(data[0:4], "big")
+    mtype = int.from_bytes(data[4:8], "big")
+    if mtype not in (CALL, REPLY):
+        return None
+    return mtype, xid
+
+
 def parse_message(data: bytes) -> ParsedMessage:
     """Parse an RPC record into its envelope + trailing body bytes."""
     unpacker = Unpacker(data)

@@ -15,6 +15,7 @@ the paper's 100 Mbit switched-Ethernet timing.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable
 
@@ -152,6 +153,157 @@ class DropAdversary(Adversary):
         return [data]
 
 
+class RandomDropAdversary(Adversary):
+    """Drops each record independently with probability *rate*.
+
+    Seeded with a caller-supplied ``random.Random`` so every run of a
+    fault-injection test sees exactly the same loss pattern.
+    """
+
+    def __init__(self, rate: float, rng: random.Random,
+                 direction: str | None = None) -> None:
+        self._rate = rate
+        self._rng = rng
+        self._direction = direction
+        self.seen = 0
+        self.dropped = 0
+
+    def process(self, data: bytes, direction: str) -> list[bytes]:
+        if self._direction is not None and direction != self._direction:
+            return [data]
+        self.seen += 1
+        if self._rng.random() < self._rate:
+            self.dropped += 1
+            return []
+        return [data]
+
+
+class BurstLossAdversary(Adversary):
+    """Gilbert-Elliott burst loss: correlated outages, not lone drops.
+
+    In the good state each record enters a burst with probability
+    *enter_rate*; during a burst every record is dropped and the burst
+    ends with probability *exit_rate* per record.  Models the cable-pull
+    / route-flap failures that defeat naive single-retransmit schemes.
+    """
+
+    def __init__(self, enter_rate: float, exit_rate: float,
+                 rng: random.Random, direction: str | None = None) -> None:
+        self._enter = enter_rate
+        self._exit = exit_rate
+        self._rng = rng
+        self._direction = direction
+        self.in_burst = False
+        self.bursts = 0
+        self.dropped = 0
+
+    def process(self, data: bytes, direction: str) -> list[bytes]:
+        if self._direction is not None and direction != self._direction:
+            return [data]
+        if self.in_burst:
+            self.dropped += 1
+            if self._rng.random() < self._exit:
+                self.in_burst = False
+            return []
+        if self._rng.random() < self._enter:
+            self.in_burst = True
+            self.bursts += 1
+            self.dropped += 1
+            return []
+        return [data]
+
+
+class BitFlipAdversary(Adversary):
+    """Flips one seeded-random bit per record with probability *rate*.
+
+    Unlike :class:`TamperAdversary` (which targets one chosen record for
+    protocol tests), this models a lossy medium corrupting records at a
+    steady background rate.
+    """
+
+    def __init__(self, rate: float, rng: random.Random,
+                 direction: str | None = None) -> None:
+        self._rate = rate
+        self._rng = rng
+        self._direction = direction
+        self.corrupted = 0
+
+    def process(self, data: bytes, direction: str) -> list[bytes]:
+        if self._direction is not None and direction != self._direction:
+            return [data]
+        if not data or self._rng.random() >= self._rate:
+            return [data]
+        corrupted = bytearray(data)
+        bit = self._rng.randrange(len(corrupted) * 8)
+        corrupted[bit // 8] ^= 1 << (bit % 8)
+        self.corrupted += 1
+        return [bytes(corrupted)]
+
+
+class DuplicateAdversary(Adversary):
+    """Delivers a record twice, back to back, with probability *rate*.
+
+    A duplicated record pushes the receiver's streams *ahead* of the
+    sender — the mirror image of a drop — so recovery must handle both.
+    """
+
+    def __init__(self, rate: float, rng: random.Random,
+                 direction: str | None = None) -> None:
+        self._rate = rate
+        self._rng = rng
+        self._direction = direction
+        self.duplicated = 0
+
+    def process(self, data: bytes, direction: str) -> list[bytes]:
+        if self._direction is not None and direction != self._direction:
+            return [data]
+        if self._rng.random() < self._rate:
+            self.duplicated += 1
+            return [data, data]
+        return [data]
+
+
+class ChaosAdversary(Adversary):
+    """A composite hostile network: drop, corrupt, and duplicate at
+    independent seeded rates.  One shared rng keeps the whole fault
+    schedule reproducible from a single seed."""
+
+    def __init__(self, rng: random.Random, drop_rate: float = 0.0,
+                 corrupt_rate: float = 0.0, duplicate_rate: float = 0.0,
+                 direction: str | None = None) -> None:
+        self._rng = rng
+        self._drop = drop_rate
+        self._corrupt = corrupt_rate
+        self._duplicate = duplicate_rate
+        self._direction = direction
+        self.seen = 0
+        self.dropped = 0
+        self.corrupted = 0
+        self.duplicated = 0
+
+    @property
+    def faults(self) -> int:
+        return self.dropped + self.corrupted + self.duplicated
+
+    def process(self, data: bytes, direction: str) -> list[bytes]:
+        if self._direction is not None and direction != self._direction:
+            return [data]
+        self.seen += 1
+        if self._rng.random() < self._drop:
+            self.dropped += 1
+            return []
+        if data and self._rng.random() < self._corrupt:
+            corrupted = bytearray(data)
+            bit = self._rng.randrange(len(corrupted) * 8)
+            corrupted[bit // 8] ^= 1 << (bit % 8)
+            self.corrupted += 1
+            data = bytes(corrupted)
+        if self._rng.random() < self._duplicate:
+            self.duplicated += 1
+            return [data, data]
+        return [data]
+
+
 class RecordingAdversary(Adversary):
     """A passive eavesdropper; keeps a transcript for offline analysis.
 
@@ -254,6 +406,12 @@ class Link:
 class LinkSide:
     """One side of a link presented as a simple send/receive object."""
 
+    #: Virtual-network delivery happens inside ``send`` — a reply to a
+    #: call arrives via nested handler invocation before ``send``
+    #: returns.  RpcPeer reads this to tell a genuinely lost record from
+    #: a transport that simply has no way to wait.
+    synchronous_delivery = True
+
     def __init__(self, link: Link, side: str) -> None:
         if side not in ("a", "b"):
             raise ValueError("side must be 'a' or 'b'")
@@ -263,6 +421,12 @@ class LinkSide:
     @property
     def link(self) -> Link:
         return self._link
+
+    @property
+    def suggested_clock(self) -> Clock:
+        """The virtual clock; retry backoff charges delay here instead
+        of sleeping, the same way the link charges latency."""
+        return self._link.clock
 
     def send(self, data: bytes) -> None:
         if self._side == "a":

@@ -143,3 +143,106 @@ def test_stats_counters():
     assert client.records_sent == 2
     assert server.records_received == 2
     assert client.records_received == 1
+
+
+# --- supervision and recovery -------------------------------------------------
+
+def test_no_handler_counts_instead_of_raising():
+    clock = Clock()
+    a, b = link_pair(clock, NetworkParameters.instant())
+    client = SecureChannel(a, send_key=K_CS, recv_key=K_SC)
+    server = SecureChannel(b, send_key=K_SC, recv_key=K_CS)
+    client.on_receive(lambda d: None)
+    client.send(b"nobody is listening")  # server has no handler yet
+    assert server.unhandled_records == 1
+    server_in = []
+    server.on_receive(server_in.append)
+    client.send(b"now they are")
+    assert server_in == [b"now they are"]
+
+
+def test_desync_signal_after_consecutive_rejects():
+    fired = []
+    client, server, _ci, _si = make_channel_pair(DropAdversary(target_index=0))
+    server.on_desync = lambda: fired.append(True)
+    client.send(b"lost")
+    assert not server.desynchronized
+    client.send(b"fails mac")
+    client.send(b"fails mac too")
+    assert server.desynchronized
+    assert fired == [True]  # reported once per desync episode
+    client.send(b"still failing")
+    assert fired == [True]
+
+
+def test_single_tamper_does_not_signal_desync():
+    # One bad record with aligned streams is a lost record, not a broken
+    # channel: the next record goes through and resets the count.
+    client, server, _ci, server_in = make_channel_pair(
+        TamperAdversary(target_index=0)
+    )
+    client.send(b"mangled")
+    assert server.consecutive_rejects == 1
+    client.send(b"fine")
+    assert server_in == [b"fine"]
+    assert server.consecutive_rejects == 0
+    assert not server.desynchronized
+
+
+def test_rekey_restores_desynchronized_channel():
+    client, server, _ci, server_in = make_channel_pair(
+        DropAdversary(target_index=0)
+    )
+    client.send(b"lost")
+    client.send(b"rejected")
+    client.send(b"rejected too")
+    assert server.desynchronized
+    client.rekey(b"n" * 20, b"m" * 20)
+    server.rekey(b"m" * 20, b"n" * 20)
+    assert not server.desynchronized
+    assert server.rekeys == 1
+    client.send(b"fresh streams")
+    assert server_in == [b"fresh streams"]
+
+
+def test_early_reject_keeps_mac_in_lockstep():
+    # A record rejected before MAC verification (bad length after
+    # decryption) must still burn a MAC slot: inject garbage, then check
+    # legitimate traffic still flows.
+    clock = Clock()
+    a, b = link_pair(clock, NetworkParameters.instant())
+    client = SecureChannel(a, send_key=K_CS, recv_key=K_SC)
+    server = SecureChannel(b, send_key=K_SC, recv_key=K_CS)
+    server_in = []
+    server.on_receive(server_in.append)
+    client.on_receive(lambda d: None)
+    a.send(b"x" * 40)  # decrypts to garbage: length check fails
+    assert server.rejected_records == 1
+    assert server._recv_mac.slots_consumed == 1  # slot burned, not skipped
+    # The *cipher* stream is desynchronized by the 40 injected bytes —
+    # that is unavoidable — but MAC and cipher moved together:
+    assert server.consecutive_rejects == 1
+
+
+def test_control_records_route_to_control_handler():
+    from repro.core.channel import (
+        RESYNC_REQUEST,
+        make_control_record,
+        parse_control_record,
+    )
+
+    client, server, _ci, server_in = make_channel_pair()
+    payloads = []
+    server.control_handler = payloads.append
+    client.send_control(RESYNC_REQUEST)
+    assert payloads == [RESYNC_REQUEST]
+    assert server_in == []  # never reaches the data handler
+    assert parse_control_record(make_control_record(b"p")) == b"p"
+    assert parse_control_record(b"ordinary bytes") is None
+
+
+def test_control_record_without_handler_is_rejected():
+    client, server, _ci, server_in = make_channel_pair()
+    client.send_control(b"nobody home")
+    assert server_in == []
+    assert server.rejected_records == 1

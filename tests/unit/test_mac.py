@@ -98,3 +98,33 @@ def test_different_keys_differ():
     t1 = SessionMAC(b"a" * 20).compute(b"m")
     t2 = SessionMAC(b"b" * 20).compute(b"m")
     assert t1 != t2
+
+
+def test_session_mac_failed_verify_consumes_slot():
+    # Regression for the docstring's promise: a failed verify burns the
+    # message slot too, keeping both endpoints in lock-step afterwards.
+    sender = SessionMAC(b"k" * 20)
+    receiver = SessionMAC(b"k" * 20)
+    tag1 = sender.compute(b"one")
+    assert not receiver.verify(b"tampered", tag1)
+    tag2 = sender.compute(b"two")
+    assert receiver.verify(b"two", tag2)
+
+
+def test_session_mac_skip_keeps_lockstep():
+    # skip() stands in for a record rejected before verification: the
+    # receiver burns the slot and the next record still checks out.
+    sender = SessionMAC(b"k" * 20)
+    receiver = SessionMAC(b"k" * 20)
+    sender.compute(b"record the receiver rejected early")
+    receiver.skip()
+    tag = sender.compute(b"next")
+    assert receiver.verify(b"next", tag)
+
+
+def test_session_mac_counts_slots():
+    mac = SessionMAC(b"k" * 20)
+    mac.compute(b"a")
+    mac.verify(b"b", b"\x00" * MAC_LEN)  # fails, still a slot
+    mac.skip()
+    assert mac.slots_consumed == 3

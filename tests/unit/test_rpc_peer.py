@@ -163,3 +163,104 @@ def test_unregister():
     server.unregister(400000, 2)
     with pytest.raises(RpcRejected):
         client.call(400000, 2, 1, ADD_ARGS, {"x": 1, "y": 1}, UInt32)
+
+
+# --- retransmission and at-most-once semantics --------------------------------
+
+def test_retry_policy_recovers_dropped_call():
+    from repro.rpc.peer import RetryPolicy
+
+    client, server, clock = make_pair(DropAdversary(target_index=0))
+    server.register(demo_program())
+    client.retry_policy = RetryPolicy()
+    assert client.call(400000, 2, 1, ADD_ARGS, {"x": 1, "y": 2}, UInt32) == 3
+    assert client.retransmissions == 1
+    assert clock.now > 0  # backoff charged to the virtual clock
+
+
+def test_retry_policy_recovers_dropped_reply_without_reexecution():
+    from repro.rpc.peer import RetryPolicy
+
+    # Drop the server's first reply: the retransmitted call must be
+    # answered from the duplicate cache, not executed twice.
+    executions = []
+    client, server, _clock = make_pair(
+        DropAdversary(target_index=0, direction="b->a")
+    )
+    program = Program("count", 410000, 1)
+
+    @program.proc(1, "BUMP", UInt32, UInt32)
+    def bump(args, ctx):
+        executions.append(args)
+        return len(executions)
+
+    server.register(program)
+    client.retry_policy = RetryPolicy()
+    assert client.call(410000, 1, 1, UInt32, 7, UInt32) == 1
+    assert executions == [7]  # exactly once
+    assert server.duplicates_served == 1
+
+
+def test_duplicate_cache_is_keyed_by_request_bytes():
+    # An xid collision with *different* request bytes is a new call, not
+    # a retransmission: it must execute, not replay a stale reply.
+    client, server, _clock = make_pair()
+    server.register(demo_program())
+    assert client.call(400000, 2, 1, ADD_ARGS, {"x": 1, "y": 1}, UInt32) == 2
+    client._xid = 0  # force the next call to reuse xid 1
+    assert client.call(400000, 2, 1, ADD_ARGS, {"x": 5, "y": 5}, UInt32) == 10
+    assert server.duplicates_served == 0
+
+
+def test_reply_cache_evicts_oldest():
+    client, server, _clock = make_pair()
+    server.register(demo_program())
+    server.reply_cache_size = 4
+    for value in range(8):
+        client.call(400000, 2, 1, ADD_ARGS, {"x": value, "y": 0}, UInt32)
+    assert len(server._reply_cache) == 4
+
+
+def test_recovery_hook_runs_from_second_retry():
+    from repro.rpc.peer import RetryPolicy
+
+    hook_calls = []
+
+    class DropFirstThree(DropAdversary):
+        def __init__(self):
+            super().__init__(target_index=-1)
+            self._count = 0
+
+        def process(self, data, direction):
+            if direction == "a->b":
+                self._count += 1
+                if self._count <= 3:
+                    return []
+            return [data]
+
+    client, server, _clock = make_pair(DropFirstThree())
+    server.register(demo_program())
+    client.retry_policy = RetryPolicy()
+    client.recovery_hook = lambda: hook_calls.append(True) or True
+    assert client.call(400000, 2, 1, ADD_ARGS, {"x": 2, "y": 2}, UInt32) == 4
+    # attempt 0 dropped, attempt 1 (plain retransmit) dropped, attempts
+    # 2 and 3 run the hook first:
+    assert len(hook_calls) >= 1
+    assert client.recoveries >= 1
+
+
+def test_no_waiter_distinguished_from_timeout():
+    from repro.rpc.peer import RpcNoWaiter
+
+    class DeafPipe:
+        """A transport that never delivers anything."""
+
+        def send(self, data): ...
+
+        def on_receive(self, handler): ...
+
+    client = RpcPeer(DeafPipe(), "client")
+    with pytest.raises(RpcNoWaiter):
+        client.call(400000, 2, 1, ADD_ARGS, {"x": 1, "y": 1}, UInt32)
+    # RpcNoWaiter is still an RpcTimeout for callers that do not care:
+    assert issubclass(RpcNoWaiter, RpcTimeout)

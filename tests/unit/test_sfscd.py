@@ -181,6 +181,8 @@ def test_switchable_pipe_switch_after_reply():
         def on_receive(self, handler):
             self.handler = handler
 
+        def attach(self): ...
+
     fake = FakeChannel()
     pipe_a.switch_after_reply(fake)
     pipe_a.send(b"the plaintext reply")      # goes out raw, then switch
@@ -200,6 +202,8 @@ def test_switchable_pipe_switch_now():
         def send(self, data): ...
         def on_receive(self, handler):
             self.handler = handler
+
+        def attach(self): ...
 
     fake = FakeChannel()
     pipe.switch_now(fake)

@@ -188,3 +188,83 @@ def test_recording_adversary_transcript():
     assert adversary.transcript == [
         ("a->b", b"request"), ("b->a", b"response"),
     ]
+
+
+def test_random_drop_adversary_is_seeded():
+    import random
+
+    from repro.sim.network import RandomDropAdversary
+
+    def run(seed):
+        adversary = RandomDropAdversary(rate=0.3, rng=random.Random(seed))
+        survived = []
+        for index in range(50):
+            survived.extend(adversary.process(bytes([index]), "a->b"))
+        return survived, adversary.dropped
+
+    first, dropped_first = run(42)
+    second, dropped_second = run(42)
+    assert first == second  # same seed, same loss pattern
+    assert dropped_first == dropped_second > 0
+    third, _ = run(43)
+    assert third != first
+
+
+def test_burst_loss_adversary_drops_in_runs():
+    import random
+
+    from repro.sim.network import BurstLossAdversary
+
+    adversary = BurstLossAdversary(
+        enter_rate=0.2, exit_rate=0.3, rng=random.Random(7)
+    )
+    for index in range(200):
+        adversary.process(bytes([index % 256]), "a->b")
+    assert adversary.bursts > 0
+    # Gilbert-Elliott: more drops than entries into the bad state means
+    # losses arrive in runs, not independently.
+    assert adversary.dropped > adversary.bursts
+
+
+def test_bitflip_adversary_corrupts_without_resizing():
+    import random
+
+    from repro.sim.network import BitFlipAdversary
+
+    adversary = BitFlipAdversary(rate=1.0, rng=random.Random(3))
+    original = b"payload bytes"
+    (result,) = adversary.process(original, "a->b")
+    assert len(result) == len(original)
+    assert result != original
+    assert adversary.corrupted == 1
+
+
+def test_duplicate_adversary_repeats_record():
+    import random
+
+    from repro.sim.network import DuplicateAdversary
+
+    adversary = DuplicateAdversary(rate=1.0, rng=random.Random(5))
+    assert adversary.process(b"once", "a->b") == [b"once", b"once"]
+    assert adversary.duplicated == 1
+
+
+def test_chaos_adversary_mixes_faults():
+    import random
+
+    from repro.sim.network import ChaosAdversary
+
+    adversary = ChaosAdversary(
+        random.Random(9), drop_rate=0.2, corrupt_rate=0.2,
+        duplicate_rate=0.2,
+    )
+    out = 0
+    for index in range(300):
+        out += len(adversary.process(bytes([index % 256]) * 8, "a->b"))
+    assert adversary.dropped > 0
+    assert adversary.corrupted > 0
+    assert adversary.duplicated > 0
+    assert adversary.faults == (
+        adversary.dropped + adversary.corrupted + adversary.duplicated
+    )
+    assert out == 300 - adversary.dropped + adversary.duplicated
