@@ -260,6 +260,14 @@ class ServerSession:
             return False
         finally:
             self._resyncing = False
+            if self.pipe.lower is self.pipe.raw:
+                # A failed resync must never leave the session speaking
+                # plaintext: reinstall the (possibly still broken)
+                # channel so retransmitted data records stay encrypted
+                # and an unrecovered desync surfaces as a timeout — the
+                # delay an attacker could always cause — rather than as
+                # a silent downgrade.
+                self.pipe.switch_now(self.channel)
 
     def _resync_round(self) -> bool:
         self._resync_acked = False
@@ -836,6 +844,12 @@ class SfsClientDaemon:
                 break
             except RpcTimeout as exc:
                 last_timeout = exc
+                # Tear the half-open link down before redialing; the
+                # server prunes its side of an abandoned connection as
+                # soon as it notices the link is closed.
+                close = getattr(link, "close", None)
+                if close is not None:
+                    close()
         if outcome is None:
             raise MountError(
                 f"cannot establish a session with {path.location}: "

@@ -227,8 +227,14 @@ class RwExport:
     def on_mutation(self, plain_handle: bytes) -> None:
         """Fan lease invalidations out to every other connection."""
         encrypted = None
-        for connection in self.connections:
+        for connection in list(self.connections):
             if connection is self.active_connection:
+                continue
+            if not connection.alive:
+                # A client that redialed (or died) leaves a half-open
+                # connection behind; drop it instead of broadcasting
+                # invalidations to a dead link forever.
+                self.connections.remove(connection)
                 continue
             if plain_handle in connection.leased_handles:
                 if encrypted is None:
@@ -502,16 +508,20 @@ class ServerConnection:
         """Plaintext control records: the resync handshake.
 
         Control records are unauthenticated by necessity (they exist for
-        when the streams are broken), so they grant nothing: a forged
-        RESYNC-REQ only drops this connection to plaintext *framing* —
-        every subsequent data record still needs the secure channel the
-        client will re-establish, making forgery one more DoS lever.
+        when the streams are broken), so they must grant nothing.  A
+        forged RESYNC-REQ drops the connection to plaintext framing, so
+        for the whole fallback window the session dialect is *withdrawn*
+        — only SFS_CONNECT (whose REKEY proves continuity) stays
+        registered.  An attacker who forges the request therefore cannot
+        follow it with plaintext session calls under a guessed authno;
+        forgery stays one more DoS lever.
         """
         if payload == RESYNC_REQUEST:
             if self.session_keys is None:
                 return  # nothing to resynchronize yet
             self.resyncs_served += 1
             self.pipe.reset_to_plaintext()
+            self._deregister_session_programs()
             self.pipe.send_control(RESYNC_ACK)
         # Unknown payloads (injected garbage) are ignored.
 
@@ -525,6 +535,14 @@ class ServerConnection:
             assert self.export is not None
             if self not in self.export.connections:
                 self.export.connections.append(self)
+
+    def _deregister_session_programs(self) -> None:
+        """Withdraw the session dialect while the pipe is in plaintext
+        fallback.  A successful REKEY re-registers it (via
+        :meth:`_negotiate`); until then the peer answers session calls
+        with PROG_UNAVAIL instead of executing them in the clear."""
+        self.peer.unregister(proto.SFS_RW_PROGRAM, proto.SFS_VERSION)
+        self.peer.unregister(proto.SFS_AUTHSERV_PROGRAM, proto.SFS_VERSION)
 
     def _register_readonly_program(self) -> None:
         self.peer.register(self._readonly_program())
@@ -633,6 +651,11 @@ class ServerConnection:
                 if entry.name_handle is not None:
                     self.leased_handles.add(entry.name_handle)
 
+    @property
+    def alive(self) -> bool:
+        """False once the underlying transport reports itself closed."""
+        return getattr(self.pipe.raw, "is_open", True)
+
     def send_invalidate(self, encrypted_handle: bytes,
                         plain_handle: bytes) -> None:
         """Server->client lease invalidation; fire and forget."""
@@ -646,7 +669,11 @@ class ServerConnection:
                 VOID,
             )
         except Exception:  # noqa: BLE001 - invalidations are best-effort
-            pass
+            if not self.alive and self.export is not None:
+                try:
+                    self.export.connections.remove(self)
+                except ValueError:
+                    pass
 
     # -- user authentication --
 

@@ -59,11 +59,12 @@ class RpcTimeout(RpcError):
     """No reply arrived for an outstanding call (e.g. record dropped)."""
 
 
-class RpcNoWaiter(RpcTimeout):
+class RpcNoWaiter(RpcError):
     """No reply *could* arrive: delivery is asynchronous and no
     ``reply_waiter`` is configured.  A transport-wiring problem, not a
-    lost record — distinguished so misconfiguration is never mistaken
-    for packet loss (or an attack)."""
+    lost record — deliberately *not* an :class:`RpcTimeout`, so retry
+    and redial logic that treats timeouts as packet loss (or an attack)
+    can never mask the misconfiguration; it fails fast instead."""
 
 
 @dataclass

@@ -16,10 +16,20 @@ import pytest
 
 from repro.core import proto
 from repro.core.channel import RESYNC_REQUEST, make_control_record
+from repro.core.server import ZERO_HANDLE, make_sfs_cred
 from repro.fs import pathops
 from repro.fs.memfs import Cred
+from repro.kernel.vfs import KernelError
 from repro.kernel.world import World
-from repro.sim.network import ChaosAdversary
+from repro.nfs3 import const as nfs_const
+from repro.nfs3 import types as nfs_types
+from repro.rpc import rpcmsg
+from repro.sim.network import (
+    Adversary,
+    ChaosAdversary,
+    DropAdversary,
+    RecordingAdversary,
+)
 
 
 def lossy_world(seed, **rates):
@@ -213,11 +223,136 @@ def test_forged_resync_request_is_dos_only():
     assert session.rekeys >= 1
 
 
+def test_forged_resync_window_rejects_plaintext_session_calls():
+    """While the plaintext fallback a forged RESYNC-REQ opens is in
+    effect, the session dialect is withdrawn: an attacker who follows
+    the forgery with a plaintext NFS call under a guessed authno gets
+    PROG_UNAVAIL, never file service — the fallback window really is
+    DoS-only, not an authentication or confidentiality hole."""
+    world = World(seed=82)
+    server = world.add_server("sfs.lcs.mit.edu")
+    path = server.export_fs()
+    pathops.write_file(server.fs, "/data", b"protected contents")
+    client = world.add_client("laptop")
+    client.new_agent("user", 1000)
+    proc = client.process(uid=1000)
+    assert proc.read_file(f"{path}/data") == b"protected contents"
+    session = session_for(world, path)
+    (connection,) = server_connections(server, path)
+    export = server.master._rw[path.hostid]
+    served_before = connection.peer.calls_served
+    relayed_before = export.nfs_client.peer.calls_sent
+    # Step 1: the forged control record drops the server to plaintext.
+    session.pipe.raw.send(make_control_record(RESYNC_REQUEST))
+    assert connection.resyncs_served == 1
+    # Step 2: the attacker speaks the session dialect in plaintext with
+    # a guessed authno (authnos are small sequential ints).  The
+    # mount-convention LOOKUP needs no stolen handle, so before the
+    # fallback window withdrew the dialect it leaked the root handle.
+    arg_codec, _res_codec = proto.NFS_PROC_CODECS[nfs_const.NFSPROC3_LOOKUP]
+    forged = rpcmsg.pack_call(
+        rpcmsg.CallHeader(
+            0xADBEEF, proto.SFS_RW_PROGRAM, proto.SFS_VERSION,
+            nfs_const.NFSPROC3_LOOKUP, cred=make_sfs_cred(1),
+        ),
+        arg_codec.pack(nfs_types.LookupArgs.make(
+            what=nfs_types.DirOpArgs.make(dir=ZERO_HANDLE, name=".")
+        )),
+    )
+    session.pipe.raw.send(forged)
+    # Not executed: no registered procedure ran and nothing reached the
+    # local NFS server, so no reply can have carried file system state.
+    assert connection.peer.calls_served == served_before
+    assert export.nfs_client.peer.calls_sent == relayed_before
+    # The real client still recovers; the attacker bought only delay.
+    assert proc.read_file(f"{path}/data") == b"protected contents"
+    assert session.rekeys >= 1
+    assert connection.peer.calls_served > served_before
+
+
+def test_failed_resync_never_downgrades_to_plaintext():
+    """When every resync round fails — an attacker can force this by
+    denying the REKEYs — the session must reinstall the channel and
+    surface an error, never keep relaying calls over the raw transport
+    in cleartext."""
+    world = World(seed=83)
+    server = world.add_server("sfs.lcs.mit.edu")
+    path = server.export_fs()
+    secret = b"never in the clear"
+    pathops.write_file(server.fs, "/secret", secret)
+    recorder = RecordingAdversary()
+    world.adversary_factory = lambda: recorder
+    client = world.add_client("laptop")
+    client.new_agent("user", 1000)
+    proc = client.process(uid=1000)
+    assert proc.read_file(f"{path}/secret") == secret
+    session = session_for(world, path)
+    good_key = session.server_public_key
+    # Sabotage every REKEY: key halves sealed to the wrong public key
+    # are rejected by the server, so each round ends REKEY_DENIED.
+    session.server_public_key = session.ephemeral_keys.current().public_key
+    assert session.resync() is False
+    assert session.resyncs_failed >= 1
+    # The channel — broken or not — is back in front of the raw
+    # transport, so data records cannot flow in plaintext ...
+    assert session.pipe.lower is session.channel
+    # ... and calls fail with an error instead of silently downgrading.
+    with pytest.raises(KernelError):
+        proc.read_file(f"{path}/secret")
+    # No session-dialect RPC ever crossed the wire in the clear:
+    wire = b"".join(record for _direction, record in recorder.transcript)
+    assert secret not in wire
+    for _direction, record in recorder.transcript:
+        try:
+            message = rpcmsg.parse_message(record)
+        except Exception:  # noqa: BLE001 - ciphertext does not parse
+            continue
+        if message.mtype == rpcmsg.CALL and message.call is not None:
+            assert message.call.prog != proto.SFS_RW_PROGRAM, \
+                "session call left the client in plaintext"
+    # Repair the key and the same session recovers on the same link.
+    session.server_public_key = good_key
+    assert session.resync()
+    assert proc.read_file(f"{path}/secret") == secret
+
+
+def test_abandoned_handshake_link_is_closed_and_pruned():
+    """A handshake stranded by a lost ENCRYPT reply is redialed from
+    scratch; the abandoned link is closed, and the server drops its
+    half-open connection at the next lease fan-out instead of
+    broadcasting invalidations to a dead link forever."""
+    world = World(seed=84)
+    server = world.add_server("sfs.lcs.mit.edu")
+    path = server.export_fs()
+    alice = server.add_user("alice", uid=1000)
+    home = pathops.mkdirs(server.fs, "/home/alice")
+    server.fs.setattr(home.ino, Cred(0, 0), uid=1000, gid=100)
+    adversaries = []
+
+    def factory():
+        # First dial: eat the ENCRYPT reply (the second server->client
+        # record) after the server has already armed its channel and
+        # listed the connection; every later dial runs clean.
+        adversary = (DropAdversary(target_index=1, direction="b->a")
+                     if not adversaries else Adversary())
+        adversaries.append(adversary)
+        return adversary
+
+    world.adversary_factory = factory
+    client = world.add_client("laptop")
+    proc = client.login_user("alice", alice.key, uid=1000)
+    proc.write_file(f"{path}/home/alice/file", b"contents")
+    assert len(adversaries) >= 2, "the redial never happened"
+    assert not world.links[0].is_open, "abandoned link left open"
+    # The write's lease fan-out pruned the half-open ghost connection:
+    export = server.master._rw[path.hostid]
+    assert len(export.connections) == 1
+    assert all(connection.alive for connection in export.connections)
+
+
 def test_eavesdropper_sees_no_plaintext_across_rekey():
     """Records before and after a re-keying leak nothing: the new keys
     come from a full re-run of the figure-3 negotiation."""
-    from repro.sim.network import RecordingAdversary
-
     world = World(seed=81)
     server = world.add_server("sfs.lcs.mit.edu")
     path = server.export_fs()

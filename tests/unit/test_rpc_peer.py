@@ -262,5 +262,9 @@ def test_no_waiter_distinguished_from_timeout():
     client = RpcPeer(DeafPipe(), "client")
     with pytest.raises(RpcNoWaiter):
         client.call(400000, 2, 1, ADD_ARGS, {"x": 1, "y": 1}, UInt32)
-    # RpcNoWaiter is still an RpcTimeout for callers that do not care:
-    assert issubclass(RpcNoWaiter, RpcTimeout)
+    # Deliberately NOT an RpcTimeout: retry/redial logic that treats
+    # timeouts as packet loss must never mask a wiring bug by retrying
+    # on a transport that can never deliver a reply.
+    assert not issubclass(RpcNoWaiter, RpcTimeout)
+    from repro.rpc.peer import RpcError
+    assert issubclass(RpcNoWaiter, RpcError)
