@@ -57,6 +57,30 @@ def test_fig5_report(benchmark, capsys):
     )
     emit_table("fig5_micro", table, capsys)
 
+    # Per-layer latency attribution: the tracker's exclusive times must
+    # account for the whole headline (within 5%), and the SFS rows must
+    # show where the overhead lives — crypto and the user-level relay.
+    layers = ["crypto", "rpc", "nfs3", "network", "disk", "other"]
+    attr_rows = []
+    for name in CONFIGS:
+        result = _results[name]
+        assert result.attribution is not None
+        components = sum(result.attribution.values())
+        assert components == pytest.approx(result.headline_seconds, rel=0.05)
+        attr_rows.append(tuple(
+            [name] + [result.attribution.get(layer, 0.0) for layer in layers]
+            + [components, result.headline_seconds]
+        ))
+    attr_table = format_table(
+        "Figure 5 latency attribution (seconds)",
+        ["File system"] + layers + ["sum", "headline"], attr_rows,
+    )
+    emit_table("fig5_attribution", attr_table, capsys)
+    assert _results[SFS].attribution.get("crypto", 0.0) > 0
+    assert _results[SFS_NOENC].attribution.get("crypto", 0.0) == 0
+    assert (_results[SFS].attribution.get("rpc", 0.0)
+            > _results[NFS_UDP].attribution.get("rpc", 0.0))
+
     latency = {name: _results[name].latency_usec for name in CONFIGS}
     throughput = {name: _results[name].throughput_mbs for name in CONFIGS}
     # SFS pays for its user-level implementation on every RPC.

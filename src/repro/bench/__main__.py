@@ -3,17 +3,26 @@
     python -m repro.bench            # all figures, default scales
     python -m repro.bench fig5 fig8  # a subset
     python -m repro.bench --quick    # reduced workload sizes
+    python -m repro.bench fig5 --metrics-out metrics.json
 
-Prints the same rows/series the paper's section 4 reports.  Absolute
-numbers reflect the Python simulator; the *shape* (who wins, by roughly
-what factor) is the reproduction target — see EXPERIMENTS.md.
+Prints the same rows/series the paper's section 4 reports, each followed
+by a per-layer latency attribution table (where did the time go: crypto,
+RPC/marshaling, the NFS server, the simulated network and disk).
+Absolute numbers reflect the Python simulator; the *shape* (who wins, by
+roughly what factor) is the reproduction target — see EXPERIMENTS.md.
+
+With ``--metrics-out PATH``, the full metrics snapshot of every
+(figure, configuration) run is written as JSON; render it later with
+``python -m repro.obs PATH``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
+from ..obs.export import SnapshotCollector
 from . import compile_bench, mab, micro, sprite
 from .setups import LOCAL, NFS_TCP, NFS_UDP, SFS, SFS_NOENC, make_setup
 from .timing import format_table
@@ -21,71 +30,132 @@ from .timing import format_table
 MICRO_CONFIGS = [NFS_UDP, NFS_TCP, SFS, SFS_NOENC]
 APP_CONFIGS = [LOCAL, NFS_UDP, NFS_TCP, SFS]
 
+_LAYERS = ["crypto", "rpc", "nfs3", "network", "disk", "other"]
 
-def run_fig5(quick: bool) -> str:
-    ops = 100 if quick else 200
-    size = (1 << 20) if quick else (2 << 20)
+
+def _measured(name: str, figure: str, collector, workload):
+    """Run *workload*(setup) bracketed by layer attribution.
+
+    The layer tracker is reset after setup (key generation and the
+    session handshake are not part of any figure's headline), so the
+    exclusive per-layer times sum to the workload's elapsed time.
+    """
+    setup = make_setup(name)
+    setup.metrics.layers.reset()
+    sim_start = setup.clock.now
+    cpu_start = time.perf_counter()
+    result = workload(setup)
+    headline = ((time.perf_counter() - cpu_start)
+                + (setup.clock.now - sim_start))
+    breakdown = setup.metrics.layers.breakdown()
+    attribution = {n: cpu + sim for n, (cpu, sim) in breakdown.items()}
+    if collector is not None:
+        collector.add(f"{figure}/{name}", setup.metrics,
+                      meta={"figure": figure, "config": name})
+    return result, (name, attribution, headline)
+
+
+def _attribution_table(figure: str, attributions) -> str:
+    """Render per-layer time for each configuration of one figure."""
     rows = []
-    for name in MICRO_CONFIGS:
-        result = micro.run_micro(make_setup(name), ops=ops, size=size)
-        rows.append((name, result.latency_usec, result.throughput_mbs))
+    for name, attribution, headline in attributions:
+        folded = {layer: attribution.get(layer, 0.0) for layer in _LAYERS}
+        folded["other"] += sum(seconds for layer, seconds
+                               in attribution.items() if layer not in _LAYERS)
+        total = sum(folded.values())
+        rows.append(tuple([name] + [folded[layer] for layer in _LAYERS]
+                          + [total, headline]))
     return format_table(
-        "Figure 5: micro-benchmarks for basic operations",
-        ["File system", "Latency (usec)", "Throughput (MB/s)"], rows,
+        f"{figure} latency attribution (seconds)",
+        ["File system"] + _LAYERS + ["sum", "headline"], rows,
     )
 
 
-def run_fig6(quick: bool) -> str:
-    rows = []
+def run_fig5(quick: bool, collector=None) -> str:
+    ops = 100 if quick else 200
+    size = (1 << 20) if quick else (2 << 20)
+    rows, attributions = [], []
+    for name in MICRO_CONFIGS:
+        result, attribution = _measured(
+            name, "fig5", collector,
+            lambda setup: micro.run_micro(setup, ops=ops, size=size),
+        )
+        rows.append((name, result.latency_usec, result.throughput_mbs))
+        attributions.append(attribution)
+    table = format_table(
+        "Figure 5: micro-benchmarks for basic operations",
+        ["File system", "Latency (usec)", "Throughput (MB/s)"], rows,
+    )
+    return table + "\n\n" + _attribution_table("Figure 5", attributions)
+
+
+def run_fig6(quick: bool, collector=None) -> str:
+    rows, attributions = [], []
     for name in APP_CONFIGS:
-        result = mab.run_mab(make_setup(name))
+        result, attribution = _measured(name, "fig6", collector, mab.run_mab)
         rows.append(tuple(
             [name] + [result.phases[p].total for p in mab.PHASES]
             + [result.total]
         ))
-    return format_table(
+        attributions.append(attribution)
+    table = format_table(
         "Figure 6: Modified Andrew Benchmark (seconds per phase)",
         ["File system"] + mab.PHASES + ["total"], rows,
     )
+    return table + "\n\n" + _attribution_table("Figure 6", attributions)
 
 
-def run_fig7(quick: bool) -> str:
-    rows = []
+def run_fig7(quick: bool, collector=None) -> str:
+    rows, attributions = [], []
     for name in APP_CONFIGS + [SFS_NOENC]:
-        result = compile_bench.run_compile(make_setup(name))
+        result, attribution = _measured(
+            name, "fig7", collector, compile_bench.run_compile
+        )
         rows.append((name, result.seconds))
-    return format_table(
+        attributions.append(attribution)
+    table = format_table(
         "Figure 7: compiling the GENERIC kernel (synthetic)",
         ["System", "Time (seconds)"], rows,
     )
+    return table + "\n\n" + _attribution_table("Figure 7", attributions)
 
 
-def run_fig8(quick: bool) -> str:
+def run_fig8(quick: bool, collector=None) -> str:
     count = 150 if quick else 500
-    rows = []
+    rows, attributions = [], []
     for name in APP_CONFIGS:
-        result = sprite.run_small_file(make_setup(name), count=count)
+        result, attribution = _measured(
+            name, "fig8", collector,
+            lambda setup: sprite.run_small_file(setup, count=count),
+        )
         rows.append(tuple(
             [name] + [result.phases[p].total for p in sprite.SMALL_PHASES]
         ))
-    return format_table(
+        attributions.append(attribution)
+    table = format_table(
         f"Figure 8: Sprite LFS small-file benchmark ({count} x 1 KB files)",
         ["File system"] + sprite.SMALL_PHASES, rows,
     )
+    return table + "\n\n" + _attribution_table("Figure 8", attributions)
 
 
-def run_fig9(quick: bool) -> str:
+def run_fig9(quick: bool, collector=None) -> str:
     size = (1 << 20) if quick else (4 << 20)
-    rows = []
+    rows, attributions = [], []
     for name in APP_CONFIGS:
-        result = sprite.run_large_file(make_setup(name), size=size)
+        result, attribution = _measured(
+            name, "fig9", collector,
+            lambda setup: sprite.run_large_file(setup, size=size),
+        )
         rows.append(tuple(
             [name] + [result.phases[p].total for p in sprite.LARGE_PHASES]
         ))
-    return format_table(
+        attributions.append(attribution)
+    table = format_table(
         f"Figure 9: Sprite LFS large-file benchmark ({size >> 20} MB file)",
         ["File system"] + sprite.LARGE_PHASES, rows,
     )
+    return table + "\n\n" + _attribution_table("Figure 9", attributions)
 
 
 FIGURES = {
@@ -106,12 +176,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="subset of figures (default: all)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced workload sizes")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write every run's metrics snapshot as JSON")
     args = parser.parse_args(argv)
     selected = args.figures or list(FIGURES)
+    collector = SnapshotCollector() if args.metrics_out else None
     for index, figure in enumerate(selected):
         if index:
             print()
-        print(FIGURES[figure](args.quick))
+        print(FIGURES[figure](args.quick, collector))
+    if collector is not None:
+        collector.write(args.metrics_out)
+        print(f"\nmetrics snapshots written to {args.metrics_out}")
     return 0
 
 

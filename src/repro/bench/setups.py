@@ -50,6 +50,10 @@ class BenchSetup:
     def clock(self):
         return self.world.clock
 
+    @property
+    def metrics(self):
+        return self.world.metrics
+
 
 def _prepare_export(server, uid: int) -> None:
     """Give the benchmark user a writable directory on the export."""

@@ -14,9 +14,9 @@ overhead by genuine CPU time.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+from ..obs.trace import Tracer
 from ..sim.clock import Clock
 
 
@@ -38,20 +38,20 @@ class Measurement:
 
 
 class Timer:
-    """Measures named spans against a wall timer and a virtual clock."""
+    """Measures named spans against a wall timer and a virtual clock.
+
+    A thin facade over :class:`repro.obs.trace.Tracer` that keeps the
+    flat :class:`Measurement` records benchmarks report on.
+    """
 
     def __init__(self, clock: Clock) -> None:
-        self._clock = clock
+        self._tracer = Tracer(clock)
         self.measurements: list[Measurement] = []
 
     def measure(self, name: str, fn) -> Measurement:
         """Run *fn* and record its cpu + simulated time."""
-        sim_start = self._clock.now
-        cpu_start = time.perf_counter()
-        fn()
-        cpu = time.perf_counter() - cpu_start
-        sim = self._clock.now - sim_start
-        measurement = Measurement(name, cpu, sim)
+        span = self._tracer.measure(name, fn)
+        measurement = Measurement(name, span.cpu_seconds, span.sim_seconds)
         self.measurements.append(measurement)
         return measurement
 

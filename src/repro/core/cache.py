@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from ..obs.registry import NULL_REGISTRY
 from ..sim.clock import Clock
 
 
@@ -34,7 +35,8 @@ class LeaseCache:
     """A lease-scoped cache keyed by (handle, extra-key) pairs."""
 
     def __init__(self, clock: Clock, lease_duration: float,
-                 enabled: bool = True) -> None:
+                 enabled: bool = True, metrics=None,
+                 name: str = "cache") -> None:
         self._clock = clock
         self._lease = lease_duration
         self.enabled = enabled
@@ -42,6 +44,12 @@ class LeaseCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_hits = registry.counter(f"cache.{name}.hits")
+        self._m_misses = registry.counter(f"cache.{name}.misses")
+        self._m_invalidations = registry.counter(
+            f"cache.{name}.invalidations"
+        )
 
     def get(self, handle: bytes, key: Any = None) -> Any | None:
         if not self.enabled:
@@ -49,12 +57,15 @@ class LeaseCache:
         by_key = self._entries.get(handle)
         if by_key is None:
             self.misses += 1
+            self._m_misses.inc()
             return None
         entry = by_key.get(key)
         if entry is None or entry.expires < self._clock.now:
             self.misses += 1
+            self._m_misses.inc()
             return None
         self.hits += 1
+        self._m_hits.inc()
         return entry.value
 
     def put(self, handle: bytes, value: Any, key: Any = None) -> None:
@@ -68,6 +79,7 @@ class LeaseCache:
         """Drop all entries for *handle* (server callback or local write)."""
         if self._entries.pop(handle, None) is not None:
             self.invalidations += 1
+            self._m_invalidations.inc()
 
     def clear(self) -> None:
         self._entries.clear()
@@ -83,11 +95,14 @@ class ClientCaches:
 
     @classmethod
     def create(cls, clock: Clock, lease_duration: float,
-               enabled: bool = True) -> "ClientCaches":
+               enabled: bool = True, metrics=None) -> "ClientCaches":
         return cls(
-            attrs=LeaseCache(clock, lease_duration, enabled),
-            access=LeaseCache(clock, lease_duration, enabled),
-            lookups=LeaseCache(clock, lease_duration, enabled),
+            attrs=LeaseCache(clock, lease_duration, enabled,
+                             metrics=metrics, name="attrs"),
+            access=LeaseCache(clock, lease_duration, enabled,
+                              metrics=metrics, name="access"),
+            lookups=LeaseCache(clock, lease_duration, enabled,
+                               metrics=metrics, name="lookups"),
         )
 
     def invalidate(self, handle: bytes) -> None:

@@ -34,6 +34,7 @@ from typing import Callable
 
 from ..crypto.arc4 import ARC4
 from ..crypto.mac import MAC_LEN, SessionMAC
+from ..obs.registry import NULL_REGISTRY
 
 _LEN_BYTES = 4
 
@@ -100,9 +101,17 @@ class SecureChannel:
             pipe, "suggested_reply_waiter", None
         )
         self.suggested_clock = getattr(pipe, "suggested_clock", None)
+        self.suggested_metrics = getattr(pipe, "suggested_metrics", None)
         self.synchronous_delivery = getattr(
             pipe, "synchronous_delivery", False
         )
+        self.metrics = self.suggested_metrics or NULL_REGISTRY
+        self._m_sent = self.metrics.counter("channel.records_sent")
+        self._m_received = self.metrics.counter("channel.records_received")
+        self._m_rejects = self.metrics.counter("channel.mac_reject")
+        self._m_desyncs = self.metrics.counter("channel.desyncs")
+        self._m_rekeys = self.metrics.counter("channel.rekeys")
+        self._m_unhandled = self.metrics.counter("channel.unhandled")
         self.rejected_records = 0
         self.records_sent = 0
         self.records_received = 0
@@ -143,6 +152,7 @@ class SecureChannel:
         self.consecutive_rejects = 0
         self._desync_reported = False
         self.rekeys += 1
+        self._m_rekeys.inc()
 
     def attach(self) -> None:
         """(Re-)point the underlying pipe's delivery at this channel.
@@ -158,9 +168,11 @@ class SecureChannel:
 
     def _reject(self) -> None:
         self.rejected_records += 1
+        self._m_rejects.inc()
         self.consecutive_rejects += 1
         if self.desynchronized and not self._desync_reported:
             self._desync_reported = True
+            self._m_desyncs.inc()
             if self.on_desync is not None:
                 try:
                     self.on_desync()
@@ -171,12 +183,19 @@ class SecureChannel:
 
     def send(self, data: bytes) -> None:
         self.records_sent += 1
+        self._m_sent.inc()
         if not self._encrypt:
             self._pipe.send(data)
             return
-        mac = self._send_mac.compute(data)
-        body = len(data).to_bytes(_LEN_BYTES, "big") + data + mac
-        self._pipe.send(self._send_stream.encrypt(body))
+        layers = self.metrics.layers
+        layers.push("crypto")
+        try:
+            mac = self._send_mac.compute(data)
+            body = len(data).to_bytes(_LEN_BYTES, "big") + data + mac
+            record = self._send_stream.encrypt(body)
+        finally:
+            layers.pop()
+        self._pipe.send(record)
 
     def on_receive(self, handler: Callable[[bytes], None]) -> None:
         self._handler = handler
@@ -196,25 +215,33 @@ class SecureChannel:
         if not self._encrypt:
             self._deliver(record)
             return
-        body = self._recv_stream.decrypt(record)
-        if len(body) < _LEN_BYTES + MAC_LEN:
-            # The cipher stream consumed this record's bytes; burn the
-            # matching MAC slot so the two receive streams stay in
-            # lock-step (they must desynchronize together or not at all).
-            self._recv_mac.skip()
-            self._reject()
-            return
-        length = int.from_bytes(body[:_LEN_BYTES], "big")
-        if length != len(body) - _LEN_BYTES - MAC_LEN:
-            self._recv_mac.skip()
-            self._reject()
-            return
-        plaintext = body[_LEN_BYTES : _LEN_BYTES + length]
-        tag = body[_LEN_BYTES + length :]
-        if not self._recv_mac.verify(plaintext, tag):
+        layers = self.metrics.layers
+        layers.push("crypto")
+        try:
+            plaintext = None
+            body = self._recv_stream.decrypt(record)
+            if len(body) < _LEN_BYTES + MAC_LEN:
+                # The cipher stream consumed this record's bytes; burn
+                # the matching MAC slot so the two receive streams stay
+                # in lock-step (they must desynchronize together or not
+                # at all).
+                self._recv_mac.skip()
+            else:
+                length = int.from_bytes(body[:_LEN_BYTES], "big")
+                if length != len(body) - _LEN_BYTES - MAC_LEN:
+                    self._recv_mac.skip()
+                else:
+                    candidate = body[_LEN_BYTES : _LEN_BYTES + length]
+                    tag = body[_LEN_BYTES + length :]
+                    if self._recv_mac.verify(candidate, tag):
+                        plaintext = candidate
+        finally:
+            layers.pop()
+        if plaintext is None:
             self._reject()
             return
         self.records_received += 1
+        self._m_received.inc()
         self.consecutive_rejects = 0
         self._deliver(plaintext)
 
@@ -225,5 +252,6 @@ class SecureChannel:
             # stack: count it and move on.  Decryption already ran, so
             # the streams stay aligned for when a handler appears.
             self.unhandled_records += 1
+            self._m_unhandled.inc()
             return
         self._handler(plaintext)

@@ -39,6 +39,7 @@ from ..crypto.rabin import PublicKey, RabinError
 from ..crypto.sha1 import sha1
 from ..nfs3 import const as nfs_const
 from ..nfs3 import types as nfs_types
+from ..obs.registry import NULL_REGISTRY
 from ..rpc.peer import (
     CallContext,
     Program,
@@ -131,6 +132,12 @@ class ServerSession:
         self.on_rekey: Callable[[], None] | None = None
         self.rekeys = 0
         self.resyncs_failed = 0
+        # Recovery counters, visible in exported snapshots: attempts,
+        # successful rekeys, exhausted resyncs (see PROTOCOLS.md §10).
+        self.metrics = peer.metrics
+        self._m_resyncs = self.metrics.counter("session.resyncs")
+        self._m_rekeys = self.metrics.counter("session.rekeys")
+        self._m_resyncs_failed = self.metrics.counter("session.resyncs_failed")
         self._resyncing = False
         self._resync_acked = False
         if self.session_keys is not None and self.channel is not None:
@@ -246,10 +253,12 @@ class ServerSession:
                 or self.ephemeral_keys is None or self._resyncing):
             return False
         self._resyncing = True
+        self._m_resyncs.inc()
         try:
             for _ in range(_RESYNC_ROUNDS):
                 if self._resync_round():
                     self.rekeys += 1
+                    self._m_rekeys.inc()
                     if self.on_rekey is not None:
                         try:
                             self.on_rekey()
@@ -257,6 +266,7 @@ class ServerSession:
                             pass
                     return True
             self.resyncs_failed += 1
+            self._m_resyncs_failed.inc()
             return False
         finally:
             self._resyncing = False
@@ -424,11 +434,12 @@ class MountedRemoteFs:
         self.fsid = fsid
         self.caches = ClientCaches.create(
             daemon.clock, float(session.servinfo.lease_duration),
-            enabled=daemon.caching,
+            enabled=daemon.caching, metrics=daemon.metrics,
         )
         self._authnos: dict[int, int] = {}
         self.program = self._build_program()
         self.rpcs_relayed = 0
+        self._m_relayed = daemon.metrics.counter("client.rpcs_relayed")
         session.invalidate_handler = self.caches.invalidate
         session.on_rekey = self._after_rekey
 
@@ -479,6 +490,7 @@ class MountedRemoteFs:
         authno = self._authno_for(ctx)
         status, body = self.session.call_nfs(proc, args, authno)
         self.rpcs_relayed += 1
+        self._m_relayed.inc()
         _rewrite_fsids(body, self.fsid)
         self._absorb(proc, args, ctx, status, body)
         return status, body
@@ -772,13 +784,15 @@ class SfsClientDaemon:
     ROOT_HANDLE = b"SFSCD-ROOT-HANDLE"
 
     def __init__(self, clock: Clock, rng: random.Random, connector: Connector,
-                 mounter, encrypt: bool = True, caching: bool = True) -> None:
+                 mounter, encrypt: bool = True, caching: bool = True,
+                 metrics=None) -> None:
         self.clock = clock
         self.rng = rng
         self.connector = connector
         self.mounter = mounter
         self.encrypt = encrypt
         self.caching = caching
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.agents: dict[int, Agent] = {}
         self.ephemeral_keys = EphemeralKeyCache(rng)
         self._mounts: dict[bytes, MountedRemoteFs | ReadOnlyMount] = {}

@@ -38,6 +38,7 @@ from ..nfs3 import const as nfs_const
 from ..nfs3.client import Nfs3Client
 from ..nfs3.handles import BadHandle, EncryptedHandles, PlainHandles
 from ..nfs3.server import Nfs3Server
+from ..obs.registry import NULL_REGISTRY
 from ..rpc.peer import CallContext, Program, Pipe, RpcPeer
 from ..rpc.rpcmsg import AuthSys, OpaqueAuth
 from ..rpc.xdr import Record, VOID
@@ -143,6 +144,7 @@ class SwitchablePipe:
             lower, "suggested_reply_waiter", None
         )
         self.suggested_clock = getattr(lower, "suggested_clock", None)
+        self.suggested_metrics = getattr(lower, "suggested_metrics", None)
         self.synchronous_delivery = getattr(
             lower, "synchronous_delivery", False
         )
@@ -257,11 +259,13 @@ class SfsServerMaster:
     """One server machine: exports, dispatch, connection acceptance."""
 
     def __init__(self, location: str, clock: Clock, rng: random.Random,
-                 config: DispatchConfig | None = None) -> None:
+                 config: DispatchConfig | None = None,
+                 metrics=None) -> None:
         self.location = location
         self.clock = clock
         self.rng = rng
         self.config = config or DispatchConfig()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._rw: dict[bytes, RwExport] = {}
         self._ro: dict[bytes, RoExport] = {}
         self._authservers: dict[bytes, AuthServer] = {}
@@ -279,12 +283,15 @@ class SfsServerMaster:
         path = make_path(self.location, key.public_key)
         handle_key = key.sign(b"SFS-handle-key")[:21][1:]  # 20 secret bytes
         handles = EncryptedHandles(handle_key)
-        loop_client_side, loop_server_side = link_pair(self.clock)
+        loop_client_side, loop_server_side = link_pair(
+            self.clock, metrics=self.metrics
+        )
         export = RwExport(
             name=name, key=key, path=path, fs=fs, authserver=authserver,
             lease_duration=lease_duration, handles=handles,
             nfs_client=Nfs3Client(RpcPeer(loop_client_side, "sfssd-nfsc")),
-            nfs_server=Nfs3Server(fs),
+            nfs_server=Nfs3Server(fs, metrics=self.metrics,
+                                  clock=self.clock),
         )
         export.nfs_server._mutation_hook = export.on_mutation
         nfsd_peer = RpcPeer(loop_server_side, "nfsd")
@@ -369,6 +376,13 @@ class ServerConnection:
         self.rekeys = 0
         self.rekeys_denied = 0
         self.resyncs_served = 0
+        self.metrics = self.peer.metrics
+        self._m_invalidations = self.metrics.counter(
+            "server.invalidations_sent"
+        )
+        self._m_rekeys = self.metrics.counter("server.rekeys")
+        self._m_rekeys_denied = self.metrics.counter("server.rekeys_denied")
+        self._m_resyncs_served = self.metrics.counter("server.resyncs_served")
         self.pipe.control_handler = self._on_control
         self.peer.register(self._connect_program())
 
@@ -494,6 +508,7 @@ class ServerConnection:
                 break
         else:
             self.rekeys_denied += 1
+            self._m_rekeys_denied.inc()
             return proto.REKEY_DENIED, None
         try:
             reply = self._negotiate(args.client_pubkey,
@@ -502,6 +517,7 @@ class ServerConnection:
             return proto.REKEY_DENIED, None
         self._prior_session_keys = candidate
         self.rekeys += 1
+        self._m_rekeys.inc()
         return proto.REKEY_OK, reply
 
     def _on_control(self, payload: bytes) -> None:
@@ -520,6 +536,7 @@ class ServerConnection:
             if self.session_keys is None:
                 return  # nothing to resynchronize yet
             self.resyncs_served += 1
+            self._m_resyncs_served.inc()
             self.pipe.reset_to_plaintext()
             self._deregister_session_programs()
             self.pipe.send_control(RESYNC_ACK)
@@ -660,6 +677,7 @@ class ServerConnection:
                         plain_handle: bytes) -> None:
         """Server->client lease invalidation; fire and forget."""
         self.invalidations_sent += 1
+        self._m_invalidations.inc()
         self.leased_handles.discard(plain_handle)
         try:
             self.peer.call(

@@ -89,9 +89,11 @@ def _normalize(path: str) -> str:
 class Kernel:
     """Mount table + path walking."""
 
-    def __init__(self, clock: Clock, hostname: str = "client") -> None:
+    def __init__(self, clock: Clock, hostname: str = "client",
+                 metrics=None) -> None:
         self.clock = clock
         self.hostname = hostname
+        self.metrics = metrics
         self._mounts: list[Mount] = []
         self._mountpoints: dict[tuple[int, bytes], Mount] = {}
         self._next_mount_id = 1
@@ -102,7 +104,7 @@ class Kernel:
     def _attach_program(self, name: str, program: Program,
                         root_fh: bytes) -> Mount:
         """Create the kernel<->daemon NFS loopback for one mount."""
-        kernel_side, daemon_side = link_pair(self.clock)
+        kernel_side, daemon_side = link_pair(self.clock, metrics=self.metrics)
         server_peer = RpcPeer(daemon_side, f"daemon:{name}")
         server_peer.register(program)
         client = Nfs3Client(RpcPeer(kernel_side, f"kernel:{name}"))

@@ -31,6 +31,7 @@ from ..core.server import SfsServerMaster
 from ..crypto.rabin import PrivateKey, generate_key
 from ..fs.memfs import MemFs
 from ..nfs3.server import Nfs3Server
+from ..obs.registry import MetricsRegistry
 from ..rpc.peer import RpcPeer
 from ..sim.clock import Clock
 from ..sim.disk import Disk, DiskParameters
@@ -58,12 +59,14 @@ class ServerMachine:
                  with_disk: bool = True) -> None:
         self.world = world
         self.location = location
-        self.master = SfsServerMaster(location, world.clock, world.rng)
+        self.master = SfsServerMaster(location, world.clock, world.rng,
+                                      metrics=world.metrics)
         self.with_disk = with_disk
         self.exports: dict[str, tuple[SelfCertifyingPath, MemFs, AuthServer]] = {}
 
     def _new_fs(self, fsid: int) -> MemFs:
-        disk = Disk(self.world.clock, DiskParameters.ibm_18es()) \
+        disk = Disk(self.world.clock, DiskParameters.ibm_18es(),
+                    metrics=self.world.metrics) \
             if self.with_disk else None
         return MemFs(fsid=fsid, disk=disk)
 
@@ -136,10 +139,12 @@ class ClientMachine:
                  with_disk: bool = True) -> None:
         self.world = world
         self.hostname = hostname
-        self.kernel = Kernel(world.clock, hostname)
-        disk = Disk(world.clock, DiskParameters.ibm_18es()) if with_disk else None
+        self.kernel = Kernel(world.clock, hostname, metrics=world.metrics)
+        disk = Disk(world.clock, DiskParameters.ibm_18es(),
+                    metrics=world.metrics) if with_disk else None
         self.local_fs = MemFs(fsid=0x100, disk=disk)
-        self.local_server = Nfs3Server(self.local_fs)
+        self.local_server = Nfs3Server(self.local_fs, metrics=world.metrics,
+                                       clock=world.clock)
         self.kernel.mount_root(self.local_server.program,
                                self.local_server.root_handle())
         self.mounter = NfsMounter(self.kernel)
@@ -147,7 +152,7 @@ class ClientMachine:
         root.mkdir("/sfs")
         self.sfscd = SfsClientDaemon(
             world.clock, world.rng, world.connector, self.mounter,
-            encrypt=encrypt, caching=caching,
+            encrypt=encrypt, caching=caching, metrics=world.metrics,
         )
         self.mounter.mount("/sfs", self.sfscd.program,
                            self.sfscd.root_handle())
@@ -199,11 +204,13 @@ class ClientMachine:
         from ..rpc.peer import RpcPeer as _RpcPeer
 
         _path, fs, _auth = server.exports[export]
-        nfsd = Nfs3Server(fs)
+        nfsd = Nfs3Server(fs, metrics=self.world.metrics,
+                          clock=self.world.clock)
         mountd = MountServer()
         mountd.add_export(export_dir, nfsd.root_handle())
         kernel_side, server_side = link_pair(
             self.world.clock, params or self.world.lan_params,
+            metrics=self.world.metrics,
         )
         peer = _RpcPeer(server_side, f"nfsd@{server.location}")
         peer.register(nfsd.program)
@@ -220,9 +227,12 @@ class World:
     """A clock, a network, and the machines on it."""
 
     def __init__(self, seed: int = 2026,
-                 lan_params: NetworkParameters | None = None) -> None:
+                 lan_params: NetworkParameters | None = None,
+                 metrics=None) -> None:
         self.clock = Clock()
         self.rng = random.Random(seed)
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry(clock=self.clock)
         self.lan_params = lan_params or NetworkParameters.lan_100mbit()
         self.servers: dict[str, ServerMachine] = {}
         self.clients: dict[str, ClientMachine] = {}
@@ -263,7 +273,7 @@ class World:
             raise ConnectionError(f"no route to host {location}")
         adversary = self.adversary_factory() if self.adversary_factory else None
         client_side, server_side = link_pair(
-            self.clock, self.lan_params, adversary
+            self.clock, self.lan_params, adversary, metrics=self.metrics
         )
         server.master.accept(server_side)
         self.links.append(client_side)

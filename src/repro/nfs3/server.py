@@ -14,9 +14,11 @@ credentials", paper section 3).
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from ..fs.memfs import ANONYMOUS, Cred, FsError, Inode, MemFs
+from ..obs.registry import NULL_REGISTRY
 from ..rpc.peer import CallContext, Program
 from ..rpc.rpcmsg import AUTH_SYS, AuthSys, RpcMsgError
 from ..rpc.xdr import Record
@@ -54,11 +56,20 @@ class Nfs3Server:
         handles: PlainHandles | None = None,
         cred_mapper: CredMapper = authsys_cred_mapper,
         mutation_hook: Callable[[bytes], None] | None = None,
+        metrics=None,
+        clock=None,
     ) -> None:
         self.fs = fs
         self.handles = handles or PlainHandles()
         self._cred_mapper = cred_mapper
         self._mutation_hook = mutation_hook
+        #: Per-op counts land in ``nfs3.ops.<op>`` / ``nfs3.errors.<op>``
+        #: and latencies in the ``nfs3.op_seconds`` histogram; servers
+        #: sharing a registry (client loopback, export relay target)
+        #: aggregate into the same names.
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._clock = clock
+        self._op_seconds = self.metrics.histogram("nfs3.op_seconds")
         self.program = self._build_program()
 
     # --- handle and attribute helpers --------------------------------------
@@ -174,17 +185,38 @@ class Nfs3Server:
             arg_codec, res_codec = types.PROC_CODECS[proc]
             program.add_proc(
                 proc, const.PROC_NAMES[proc], arg_codec, res_codec,
-                self._wrap(handler),
+                self._wrap(handler, const.PROC_NAMES[proc]),
             )
         return program
 
-    def _wrap(self, handler):
+    def _wrap(self, handler, name: str = "?"):
+        op_counter = self.metrics.counter(f"nfs3.ops.{name.lower()}")
+        err_counter = self.metrics.counter(f"nfs3.errors.{name.lower()}")
+
         def dispatch(args, ctx: CallContext):
-            cred = self._cred_mapper(ctx)
+            if not self.metrics.enabled:
+                cred = self._cred_mapper(ctx)
+                try:
+                    return handler(args, cred)
+                except FsError as exc:
+                    return exc.code, self._failure_body(args, handler)
+            op_counter.inc()
+            layers = self.metrics.layers
+            sim0 = self._clock.now if self._clock is not None else 0.0
+            cpu0 = time.perf_counter()
+            layers.push("nfs3")
             try:
-                return handler(args, cred)
-            except FsError as exc:
-                return exc.code, self._failure_body(args, handler)
+                cred = self._cred_mapper(ctx)
+                try:
+                    return handler(args, cred)
+                except FsError as exc:
+                    err_counter.inc()
+                    return exc.code, self._failure_body(args, handler)
+            finally:
+                layers.pop()
+                sim = ((self._clock.now - sim0)
+                       if self._clock is not None else 0.0)
+                self._op_seconds.observe(time.perf_counter() - cpu0 + sim)
         return dispatch
 
     def _failure_body(self, args, handler):

@@ -1,0 +1,36 @@
+"""Pretty-print an exported metrics snapshot.
+
+    python -m repro.obs snapshot.json
+
+Accepts both single snapshots (``write_snapshot``) and collections
+(``SnapshotCollector`` / ``python -m repro.bench --metrics-out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .export import format_snapshot, load_snapshot
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Pretty-print an observability snapshot file.",
+    )
+    parser.add_argument("snapshot", help="path to a snapshot JSON file")
+    args = parser.parse_args(argv)
+    data = load_snapshot(args.snapshot)
+    if "snapshots" in data:
+        for index, name in enumerate(sorted(data["snapshots"])):
+            if index:
+                print()
+            print(format_snapshot(data["snapshots"][name], heading=name))
+    else:
+        print(format_snapshot(data))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""Snapshot exporter: JSON files and paper-style text tables.
+
+Two output shapes:
+
+* a **single snapshot** — ``{"meta": ..., "metrics": ..., "layers": ...}``
+  from one registry (:func:`registry_snapshot` / :func:`write_snapshot`);
+* a **collection** — ``{"snapshots": {name: snapshot, ...}}`` gathered
+  across benchmark runs by :class:`SnapshotCollector` (what
+  ``python -m repro.bench --metrics-out`` writes and CI uploads).
+
+``python -m repro.obs <file.json>`` pretty-prints either shape using the
+same ``format_table`` renderer the benchmark figures use.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+#: Display order for the attribution table; unknown layers follow.
+LAYER_ORDER = ["crypto", "rpc", "nfs3", "network", "disk", "other"]
+
+
+def _format_table(title: str, columns: list[str], rows: list[tuple]) -> str:
+    # Imported lazily: repro.bench imports repro.obs (via the world
+    # builder), so a module-level import here would be circular.
+    from ..bench.timing import format_table
+
+    return format_table(title, columns, rows)
+
+
+def registry_snapshot(registry, meta: dict | None = None) -> dict:
+    """One registry's metrics + layer breakdown as a JSON-ready dict."""
+    snapshot = registry.snapshot()
+    if meta:
+        snapshot["meta"] = dict(meta)
+    return snapshot
+
+
+def write_snapshot(path: str, registry=None, snapshot: dict | None = None,
+                   meta: dict | None = None) -> dict:
+    """Write a snapshot JSON file; returns the snapshot dict."""
+    if snapshot is None:
+        if registry is None:
+            raise ValueError("pass either a registry or a snapshot")
+        snapshot = registry_snapshot(registry, meta)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return snapshot
+
+
+def load_snapshot(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class SnapshotCollector:
+    """Accumulates named registry snapshots across benchmark runs."""
+
+    def __init__(self) -> None:
+        self.snapshots: dict[str, dict] = {}
+
+    def add(self, name: str, registry, meta: dict | None = None) -> None:
+        self.snapshots[name] = registry_snapshot(registry, meta)
+
+    def to_dict(self) -> dict:
+        return {"snapshots": self.snapshots}
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def _layer_triple(value: Any) -> tuple[float, float, float]:
+    """Accept both snapshot dicts and LayerTracker breakdown tuples."""
+    if isinstance(value, dict):
+        return value["cpu"], value["sim"], value["total"]
+    cpu, sim = value
+    return cpu, sim, cpu + sim
+
+
+def ordered_layers(layers: dict) -> list[str]:
+    known = [name for name in LAYER_ORDER if name in layers]
+    extra = sorted(name for name in layers if name not in LAYER_ORDER)
+    return known + extra
+
+
+def format_attribution(layers: dict, headline: float | None = None,
+                       title: str = "Per-layer latency attribution") -> str:
+    """Render a layer breakdown as a text table.
+
+    *layers* is either ``snapshot["layers"]`` or a raw
+    ``LayerTracker.breakdown()``.  With *headline* given, a final row
+    shows the externally measured total the components should sum to.
+    """
+    rows: list[tuple] = []
+    total_cpu = total_sim = total_all = 0.0
+    for name in ordered_layers(layers):
+        cpu, sim, total = _layer_triple(layers[name])
+        rows.append((name, cpu, sim, total))
+        total_cpu += cpu
+        total_sim += sim
+        total_all += total
+    rows.append(("total", total_cpu, total_sim, total_all))
+    if headline is not None:
+        rows.append(("headline", "", "", headline))
+    return _format_table(
+        title, ["layer", "cpu (s)", "sim (s)", "total (s)"], rows
+    )
+
+
+def format_metrics(snapshot: dict, title: str = "Metrics") -> str:
+    """Render a snapshot's instruments as a text table."""
+    rows: list[tuple] = []
+    for name, value in snapshot.get("metrics", {}).items():
+        if isinstance(value, dict) and value.get("type") == "histogram":
+            rows.append((
+                name,
+                f"count={value['count']} sum={value['sum']:.6f}s "
+                f"mean={value['mean'] * 1e6:.1f}us",
+            ))
+        elif isinstance(value, dict) and value.get("type") == "family":
+            for label, count in value["values"].items():
+                rows.append((f"{name}{{{label}}}", count))
+        else:
+            rows.append((name, value))
+    return _format_table(title, ["metric", "value"], rows)
+
+
+def format_snapshot(snapshot: dict, heading: str | None = None) -> str:
+    """Pretty-print one snapshot: meta, attribution, then metrics."""
+    parts: list[str] = []
+    if heading:
+        parts.append(f"=== {heading} ===")
+    meta = snapshot.get("meta")
+    if meta:
+        parts.append("\n".join(f"meta: {key} = {meta[key]}"
+                               for key in sorted(meta)))
+    if snapshot.get("layers"):
+        parts.append(format_attribution(snapshot["layers"]))
+    parts.append(format_metrics(snapshot))
+    return "\n\n".join(parts)

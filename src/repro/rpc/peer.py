@@ -26,6 +26,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol
 
+from ..obs.registry import CounterFamily, NULL_REGISTRY
 from . import rpcmsg
 from .rpcmsg import (
     AUTH_NONE,
@@ -179,6 +180,28 @@ class RpcPeer:
         )
         #: Virtual clock to charge retry backoff to; None = wall clock.
         self.backoff_clock = getattr(pipe, "suggested_clock", None)
+        #: Metrics registry volunteered by the pipe (see :mod:`repro.obs`);
+        #: wrapper pipes pass it through like `suggested_clock`.  The
+        #: shared ``rpc.*`` counters aggregate across peers; the scoped
+        #: call family backs :attr:`proc_counts` per peer.
+        self.metrics = getattr(pipe, "suggested_metrics", None) or NULL_REGISTRY
+        if self.metrics.enabled:
+            self._calls_by_proc = self.metrics.scope(
+                f"rpc.peer.{name}"
+            ).family("calls")
+        else:
+            # proc_counts must keep working even with metrics disabled
+            # (per-session RPC-mix assertions rely on it), so fall back
+            # to an unregistered family.
+            self._calls_by_proc = CounterFamily(f"rpc.peer.{name}.calls")
+        self._m_calls = self.metrics.counter("rpc.calls")
+        self._m_served = self.metrics.counter("rpc.served")
+        self._m_retransmissions = self.metrics.counter("rpc.retransmissions")
+        self._m_recoveries = self.metrics.counter("rpc.recoveries")
+        self._m_timeouts = self.metrics.counter("rpc.timeouts")
+        self._m_duplicates = self.metrics.counter("rpc.duplicates_served")
+        self._m_evictions = self.metrics.counter("rpc.reply_cache_evictions")
+        self._m_call_seconds = self.metrics.histogram("rpc.call_seconds")
         #: None (default) = classic single-shot calls.  Assign a
         #: :class:`RetryPolicy` to get retransmission + backoff.
         self.retry_policy: RetryPolicy | None = None
@@ -202,10 +225,16 @@ class RpcPeer:
         self.retransmissions = 0
         self.recoveries = 0
         self.duplicates_served = 0
-        #: (prog, proc) -> count of calls issued; the per-procedure RPC
-        #: mix behind the paper's caching analysis (section 4.2).
-        self.proc_counts: dict[tuple[int, int], int] = {}
+        self.reply_cache_evictions = 0
         pipe.on_receive(self._on_record)
+
+    @property
+    def proc_counts(self) -> dict[tuple[int, int], int]:
+        """(prog, proc) -> count of calls issued; the per-procedure RPC
+        mix behind the paper's caching analysis (section 4.2).  Backed
+        by this peer's metrics counter family."""
+        return {key: counter.value
+                for key, counter in self._calls_by_proc.items()}
 
     # --- serving ----------------------------------------------------------
 
@@ -225,6 +254,7 @@ class RpcPeer:
                 # recorded reply so non-idempotent procedures keep
                 # at-most-once semantics.
                 self.duplicates_served += 1
+                self._m_duplicates.inc()
                 self._pipe.send(cached[1])
                 return
         try:
@@ -249,6 +279,21 @@ class RpcPeer:
                 self.trace(f"{self.name}: reply for unknown xid {xid}")
 
     def _serve(self, header: CallHeader, body: bytes, request: bytes) -> None:
+        # The "rpc" layer claims dispatch, unmarshaling, and handler
+        # glue; instrumented work the handler triggers (nfs3 dispatch,
+        # crypto, network) is charged to its own layer by nesting.
+        if not self.metrics.enabled:
+            self._serve_inner(header, body, request)
+            return
+        layers = self.metrics.layers
+        layers.push("rpc")
+        try:
+            self._serve_inner(header, body, request)
+        finally:
+            layers.pop()
+
+    def _serve_inner(self, header: CallHeader, body: bytes,
+                     request: bytes) -> None:
         program = self._programs.get((header.prog, header.vers))
         if program is None:
             versions = [v for (p, v) in self._programs if p == header.prog]
@@ -279,6 +324,7 @@ class RpcPeer:
                 f"{self.name}: serve {program.name}.{procedure.name}({args!r})"
             )
         self.calls_served += 1
+        self._m_served.inc()
         try:
             result = procedure.handler(args, CallContext(self, header))
             payload = procedure.res_codec.pack(result)
@@ -300,7 +346,13 @@ class RpcPeer:
         self._reply_cache[xid] = (_request_digest(request), record)
         self._reply_cache.move_to_end(xid)
         while len(self._reply_cache) > self.reply_cache_size:
+            # Past this point at-most-once degrades to at-least-once
+            # for the evicted xid: a late retransmission re-executes.
+            # The counter is the observable signal that the window has
+            # been exceeded (see docs/OBSERVABILITY.md).
             self._reply_cache.popitem(last=False)
+            self.reply_cache_evictions += 1
+            self._m_evictions.inc()
         self._pipe.send(record)
 
     # --- calling ----------------------------------------------------------
@@ -330,6 +382,32 @@ class RpcPeer:
         desynchronized secure channel can be re-keyed before the record
         goes out again.
         """
+        if not self.metrics.enabled:
+            return self._call_inner(prog, vers, proc, arg_codec, args,
+                                    res_codec, cred)
+        layers = self.metrics.layers
+        clock = self.backoff_clock
+        sim0 = clock.now if clock is not None else 0.0
+        cpu0 = time.perf_counter()
+        layers.push("rpc")
+        try:
+            return self._call_inner(prog, vers, proc, arg_codec, args,
+                                    res_codec, cred)
+        finally:
+            layers.pop()
+            sim = (clock.now - sim0) if clock is not None else 0.0
+            self._m_call_seconds.observe(time.perf_counter() - cpu0 + sim)
+
+    def _call_inner(
+        self,
+        prog: int,
+        vers: int,
+        proc: int,
+        arg_codec: Codec,
+        args: Any,
+        res_codec: Codec,
+        cred: OpaqueAuth,
+    ) -> Any:
         self._xid += 1
         xid = self._xid
         header = CallHeader(xid, prog, vers, proc, cred=cred)
@@ -337,8 +415,8 @@ class RpcPeer:
         record = rpcmsg.pack_call(header, payload)
         self._pending[xid] = None
         self.calls_sent += 1
-        key = (prog, proc)
-        self.proc_counts[key] = self.proc_counts.get(key, 0) + 1
+        self._m_calls.inc()
+        self._calls_by_proc.labels((prog, proc)).inc()
         if self.trace:
             self.trace(f"{self.name}: call prog={prog} proc={proc} args={args!r}")
         policy = self.retry_policy
@@ -356,9 +434,11 @@ class RpcPeer:
                         try:
                             if self.recovery_hook():
                                 self.recoveries += 1
+                                self._m_recoveries.inc()
                         except Exception:  # noqa: BLE001 - keep retrying
                             pass
                     self.retransmissions += 1
+                    self._m_retransmissions.inc()
                     if self.trace:
                         self.trace(
                             f"{self.name}: retransmit xid={xid} "
@@ -379,6 +459,7 @@ class RpcPeer:
                         "(e.g. TcpPipe.pump) before calling"
                     )
             if reply is None:
+                self._m_timeouts.inc()
                 raise RpcTimeout(f"no reply for xid {xid} (prog={prog} proc={proc})")
             if not reply.successful:
                 raise RpcRejected(reply)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.registry import NULL_REGISTRY
 from .clock import Clock
 
 
@@ -36,29 +37,43 @@ class DiskParameters:
 class Disk:
     """Charges simulated time for disk requests against a :class:`Clock`."""
 
-    def __init__(self, clock: Clock, params: DiskParameters | None = None) -> None:
+    def __init__(self, clock: Clock, params: DiskParameters | None = None,
+                 metrics=None) -> None:
         self._clock = clock
         self._params = params or DiskParameters()
         self._last_block: int | None = None
         self.reads = 0
         self.writes = 0
         self.syncs = 0
+        self._metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_reads = self._metrics.counter("disk.reads")
+        self._m_writes = self._metrics.counter("disk.writes")
+        self._m_syncs = self._metrics.counter("disk.syncs")
 
     @property
     def params(self) -> DiskParameters:
         return self._params
 
     def _access(self, block: int, nbytes: int) -> None:
-        params = self._params
-        sequential = self._last_block is not None and block == self._last_block + 1
-        if not sequential:
-            self._clock.advance(params.average_seek + params.rotational_latency)
-        self._clock.advance(nbytes / params.transfer_rate)
-        self._last_block = block + max(0, (nbytes - 1) // params.block_size)
+        layers = self._metrics.layers
+        layers.push("disk")
+        try:
+            params = self._params
+            sequential = (self._last_block is not None
+                          and block == self._last_block + 1)
+            if not sequential:
+                self._clock.advance(
+                    params.average_seek + params.rotational_latency
+                )
+            self._clock.advance(nbytes / params.transfer_rate)
+            self._last_block = block + max(0, (nbytes - 1) // params.block_size)
+        finally:
+            layers.pop()
 
     def read(self, block: int, nbytes: int) -> None:
         """Charge for a read of *nbytes* starting at *block*."""
         self.reads += 1
+        self._m_reads.inc()
         self._access(block, nbytes)
 
     def write(self, block: int, nbytes: int, sync: bool = False) -> None:
@@ -69,15 +84,23 @@ class Disk:
         paper's FFS hides async data writes but pays for sync metadata.
         """
         self.writes += 1
+        self._m_writes.inc()
         if sync:
             self.syncs += 1
+            self._m_syncs.inc()
             self._access(block, nbytes)
 
     def sync(self, nbytes: int = 0) -> None:
         """Charge for an explicit flush of *nbytes* of dirty data."""
         self.syncs += 1
-        params = self._params
-        self._clock.advance(params.average_seek + params.rotational_latency)
-        if nbytes:
-            self._clock.advance(nbytes / params.transfer_rate)
-        self._last_block = None
+        self._m_syncs.inc()
+        layers = self._metrics.layers
+        layers.push("disk")
+        try:
+            params = self._params
+            self._clock.advance(params.average_seek + params.rotational_latency)
+            if nbytes:
+                self._clock.advance(nbytes / params.transfer_rate)
+            self._last_block = None
+        finally:
+            layers.pop()

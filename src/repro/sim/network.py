@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable
 
+from ..obs.registry import NULL_REGISTRY
 from .clock import Clock
 
 #: A message handler: receives raw record bytes.
@@ -341,6 +342,7 @@ class Link:
         clock: Clock,
         params: NetworkParameters | None = None,
         adversary: Adversary | None = None,
+        metrics=None,
     ) -> None:
         self._clock = clock
         self._params = params or NetworkParameters.instant()
@@ -350,10 +352,22 @@ class Link:
         self._open = True
         self.messages = 0
         self.bytes_carried = 0
+        self._metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_messages = self._metrics.counter("net.messages")
+        self._m_bytes = self._metrics.counter("net.bytes")
+        # Fault-injection visibility: adversaries stay metrics-agnostic;
+        # the link infers what happened by diffing their output.
+        self._m_dropped = self._metrics.counter("net.faults.dropped")
+        self._m_injected = self._metrics.counter("net.faults.injected")
+        self._m_tampered = self._metrics.counter("net.faults.tampered")
 
     @property
     def clock(self) -> Clock:
         return self._clock
+
+    @property
+    def metrics(self):
+        return self._metrics
 
     def set_adversary(self, adversary: Adversary | None) -> None:
         self._adversary = adversary
@@ -374,11 +388,16 @@ class Link:
         return self._open
 
     def _charge(self, nbytes: int) -> None:
-        params = self._params
-        self._clock.advance(params.latency)
-        total = nbytes + params.per_message_overhead
-        if params.bandwidth != float("inf"):
-            self._clock.advance(total / params.bandwidth)
+        layers = self._metrics.layers
+        layers.push("network")
+        try:
+            params = self._params
+            self._clock.advance(params.latency)
+            total = nbytes + params.per_message_overhead
+            if params.bandwidth != float("inf"):
+                self._clock.advance(total / params.bandwidth)
+        finally:
+            layers.pop()
 
     def _deliver(self, endpoint: _Endpoint, data: bytes, direction: str) -> None:
         if not self._open:
@@ -386,9 +405,18 @@ class Link:
         records = [data]
         if self._adversary is not None:
             records = self._adversary.process(data, direction)
+            if not records:
+                self._m_dropped.inc()
+            else:
+                if len(records) > 1:
+                    self._m_injected.inc(len(records) - 1)
+                if records[0] != data:
+                    self._m_tampered.inc()
         for record in records:
             self.messages += 1
             self.bytes_carried += len(record)
+            self._m_messages.inc()
+            self._m_bytes.inc(len(record))
             self._charge(len(record))
             if endpoint.handler is None:
                 raise LinkDown("no handler installed at destination")
@@ -428,6 +456,13 @@ class LinkSide:
         of sleeping, the same way the link charges latency."""
         return self._link.clock
 
+    @property
+    def suggested_metrics(self):
+        """The link's metrics registry; wrapper pipes (secure channel,
+        switchable pipe) pass this through so RpcPeer and friends land
+        their counters in the owning World's registry."""
+        return self._link.metrics
+
     def send(self, data: bytes) -> None:
         if self._side == "a":
             self._link.send_a(data)
@@ -452,7 +487,8 @@ def link_pair(
     clock: Clock,
     params: NetworkParameters | None = None,
     adversary: Adversary | None = None,
+    metrics=None,
 ) -> tuple[LinkSide, LinkSide]:
     """Create a link and return its two sides (client side first)."""
-    link = Link(clock, params, adversary)
+    link = Link(clock, params, adversary, metrics)
     return LinkSide(link, "a"), LinkSide(link, "b")

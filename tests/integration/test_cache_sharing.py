@@ -44,6 +44,36 @@ def test_agreeing_users_share_one_mount_and_cache(world):
     assert mount.caches.attrs.hits > hits_before
 
 
+def test_cache_accounting_lands_in_metrics_registry(world):
+    """The mount's cache counters and the world registry must agree:
+    stats() is the per-mount view, `cache.*` the aggregated export."""
+    server = world.add_server("dept.example.com")
+    path = server.export_fs()
+    pathops.write_file(server.fs, "/shared", b"cached once")
+    client = world.add_client("box")
+    client.new_agent("u1", 1000)
+    proc = client.process(uid=1000)
+    assert proc.read_file(f"{path}/shared") == b"cached once"
+    proc.stat(f"{path}/shared")  # warm-path hit on the attr cache
+    mount = client.sfscd._mounts[path.hostid]
+    stats = mount.caches.stats()
+    assert stats["attr_hits"] > 0 and stats["attr_misses"] > 0
+    metrics = world.metrics.snapshot()["metrics"]
+    assert metrics["cache.attrs.hits"] == stats["attr_hits"]
+    assert metrics["cache.attrs.misses"] == stats["attr_misses"]
+    assert metrics["cache.access.hits"] == stats["access_hits"]
+    assert metrics["cache.access.misses"] == stats["access_misses"]
+    assert metrics["cache.lookups.hits"] == stats["lookup_hits"]
+    assert metrics["cache.lookups.misses"] == stats["lookup_misses"]
+    # Server-driven invalidation shows up too.
+    pathops.write_file(server.fs, "/shared", b"changed")
+    proc2 = client.process(uid=1000)
+    proc2.read_file(f"{path}/shared")
+    invalidated = (world.metrics.snapshot()["metrics"]
+                   ["cache.attrs.invalidations"])
+    assert invalidated == mount.caches.attrs.invalidations
+
+
 def test_disagreeing_users_get_separate_namespaces(world):
     """A malicious user feeding a victim the 'wrong' HostID only ever
     hurts themselves: the names differ, so the caches never collide."""

@@ -98,6 +98,51 @@ def test_workload_completes_over_lossy_network():
     assert session.rekeys >= 1
 
 
+def test_recovery_events_visible_in_metrics_snapshot():
+    """Every recovery event the surrounding tests assert on via object
+    attributes also lands in the world registry's exported snapshot —
+    the counters an operator would actually watch (see
+    docs/OBSERVABILITY.md).  Channel objects are replaced on re-keying,
+    so the registry, which outlives them, is the only place the full
+    story accumulates."""
+    world, server, path, proc, adversaries = lossy_world(
+        30, drop_rate=0.01, corrupt_rate=0.01, duplicate_rate=0.005
+    )
+    base = f"{path}/home/alice"
+    for index in range(12):
+        data = bytes((index * 37 + offset) % 256 for offset in range(512))
+        proc.write_file(f"{base}/file-{index:02d}.dat", data)
+    session = session_for(world, path)
+    metrics = world.metrics.snapshot()["metrics"]
+    # Fault injection: the link diffs the adversary's output, so the
+    # registry agrees exactly with the adversaries' own fault counts.
+    assert metrics["net.faults.dropped"] == \
+        sum(a.dropped for a in adversaries) > 0
+    assert metrics["net.faults.tampered"] == \
+        sum(a.corrupted for a in adversaries)
+    assert metrics["net.faults.injected"] == \
+        sum(a.duplicated for a in adversaries)
+    # Client-side recovery, mirrored from the session's attributes.
+    assert metrics["session.rekeys"] == session.rekeys >= 1
+    assert metrics["session.resyncs"] >= session.rekeys
+    assert metrics["rpc.retransmissions"] >= \
+        session.peer.retransmissions > 0
+    # MAC rejects accumulate across channel generations (each rekey
+    # installs a fresh SecureChannel whose int counter restarts at 0).
+    rejected_now = session.channel.rejected_records + sum(
+        connection.pipe.lower.rejected_records
+        for connection in server_connections(server, path)
+        if connection.pipe.lower is not connection.pipe.raw
+    )
+    assert metrics["channel.mac_reject"] >= rejected_now
+    assert metrics["channel.mac_reject"] > 0
+    # Server-side view of the same recoveries.
+    assert metrics["server.resyncs_served"] >= session.rekeys
+    assert metrics["server.rekeys"] == sum(
+        connection.rekeys for connection in server_connections(server, path)
+    ) >= 1
+
+
 def test_burst_loss_recovered_by_rekeying():
     """A burst that eats several records in a row is exactly the case
     plain retransmission cannot fix alone."""

@@ -1,0 +1,322 @@
+"""Tests for the observability subsystem (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    LayerTracker,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullLayerTracker,
+    NullRegistry,
+    Tracer,
+)
+from repro.obs.export import (
+    SnapshotCollector,
+    format_attribution,
+    format_metrics,
+    format_snapshot,
+    load_snapshot,
+    ordered_layers,
+    write_snapshot,
+)
+from repro.sim.clock import Clock
+
+
+# --- registry instruments ----------------------------------------------------
+
+def test_counter_and_gauge_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("rpc.calls")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    gauge = registry.gauge("queue.depth")
+    gauge.set(3)
+    gauge.inc()
+    gauge.dec(2)
+    assert gauge.value == 2
+
+
+def test_instruments_are_get_or_create():
+    registry = MetricsRegistry()
+    assert registry.counter("a.b") is registry.counter("a.b")
+    assert registry.histogram("h") is registry.histogram("h")
+    assert registry.family("f") is registry.family("f")
+
+
+def test_kind_mismatch_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_histogram_buckets_are_deterministic():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency")
+    assert histogram.bounds == DEFAULT_BUCKETS
+    histogram.observe(0.5e-6)   # below first bound -> bucket 0
+    histogram.observe(1e-6)     # == first bound (inclusive) -> bucket 0
+    histogram.observe(3e-6)     # -> bucket 1 (bound 4e-6)
+    histogram.observe(1e9)      # beyond every bound -> overflow
+    assert histogram.count == 4
+    assert histogram.bucket_counts[0] == 2
+    assert histogram.bucket_counts[1] == 1
+    assert histogram.bucket_counts[-1] == 1
+    assert histogram.mean == pytest.approx(
+        (0.5e-6 + 1e-6 + 3e-6 + 1e9) / 4
+    )
+    snap = histogram.snapshot()
+    assert snap["type"] == "histogram"
+    assert snap["buckets"][-1] == [None, 1]
+
+
+def test_counter_family_keeps_raw_label_keys():
+    registry = MetricsRegistry()
+    family = registry.family("rpc.peer.x.calls")
+    family.labels((100003, 4)).inc()
+    family.labels((100003, 4)).inc()
+    family.labels((100003, 7)).inc()
+    assert dict(family.items()) != {}
+    assert {key: c.value for key, c in family.items()} == {
+        (100003, 4): 2, (100003, 7): 1,
+    }
+    assert family.total() == 3
+    assert family.snapshot() == {
+        "type": "family",
+        "values": {"(100003, 4)": 2, "(100003, 7)": 1},
+    }
+
+
+def test_scope_uniquifies_prefixes():
+    registry = MetricsRegistry()
+    first = registry.scope("rpc.peer.redialed")
+    second = registry.scope("rpc.peer.redialed")
+    assert first.prefix == "rpc.peer.redialed"
+    assert second.prefix == "rpc.peer.redialed#2"
+    first.counter("calls").inc()
+    second.counter("calls").inc(2)
+    metrics = registry.snapshot()["metrics"]
+    assert metrics["rpc.peer.redialed.calls"] == 1
+    assert metrics["rpc.peer.redialed#2.calls"] == 2
+
+
+def test_scopes_nest():
+    registry = MetricsRegistry()
+    inner = registry.scope("a").scope("b")
+    inner.counter("c").inc()
+    assert registry.snapshot()["metrics"] == {"a.b.c": 1}
+
+
+def test_snapshot_is_json_serializable_and_sorted():
+    registry = MetricsRegistry()
+    registry.counter("z").inc()
+    registry.counter("a").inc()
+    registry.histogram("h").observe(0.001)
+    registry.family("f").labels("k").inc()
+    snapshot = registry.snapshot()
+    json.dumps(snapshot)  # must not raise
+    assert list(snapshot["metrics"]) == sorted(snapshot["metrics"])
+
+
+# --- the disabled configuration ----------------------------------------------
+
+def test_null_registry_is_inert():
+    assert NULL_REGISTRY.enabled is False
+    counter = NULL_REGISTRY.counter("anything")
+    counter.inc()
+    counter.inc(100)
+    assert counter.value == 0
+    NULL_REGISTRY.histogram("h").observe(1.0)
+    NULL_REGISTRY.family("f").labels("x").inc()
+    assert NULL_REGISTRY.scope("p") is NULL_REGISTRY
+    assert NULL_REGISTRY.snapshot() == {"metrics": {}, "layers": {}}
+    assert isinstance(NULL_REGISTRY.layers, NullLayerTracker)
+    with NULL_REGISTRY.layers.layer("crypto"):
+        pass
+    assert NULL_REGISTRY.layers.breakdown() == {}
+    assert isinstance(NullRegistry(), NullRegistry)
+
+
+# --- layer tracker -----------------------------------------------------------
+
+def test_layer_tracker_charges_sim_time_exclusively():
+    clock = Clock()
+    layers = LayerTracker(clock)
+    layers.reset()
+    clock.advance(1.0)            # root time
+    layers.push("rpc")
+    clock.advance(2.0)            # rpc exclusive
+    layers.push("network")
+    clock.advance(3.0)            # network, suspends rpc
+    layers.pop()
+    clock.advance(4.0)            # rpc resumes
+    layers.pop()
+    clock.advance(0.5)            # root again
+    breakdown = layers.breakdown()
+    assert breakdown["rpc"][1] == pytest.approx(6.0)
+    assert breakdown["network"][1] == pytest.approx(3.0)
+    assert breakdown[LayerTracker.ROOT][1] == pytest.approx(1.5)
+    # Exclusive components sum to the elapsed window.
+    assert sum(sim for _cpu, sim in breakdown.values()) == pytest.approx(10.5)
+
+
+def test_layer_tracker_sums_to_elapsed_cpu():
+    layers = LayerTracker()
+    layers.reset()
+    import time
+    cpu_start = time.perf_counter()
+    with layers.layer("crypto"):
+        sum(range(20000))
+    with layers.layer("rpc"):
+        sum(range(20000))
+    elapsed = time.perf_counter() - cpu_start
+    breakdown = layers.breakdown()
+    total = sum(cpu for cpu, _sim in breakdown.values())
+    assert total == pytest.approx(elapsed, rel=0.25, abs=5e-3)
+    assert breakdown["crypto"][0] > 0
+    assert breakdown["rpc"][0] > 0
+
+
+def test_layer_tracker_reset_preserves_stack():
+    clock = Clock()
+    layers = LayerTracker(clock)
+    layers.push("rpc")
+    clock.advance(1.0)
+    layers.reset()                # mid-flight reset, e.g. bench warmup
+    clock.advance(2.0)
+    layers.pop()
+    breakdown = layers.breakdown()
+    assert "rpc" in breakdown
+    assert breakdown["rpc"][1] == pytest.approx(2.0)
+
+
+def test_registry_snapshot_includes_layers():
+    clock = Clock()
+    registry = MetricsRegistry(clock)
+    registry.layers.reset()
+    with registry.layers.layer("disk"):
+        clock.advance(0.25)
+    layers = registry.snapshot()["layers"]
+    assert layers["disk"]["sim"] == pytest.approx(0.25)
+    assert layers["disk"]["total"] == pytest.approx(
+        layers["disk"]["cpu"] + layers["disk"]["sim"]
+    )
+
+
+# --- tracer ------------------------------------------------------------------
+
+def test_tracer_nests_spans():
+    clock = Clock()
+    tracer = Tracer(clock)
+    with tracer.span("outer", kind="test"):
+        clock.advance(1.0)
+        with tracer.span("inner"):
+            clock.advance(2.0)
+    (outer,) = tracer.roots
+    assert outer.name == "outer"
+    assert outer.tags == {"kind": "test"}
+    (inner,) = outer.children
+    # Inclusive times: the parent covers the child.
+    assert outer.sim_seconds == pytest.approx(3.0)
+    assert inner.sim_seconds == pytest.approx(2.0)
+    dicts = tracer.to_dicts()
+    assert dicts[0]["name"] == "outer"
+    assert dicts[0]["children"][0]["name"] == "inner"
+    json.dumps(dicts)
+
+
+def test_tracer_measure_returns_finished_span():
+    tracer = Tracer()
+    span = tracer.measure("work", lambda: sum(range(1000)))
+    assert span.cpu_seconds >= 0
+    assert span.total == span.cpu_seconds + span.sim_seconds
+    assert tracer.roots == [span]
+
+
+# --- exporter ----------------------------------------------------------------
+
+def test_snapshot_round_trips_through_json(tmp_path):
+    clock = Clock()
+    registry = MetricsRegistry(clock)
+    registry.counter("rpc.calls").inc(3)
+    with registry.layers.layer("network"):
+        clock.advance(0.5)
+    path = tmp_path / "snap.json"
+    written = write_snapshot(str(path), registry, meta={"figure": "fig5"})
+    loaded = load_snapshot(str(path))
+    assert loaded == written
+    assert loaded["meta"] == {"figure": "fig5"}
+    assert loaded["metrics"]["rpc.calls"] == 3
+    assert loaded["layers"]["network"]["sim"] == pytest.approx(0.5)
+
+
+def test_snapshot_collector_gathers_named_runs(tmp_path):
+    collector = SnapshotCollector()
+    for name in ("fig5/SFS", "fig5/NFS 3 (UDP)"):
+        registry = MetricsRegistry()
+        registry.counter("rpc.calls").inc()
+        collector.add(name, registry, meta={"config": name})
+    path = tmp_path / "collection.json"
+    collector.write(str(path))
+    loaded = load_snapshot(str(path))
+    assert set(loaded["snapshots"]) == {"fig5/SFS", "fig5/NFS 3 (UDP)"}
+    assert loaded["snapshots"]["fig5/SFS"]["metrics"]["rpc.calls"] == 1
+
+
+def test_ordered_layers_puts_known_layers_first():
+    layers = {"zebra": (0, 0), "disk": (0, 0), "crypto": (0, 0)}
+    assert ordered_layers(layers) == ["crypto", "disk", "zebra"]
+
+
+def test_format_attribution_renders_totals_and_headline():
+    text = format_attribution(
+        {"crypto": (0.5, 0.0), "network": (0.0, 1.5)}, headline=2.0
+    )
+    assert "crypto" in text
+    assert "total" in text
+    assert "headline" in text
+    assert "2.000" in text
+
+
+def test_format_snapshot_renders_every_instrument_kind():
+    clock = Clock()
+    registry = MetricsRegistry(clock)
+    registry.counter("rpc.calls").inc(7)
+    registry.histogram("rpc.call_seconds").observe(0.001)
+    registry.family("rpc.peer.x.calls").labels((100003, 4)).inc()
+    with registry.layers.layer("rpc"):
+        clock.advance(0.1)
+    text = format_snapshot(
+        registry.snapshot() | {"meta": {"figure": "fig5"}},
+        heading="fig5/SFS",
+    )
+    assert "=== fig5/SFS ===" in text
+    assert "meta: figure = fig5" in text
+    assert "rpc.calls" in text
+    assert "count=1" in text                       # histogram summary
+    assert "rpc.peer.x.calls{(100003, 4)}" in text  # family row
+    assert "Per-layer latency attribution" in text
+
+
+def test_obs_cli_renders_both_shapes(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    registry = MetricsRegistry()
+    registry.counter("rpc.calls").inc()
+    single = tmp_path / "single.json"
+    write_snapshot(str(single), registry)
+    assert main([str(single)]) == 0
+    assert "rpc.calls" in capsys.readouterr().out
+
+    collector = SnapshotCollector()
+    collector.add("run-a", registry)
+    collector.add("run-b", registry)
+    collection = tmp_path / "collection.json"
+    collector.write(str(collection))
+    assert main([str(collection)]) == 0
+    out = capsys.readouterr().out
+    assert "=== run-a ===" in out and "=== run-b ===" in out

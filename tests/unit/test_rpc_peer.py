@@ -221,6 +221,59 @@ def test_reply_cache_evicts_oldest():
     assert len(server._reply_cache) == 4
 
 
+def test_eviction_degrades_at_most_once_to_at_least_once():
+    """Once a reply-cache entry is evicted, a replayed request is
+    indistinguishable from a new call and re-executes — the documented
+    degradation of NFS-style duplicate caches.  The eviction counter is
+    what makes the silent part of that trade-off observable."""
+    from repro.obs.registry import MetricsRegistry
+
+    class RecordingAdversary:
+        def __init__(self):
+            self.sent = []
+
+        def process(self, data, direction):
+            if direction == "a->b":
+                self.sent.append(data)
+            return [data]
+
+    clock = Clock()
+    registry = MetricsRegistry(clock)
+    recorder = RecordingAdversary()
+    a, b = link_pair(clock, NetworkParameters.instant(), recorder,
+                     metrics=registry)
+    client, server = RpcPeer(a, "client"), RpcPeer(b, "server")
+    executions = []
+    program = Program("count", 410000, 1)
+
+    @program.proc(1, "BUMP", UInt32, UInt32)
+    def bump(args, ctx):
+        executions.append(args)
+        return len(executions)
+
+    server.register(program)
+    server.reply_cache_size = 2
+    assert client.call(410000, 1, 1, UInt32, 7, UInt32) == 1
+    first_request = recorder.sent[-1]
+    # Replay while the entry is still cached: served without execution.
+    server._on_record(first_request)
+    assert executions == [7]
+    assert server.duplicates_served == 1
+    # Two newer calls push the first entry out of the size-2 cache.
+    for value in range(2):
+        client.call(410000, 1, 1, UInt32, value, UInt32)
+    assert server.reply_cache_evictions >= 1
+    snapshot = registry.snapshot()["metrics"]
+    assert (snapshot["rpc.reply_cache_evictions"]
+            == server.reply_cache_evictions)
+    # Replay after eviction: the server has forgotten it and runs the
+    # handler again (the reply goes to an unknown xid and is dropped).
+    before = len(executions)
+    server._on_record(first_request)
+    assert len(executions) == before + 1
+    assert server.duplicates_served == 1  # not a cache hit this time
+
+
 def test_recovery_hook_runs_from_second_retry():
     from repro.rpc.peer import RetryPolicy
 
