@@ -1,0 +1,64 @@
+"""Shared exponential-backoff policy for redial and reconnect loops.
+
+PR 1 gave the mounter a fixed three-attempt redial; crash recovery needs
+the classic shape instead — exponential growth with a cap, plus jitter
+so a fleet of clients does not hammer a restarting server in lockstep
+(the thundering-herd problem).  One policy object now serves both the
+mount-time handshake redial and the session reconnect engine, and is
+constructor-injectable so tests can pin delays deterministically.
+
+Delays come from :meth:`BackoffPolicy.delays`, which yields one delay
+per *retry* (the first attempt is immediate).  All randomness flows
+through the caller's seeded ``random.Random``, keeping runs
+reproducible per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with multiplicative growth, cap, and jitter.
+
+    ``jitter`` is a fraction: each delay is scaled by a uniform factor
+    in ``[1 - jitter, 1 + jitter]``.  Zero jitter gives exact delays
+    for deterministic tests.
+    """
+
+    max_attempts: int = 6
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter is a fraction in [0, 1)")
+
+    def delays(self, rng: random.Random | None = None) -> Iterator[float]:
+        """Yield the pre-attempt delay for each attempt.
+
+        The first yielded value is 0.0 (try immediately); each later
+        value is the jittered, capped exponential wait before that
+        retry.  ``max_attempts`` values are yielded in total.
+        """
+        delay = self.base_delay
+        for attempt in range(self.max_attempts):
+            if attempt == 0:
+                yield 0.0
+                continue
+            scale = 1.0
+            if self.jitter and rng is not None:
+                scale = rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+            yield min(delay, self.max_delay) * scale
+            delay = min(delay * self.multiplier, self.max_delay)
+
+
+#: Immediate, single-shot policy (no retries) for tests and tools.
+NO_RETRY = BackoffPolicy(max_attempts=1, jitter=0.0)

@@ -47,6 +47,7 @@ from ..rpc.peer import (
     RpcError,
     RpcPeer,
     RpcTimeout,
+    RpcTransportDown,
 )
 from ..rpc.rpcmsg import AUTH_SYS, AuthSys, OpaqueAuth, RpcMsgError
 from ..rpc.xdr import Record, VOID
@@ -54,6 +55,7 @@ from ..sim.clock import Clock
 from ..sim.network import LinkSide
 from . import handlemap, proto
 from .agent import Agent, AgentRefused
+from .backoff import BackoffPolicy
 from .cache import ClientCaches
 from .channel import RESYNC_ACK, RESYNC_REQUEST, SecureChannel
 from .keyneg import (
@@ -140,6 +142,24 @@ class ServerSession:
         self._m_resyncs_failed = self.metrics.counter("session.resyncs_failed")
         self._resyncing = False
         self._resync_acked = False
+        # Reconnect engine (crash recovery): armed by enable_reconnect()
+        # once the daemon has mounted this session.  Resync repairs a
+        # desynchronized channel on a *live* link; reconnect replaces a
+        # *dead* link entirely — redial, re-verify the HostID, renegotiate
+        # keys — after the server crashed or restarted.
+        self.service = proto.SERVICE_FILESERVER
+        self.on_reconnect: Callable[[], None] | None = None
+        self.reconnects = 0
+        self.backoff_sleeps = 0
+        self._connector: Connector | None = None
+        self._clock: Clock | None = None
+        self._reconnect_policy: BackoffPolicy | None = None
+        self._reconnecting = False
+        self._m_reconnects = self.metrics.counter("session.reconnects")
+        self._m_backoff_sleeps = self.metrics.counter("session.backoff_sleeps")
+        self._m_reconnects_failed = self.metrics.counter(
+            "session.reconnects_failed"
+        )
         if self.session_keys is not None and self.channel is not None:
             pipe.control_handler = self._on_control
             peer.recovery_hook = self.resync
@@ -282,7 +302,14 @@ class ServerSession:
     def _resync_round(self) -> bool:
         self._resync_acked = False
         self.pipe.reset_to_plaintext()
-        self.pipe.send_control(RESYNC_REQUEST)
+        try:
+            self.pipe.send_control(RESYNC_REQUEST)
+        except ConnectionError:
+            # The server died mid-resync (or the link is gone).  This
+            # round cannot succeed; the caller's remaining rounds will
+            # fail the same way and the error surfaces as a transport
+            # timeout, which is what triggers reconnect().
+            return False
         if not self._resync_acked and self.peer.reply_waiter is not None:
             # Asynchronous transports need a pump for the ACK to land.
             try:
@@ -320,6 +347,116 @@ class ServerSession:
         self.pipe.switch_now(self.channel)
         self.session_keys = new_keys
         return True
+
+    # -- crash recovery: failover to a fresh connection --
+
+    def enable_reconnect(self, connector: Connector, clock: Clock,
+                         policy: BackoffPolicy | None = None) -> None:
+        """Arm the reconnect engine for this session.
+
+        The daemon calls this once the mount exists; sessions that were
+        never mounted (or read-only sessions) stay un-armed and surface
+        transport failure to their caller instead.
+        """
+        self._connector = connector
+        self._clock = clock
+        self._reconnect_policy = policy if policy is not None \
+            else BackoffPolicy()
+
+    def reconnect(self) -> bool:
+        """Replace a dead connection with a freshly negotiated one.
+
+        Redials with exponential backoff, re-runs CONNECT — which
+        re-verifies that the key the server presents still hashes to the
+        HostID in the pathname, the *only* check SFS ever needs, so a
+        machine that restarts with the right private key resumes service
+        and an impostor raises SecurityError — renegotiates session keys
+        and swaps everything into this same object, keeping every
+        mount's reference to the session valid.  Returns True on
+        success; SecurityError propagates and is never retried.
+        """
+        if (self._connector is None or self._clock is None
+                or self.session_keys is None or self.ephemeral_keys is None
+                or self._reconnecting):
+            return False
+        self._reconnecting = True
+        try:
+            fresh = self._redial()
+        finally:
+            self._reconnecting = False
+        if fresh is None:
+            self._m_reconnects_failed.inc()
+            return False
+        self._adopt(fresh)
+        self.reconnects += 1
+        self._m_reconnects.inc()
+        if self.on_reconnect is not None:
+            try:
+                self.on_reconnect()
+            except Exception:  # noqa: BLE001 - advisory
+                pass
+        return True
+
+    def _redial(self) -> "ServerSession | None":
+        assert self._reconnect_policy is not None
+        for delay in self._reconnect_policy.delays(self.rng):
+            if delay:
+                self.backoff_sleeps += 1
+                self._m_backoff_sleeps.inc()
+            # Advancing the clock is what lets the simulated world make
+            # progress while we wait: a restart scheduled via
+            # Clock.call_at fires inside this sleep (a zero advance
+            # still fires anything already due).
+            self._clock.advance(delay)
+            try:
+                link = self._connector(self.path.location, self.service)
+            except (ConnectionError, OSError):
+                continue  # still down; back off and redial
+            try:
+                outcome = ServerSession.connect(
+                    link, self.path, self.ephemeral_keys, self.rng,
+                    service=self.service, encrypt=self.encrypt,
+                )
+            except SecurityError:
+                raise  # wrong key for the HostID: an impostor, never retry
+            except (RpcTimeout, MountError):
+                close = getattr(link, "close", None)
+                if close is not None:
+                    close()
+                continue
+            if (not isinstance(outcome, ServerSession)
+                    or outcome.session_keys is None):
+                # A revocation certificate, forwarding pointer, or a
+                # dialect downgrade is not the read-write server we had.
+                raise SecurityError(
+                    f"server at {self.path.location} no longer offers the "
+                    f"read-write session it crashed with"
+                )
+            return outcome
+        return None
+
+    def _adopt(self, fresh: "ServerSession") -> None:
+        """Take over *fresh*'s connection in place.
+
+        The fresh session was built by connect() as a throwaway carrier;
+        mounts hold references to *self*, so the new peer/pipe/channel
+        move here and all supervision hooks are rebound to this object.
+        """
+        assert fresh.servinfo.public_key == self.servinfo.public_key, \
+            "HostID verification let a different key through"
+        self.peer = fresh.peer
+        self.pipe = fresh.pipe
+        self.servinfo = fresh.servinfo
+        self.session_keys = fresh.session_keys
+        self.channel = fresh.channel
+        self.server_public_key = fresh.server_public_key
+        # Authentication state died with the server's volatile tables.
+        self.auth_seqno = 0
+        self._resyncing = False
+        self._resync_acked = False
+        self.pipe.control_handler = self._on_control
+        self.peer.recovery_hook = self.resync
+        self._register_callbacks()
 
     def _register_callbacks(self) -> None:
         program = Program("sfs-cb", proto.SFS_CB_PROGRAM, proto.SFS_VERSION)
@@ -439,14 +576,31 @@ class MountedRemoteFs:
         self._authnos: dict[int, int] = {}
         self.program = self._build_program()
         self.rpcs_relayed = 0
+        self.replayed_calls = 0
+        self.stale_handles = 0
         self._m_relayed = daemon.metrics.counter("client.rpcs_relayed")
+        self._m_replayed = daemon.metrics.counter("client.replayed_calls")
+        self._m_stale = daemon.metrics.counter("client.stale_handles")
         session.invalidate_handler = self.caches.invalidate
         session.on_rekey = self._after_rekey
+        session.on_reconnect = self._after_reconnect
 
     def _after_rekey(self) -> None:
         """A rekey means records were lost — possibly including lease
         invalidation callbacks — so cached leases can't be trusted.
         Authnos survive: the rekey proved session continuity."""
+        self.caches.attrs.clear()
+        self.caches.access.clear()
+        self.caches.lookups.clear()
+
+    def _after_reconnect(self) -> None:
+        """The server restarted: every piece of its volatile state is
+        gone.  Leases were never granted to this (new) connection, so
+        the lease caches are garbage; authnos index a login table that
+        no longer exists, so each uid lazily re-authenticates through
+        its agent on next use.  File handles, by contrast, survive —
+        the handle key derives from the server's durable private key."""
+        self._authnos.clear()
         self.caches.attrs.clear()
         self.caches.access.clear()
         self.caches.lookups.clear()
@@ -487,10 +641,34 @@ class MountedRemoteFs:
         cached = self._try_cache(proc, args, ctx)
         if cached is not None:
             return cached
-        authno = self._authno_for(ctx)
-        status, body = self.session.call_nfs(proc, args, authno)
+        try:
+            authno = self._authno_for(ctx)
+            status, body = self.session.call_nfs(proc, args, authno)
+        except RpcTransportDown:
+            # Transport dead (server crash) — fail over, then replay.
+            # Plain RpcTimeout is *not* failover material: a live but
+            # desynchronized link is the resync engine's job, and
+            # redialing around it would mask the failure.  The restarted
+            # server's duplicate-request cache is empty, so this one
+            # replay is at-least-once, not at-most-once: if the crash
+            # fell between execution and the reply, a non-idempotent
+            # call runs twice (PROTOCOLS.md §11).
+            if not self.session.reconnect():
+                raise
+            self.replayed_calls += 1
+            self._m_replayed.inc()
+            authno = self._authno_for(ctx)
+            status, body = self.session.call_nfs(proc, args, authno)
         self.rpcs_relayed += 1
         self._m_relayed.inc()
+        if status in (nfs_const.NFS3ERR_STALE, nfs_const.NFS3ERR_BADHANDLE):
+            # A handle the kernel cached stopped resolving (the file
+            # went away, or its generation moved on).  Count it and
+            # drop whatever leases mention the offending handles.
+            self.stale_handles += 1
+            self._m_stale.inc()
+            for handle in _handles_in_args(proc, args):
+                self.caches.invalidate(handle)
         _rewrite_fsids(body, self.fsid)
         self._absorb(proc, args, ctx, status, body)
         return status, body
@@ -575,6 +753,18 @@ class MountedRemoteFs:
             for entry in body.entries:
                 if entry.name_handle is not None and entry.name_attributes is not None:
                     caches.attrs.put(entry.name_handle, entry.name_attributes)
+
+def _handles_in_args(proc: int, args: Record) -> list[bytes]:
+    """Collect every file handle a request record carries."""
+    found: list[bytes] = []
+
+    def collect(handle: bytes) -> bytes:
+        found.append(handle)
+        return handle
+
+    handlemap.translate_args(proc, args, collect)
+    return found
+
 
 def _uid_from_authsys(cred: OpaqueAuth) -> int:
     if cred.flavor != AUTH_SYS:
@@ -785,7 +975,7 @@ class SfsClientDaemon:
 
     def __init__(self, clock: Clock, rng: random.Random, connector: Connector,
                  mounter, encrypt: bool = True, caching: bool = True,
-                 metrics=None) -> None:
+                 metrics=None, backoff: BackoffPolicy | None = None) -> None:
         self.clock = clock
         self.rng = rng
         self.connector = connector
@@ -793,6 +983,11 @@ class SfsClientDaemon:
         self.encrypt = encrypt
         self.caching = caching
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        #: One policy drives both the mount-time handshake redial and
+        #: every session's crash-recovery reconnect loop; inject a
+        #: jitter-free policy for deterministic tests.
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self._m_mount_backoff = self.metrics.counter("client.backoff_sleeps")
         self.agents: dict[int, Agent] = {}
         self.ephemeral_keys = EphemeralKeyCache(rng)
         self._mounts: dict[bytes, MountedRemoteFs | ReadOnlyMount] = {}
@@ -840,16 +1035,20 @@ class SfsClientDaemon:
         # retransmission covers most of that, but a reply lost *after*
         # the server armed its secure channel strands the plaintext
         # handshake permanently — so supervision here means redialing
-        # from scratch.  Security checks (SecurityError) never retry.
+        # from scratch, and a server that is down or mid-restart earns
+        # the same exponential backoff as a crashed session.  Security
+        # checks (SecurityError) never retry.
         outcome = None
-        last_timeout: RpcTimeout | None = None
-        for _attempt in range(3):
+        last_error: Exception | None = None
+        for delay in self.backoff.delays(self.rng):
+            if delay:
+                self._m_mount_backoff.inc()
+                self.clock.advance(delay)
             try:
                 link = self.connector(path.location, proto.SERVICE_FILESERVER)
             except (ConnectionError, OSError) as exc:
-                raise MountError(
-                    f"cannot reach {path.location}: {exc}"
-                ) from None
+                last_error = exc
+                continue
             try:
                 outcome = ServerSession.connect(
                     link, path, self.ephemeral_keys, self.rng,
@@ -857,7 +1056,7 @@ class SfsClientDaemon:
                 )
                 break
             except RpcTimeout as exc:
-                last_timeout = exc
+                last_error = exc
                 # Tear the half-open link down before redialing; the
                 # server prunes its side of an abandoned connection as
                 # soon as it notices the link is closed.
@@ -867,7 +1066,7 @@ class SfsClientDaemon:
         if outcome is None:
             raise MountError(
                 f"cannot establish a session with {path.location}: "
-                f"{last_timeout}"
+                f"{last_error}"
             ) from None
         if isinstance(outcome, Record) and hasattr(outcome, "signature"):
             self._handle_certificate(path, outcome)
@@ -888,6 +1087,7 @@ class SfsClientDaemon:
             root_handle = mount.root_handle()
         else:
             mount = MountedRemoteFs(self, session, fsid)
+            session.enable_reconnect(self.connector, self.clock, self.backoff)
             root_handle = self._fetch_remote_root(session)
         self._mounts[path.hostid] = mount
         self._mount_roots[path.hostid] = root_handle

@@ -43,6 +43,7 @@ from ..rpc.peer import CallContext, Program, Pipe, RpcPeer
 from ..rpc.rpcmsg import AuthSys, OpaqueAuth
 from ..rpc.xdr import Record, VOID
 from ..sim.clock import Clock
+from ..sim.crash import CrashInjector
 from ..sim.network import LinkSide, link_pair
 from ..crypto.util import constant_time_eq
 from . import handlemap, proto
@@ -225,9 +226,18 @@ class RwExport:
     nfs_server: Nfs3Server
     connections: list["ServerConnection"] = field(default_factory=list)
     active_connection: "ServerConnection | None" = None
+    #: Loopback transport behind nfs_client/nfs_server; a crash closes
+    #: it along with every client-facing link.
+    loop_links: "tuple[LinkSide, LinkSide] | None" = None
+    master: "SfsServerMaster | None" = None
 
     def on_mutation(self, plain_handle: bytes) -> None:
-        """Fan lease invalidations out to every other connection."""
+        """Fan lease invalidations out to every other connection.
+
+        Iterates over a snapshot: a send can kill a connection (closed
+        link) and prune it from the live list mid-loop, and one crashed
+        peer must not abort invalidations to the rest.
+        """
         encrypted = None
         for connection in list(self.connections):
             if connection is self.active_connection:
@@ -237,8 +247,12 @@ class RwExport:
                 # connection behind; drop it instead of broadcasting
                 # invalidations to a dead link forever.
                 self.connections.remove(connection)
+                if self.master is not None:
+                    self.master.note_pruned()
                 continue
             if plain_handle in connection.leased_handles:
+                if self.master is not None:
+                    self.master.crashpoint("lease-fanout")
                 if encrypted is None:
                     fsid, ino, generation = PlainHandles().decode(plain_handle)
                     encrypted = self.handles.encode(fsid, ino, generation)
@@ -272,6 +286,25 @@ class SfsServerMaster:
         self._revocations: dict[bytes, Record] = {}
         self._forwards: dict[bytes, Record] = {}
         self.connections_accepted = 0
+        #: Live inbound connections; volatile — a crash empties it.
+        self.connections: list["ServerConnection"] = []
+        #: True between :meth:`crash` and :meth:`restart`; dials fail.
+        self.down = False
+        #: Optional scheduled-fault source (see :mod:`repro.sim.crash`).
+        self.crash_injector: CrashInjector | None = None
+        self.crashes = 0
+        self.restarts = 0
+        self.dead_connections_pruned = 0
+        self._m_crashes = self.metrics.counter("server.crashes")
+        self._m_restarts = self.metrics.counter("server.restarts")
+        self._m_pruned = self.metrics.counter(
+            "server.dead_connections_pruned"
+        )
+        self._m_lost_writes = self.metrics.counter("fs.lost_writes")
+        self._m_lost_bytes = self.metrics.counter("fs.lost_bytes")
+        self._m_torn_dropped = self.metrics.counter(
+            "fs.torn_records_dropped"
+        )
 
     # --- exports ---------------------------------------------------------
 
@@ -281,21 +314,14 @@ class SfsServerMaster:
                       name: str = "default") -> SelfCertifyingPath:
         """Export *fs* read-write under *key*; returns its pathname."""
         path = make_path(self.location, key.public_key)
-        handle_key = key.sign(b"SFS-handle-key")[:21][1:]  # 20 secret bytes
-        handles = EncryptedHandles(handle_key)
-        loop_client_side, loop_server_side = link_pair(
-            self.clock, metrics=self.metrics
-        )
         export = RwExport(
             name=name, key=key, path=path, fs=fs, authserver=authserver,
-            lease_duration=lease_duration, handles=handles,
-            nfs_client=Nfs3Client(RpcPeer(loop_client_side, "sfssd-nfsc")),
-            nfs_server=Nfs3Server(fs, metrics=self.metrics,
-                                  clock=self.clock),
+            lease_duration=lease_duration,
+            handles=self._derive_handles(key),
+            nfs_client=None, nfs_server=None,  # set by _build_loopback
+            master=self,
         )
-        export.nfs_server._mutation_hook = export.on_mutation
-        nfsd_peer = RpcPeer(loop_server_side, "nfsd")
-        nfsd_peer.register(export.nfs_server.program)
+        self._build_loopback(export)
         self._rw[path.hostid] = export
         self._authservers[path.hostid] = authserver
         if not authserver.pathname:
@@ -322,6 +348,111 @@ class SfsServerMaster:
     def rw_export(self, hostid: bytes) -> RwExport | None:
         return self._rw.get(hostid)
 
+    @staticmethod
+    def _derive_handles(key: PrivateKey) -> EncryptedHandles:
+        """The handle map is a pure function of the durable private key,
+        so handles clients cached before a crash decode after restart."""
+        handle_key = key.sign(b"SFS-handle-key")[:21][1:]  # 20 secret bytes
+        return EncryptedHandles(handle_key)
+
+    def _build_loopback(self, export: RwExport) -> None:
+        """(Re)create an export's local NFS server and loopback RPC pair.
+
+        Run at export time and again on every restart: the loopback is
+        volatile machinery, and rebuilding the Nfs3Server gives it a
+        fresh write verifier (NFS3's restart-detection signal).
+        """
+        loop_client_side, loop_server_side = link_pair(
+            self.clock, metrics=self.metrics
+        )
+        export.loop_links = (loop_client_side, loop_server_side)
+        export.nfs_server = Nfs3Server(export.fs, metrics=self.metrics,
+                                       clock=self.clock)
+        export.nfs_server._mutation_hook = export.on_mutation
+        export.nfs_client = Nfs3Client(RpcPeer(loop_client_side,
+                                               "sfssd-nfsc"))
+        nfsd_peer = RpcPeer(loop_server_side, "nfsd")
+        nfsd_peer.register(export.nfs_server.program)
+
+    # --- crash and restart -------------------------------------------------
+
+    def install_crash_injector(
+        self, schedule: "list[tuple[str, int]]"
+    ) -> CrashInjector:
+        """Arm scheduled crashes; each fires a full :meth:`crash`."""
+        self.crash_injector = CrashInjector(
+            schedule, on_crash=lambda point: self.crash()
+        )
+        return self.crash_injector
+
+    def crashpoint(self, point: str) -> None:
+        """Annotate a named crash point (no-op without an injector)."""
+        if self.crash_injector is not None:
+            self.crash_injector.hit(point)
+
+    def note_pruned(self) -> None:
+        """A dead connection was dropped from an export's fan-out list."""
+        self.dead_connections_pruned += 1
+        self._m_pruned.inc()
+
+    def crash(self) -> None:
+        """Power failure: every connection dies, volatile state is gone.
+
+        Durable state survives in place: each export's private key, its
+        handle map (derived from the key), the authserver database, and
+        whatever the file system had flushed.  Leases, authnos, reply
+        caches, and session keys all live on the ServerConnection
+        objects discarded here — exactly the paper's split between
+        long-lived key material and per-session state.
+        """
+        if self.down:
+            return
+        self.down = True
+        self.crashes += 1
+        self._m_crashes.inc()
+        for connection in self.connections:
+            connection.pipe.raw.close()
+        self.connections.clear()
+        for export in self._rw.values():
+            export.connections.clear()
+            export.active_connection = None
+            if export.loop_links is not None:
+                for side in export.loop_links:
+                    side.close()
+            report = export.fs.crash()
+            self._m_lost_writes.inc(report["lost_writes"])
+            self._m_lost_bytes.inc(report["lost_bytes"])
+
+    def restart(self) -> None:
+        """Boot the machine back up from durable state only.
+
+        Re-registers the same keypair and exports (same HostIDs — the
+        whole point of self-certifying pathnames is that clients need no
+        new key-management step to trust the reborn server), replays the
+        file system journal, and rebuilds the volatile loopback plumbing.
+        """
+        if not self.down:
+            raise RuntimeError("restart() on a server that is not down")
+        for export in self._rw.values():
+            report = export.fs.recover()
+            if report["mismatched"]:
+                raise RuntimeError(
+                    f"journal mismatch on export {export.name!r}: "
+                    f"{report['mismatched']} records disagree with "
+                    "recovered data"
+                )
+            self._m_torn_dropped.inc(report["dropped_torn"])
+            rebuilt = self._derive_handles(export.key)
+            # Same durable key => same handle map; clients' cached
+            # handles (and their lease state, once re-established)
+            # remain meaningful across the restart.
+            assert rebuilt.fingerprint == export.handles.fingerprint
+            export.handles = rebuilt
+            self._build_loopback(export)
+        self.down = False
+        self.restarts += 1
+        self._m_restarts.inc()
+
     # --- revocation state --------------------------------------------------
 
     def set_revocation(self, hostid: bytes, certificate: Record) -> None:
@@ -344,8 +475,17 @@ class SfsServerMaster:
 
     def accept(self, link: LinkSide) -> "ServerConnection":
         """Attach a new inbound connection (sfssd's accept loop)."""
+        if self.down:
+            raise ConnectionError(
+                f"connection refused: {self.location} is down"
+            )
         self.connections_accepted += 1
-        return ServerConnection(self, link)
+        # Reap connections whose transports have since closed, so the
+        # live list does not grow monotonically across redials.
+        self.connections = [c for c in self.connections if c.alive]
+        connection = ServerConnection(self, link)
+        self.connections.append(connection)
+        return connection
 
 
 class ServerConnection:
@@ -457,7 +597,12 @@ class ServerConnection:
         """Figure 3 steps 3-4, server side."""
         if self.export is None:
             raise RuntimeError("ENCRYPT before a successful CONNECT")
-        return self._negotiate(args.client_pubkey, args.encrypted_keyhalves)
+        reply = self._negotiate(args.client_pubkey, args.encrypted_keyhalves)
+        # Session keys derived, reply not yet sent: the window where a
+        # crash leaves the client waiting on a handshake that will
+        # never complete.
+        self.master.crashpoint("mid-handshake")
+        return reply
 
     def _negotiate(self, client_pubkey: bytes, sealed_halves: bytes) -> Record:
         """Derive fresh session keys and arm a new channel (ENCRYPT/REKEY)."""
@@ -535,6 +680,7 @@ class ServerConnection:
         if payload == RESYNC_REQUEST:
             if self.session_keys is None:
                 return  # nothing to resynchronize yet
+            self.master.crashpoint("mid-resync")
             self.resyncs_served += 1
             self._m_resyncs_served.inc()
             self.pipe.reset_to_plaintext()
@@ -624,6 +770,10 @@ class ServerConnection:
             except BadHandle:
                 return nfs_const.NFS3ERR_BADHANDLE, nfs_failure_shape(proc)
         auth_sys = AuthSys(uid=cred.uid, gid=cred.gid, gids=tuple(cred.groups))
+        if proc == nfs_const.NFSPROC3_COMMIT:
+            # Whatever unstable writes preceded this COMMIT are still
+            # volatile; a crash here provably loses them.
+            self.master.crashpoint("before-commit")
         export.active_connection = self
         try:
             _arg_codec, res_codec = proto.NFS_PROC_CODECS[proc]
@@ -633,6 +783,11 @@ class ServerConnection:
             )
         finally:
             export.active_connection = None
+        if proc == nfs_const.NFSPROC3_WRITE:
+            # The write executed but its reply is not out yet; the
+            # client must replay it after reconnecting (and the crash
+            # itself rolls the un-committed data back).
+            self.master.crashpoint("after-write")
         self._record_leases(proc, args, status, body)
         handlemap.translate_result(proc, status, body, self._encrypt_handle)
         return status, body
@@ -692,6 +847,8 @@ class ServerConnection:
                     self.export.connections.remove(self)
                 except ValueError:
                     pass
+                else:
+                    self.master.note_pruned()
 
     # -- user authentication --
 

@@ -16,7 +16,8 @@ NFS server layer maps them one-to-one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, field
 from typing import Iterator
 
 from ..sim.disk import Disk
@@ -161,6 +162,18 @@ class FileData:
     def allocated_bytes(self) -> int:
         return len(self._blocks) * _BLOCK
 
+    def checksum(self) -> int:
+        """CRC-32 over size and allocated blocks (holes excluded).
+
+        Walking only allocated blocks keeps this affordable for the
+        paper's 1,000-MB sparse benchmark file.
+        """
+        crc = zlib.crc32(self.size.to_bytes(8, "big"))
+        for index in sorted(self._blocks):
+            crc = zlib.crc32(index.to_bytes(8, "big"), crc)
+            crc = zlib.crc32(bytes(self._blocks[index]), crc)
+        return crc
+
 
 @dataclass
 class Inode:
@@ -197,6 +210,30 @@ class Inode:
     @property
     def is_dir(self) -> bool:
         return self.ftype == NF_DIR
+
+
+@dataclass
+class _UndoRecord:
+    """Enough state to reverse one un-committed data write."""
+
+    offset: int
+    old_data: bytes
+    old_size: int
+    new_bytes: int
+
+
+@dataclass
+class JournalRecord:
+    """One committed flush: what the file looked like when it became
+    durable.  Recovery verifies the latest record per inode against the
+    post-rollback contents — a torn record is discarded instead."""
+
+    seq: int
+    ino: int
+    generation: int
+    size: int
+    crc: int
+    torn: bool = field(default=False)
 
 
 class BufferCache:
@@ -247,6 +284,16 @@ class MemFs:
         self._inodes: dict[int, Inode] = {}
         self._next_ino = 2
         self._time = 1
+        # Durability split: data writes are volatile until a flush
+        # (COMMIT, FILE_SYNC write, or truncate) makes them durable.
+        # The undo log reverses whatever a crash would lose; the
+        # journal records what each flush made durable.
+        self._uncommitted: dict[int, list[_UndoRecord]] = {}
+        self._journal: list[JournalRecord] = []
+        self._journal_seq = 0
+        self.lost_writes = 0
+        self.lost_bytes = 0
+        self.torn_flushes = 0
         root = Inode(
             ino=2, ftype=NF_DIR, mode=0o755, uid=0, gid=0, nlink=2,
             entries={}, parent=2,
@@ -309,12 +356,121 @@ class MemFs:
 
     def _charge_write(self, inode: Inode, nbytes: int, sync: bool) -> None:
         if self.disk is not None:
-            self.disk.write(inode.ino * 16, max(nbytes, 512), sync=sync)
+            self.disk.write(inode.ino * 16, max(nbytes, 512), sync=sync,
+                            tag=inode.ino)
 
     def _charge_meta(self) -> None:
         """Synchronous metadata update (FFS-style)."""
         if self.disk is not None:
             self.disk.write(1, 512, sync=True)
+
+    # --- durability --------------------------------------------------------
+
+    def _log_undo(self, inode: Inode, offset: int, length: int) -> None:
+        """Capture the bytes an un-committed write is about to replace."""
+        assert inode.data is not None
+        old_size = inode.data.size
+        overlap = max(0, min(old_size - offset, length))
+        old_data = inode.data.read(offset, overlap) if overlap else b""
+        self._uncommitted.setdefault(inode.ino, []).append(
+            _UndoRecord(offset, old_data, old_size, length)
+        )
+
+    def _journal_append(self, inode: Inode) -> JournalRecord:
+        assert inode.data is not None
+        self._journal_seq += 1
+        record = JournalRecord(
+            seq=self._journal_seq, ino=inode.ino,
+            generation=inode.generation, size=inode.data.size,
+            crc=inode.data.checksum(),
+        )
+        self._journal.append(record)
+        return record
+
+    def _note_flush(self, inode: Inode) -> None:
+        """Writes to *inode* just became durable (time already charged).
+
+        Appends a journal record and clears the undo log — unless the
+        disk reports the flush tore, in which case the record is marked
+        torn and the undo log survives so a later crash still rolls the
+        data back.
+        """
+        record = self._journal_append(inode)
+        if self.disk is not None and self.disk.consume_torn():
+            record.torn = True
+            self.torn_flushes += 1
+            return
+        self._uncommitted.pop(inode.ino, None)
+        if self.disk is not None:
+            self.disk.mark_flushed(inode.ino)
+
+    @property
+    def dirty_inodes(self) -> frozenset[int]:
+        """Inodes with writes a crash would lose."""
+        return frozenset(self._uncommitted)
+
+    @property
+    def journal(self) -> tuple[JournalRecord, ...]:
+        return tuple(self._journal)
+
+    def crash(self) -> dict[str, int]:
+        """Power failure: volatile state evaporates.
+
+        Every un-committed write is rolled back (in reverse order, so
+        overlapping writes unwind correctly), the buffer cache and the
+        disk's write-back cache are dropped, and the loss is tallied.
+        Returns a report; callers bridge it into their metrics.
+        """
+        lost_writes = lost_bytes = 0
+        for ino, undos in list(self._uncommitted.items()):
+            inode = self._inodes.get(ino)
+            if inode is not None and inode.data is not None:
+                for undo in reversed(undos):
+                    if undo.old_data:
+                        inode.data.write(undo.offset, undo.old_data)
+                    inode.data.truncate(undo.old_size)
+            lost_writes += len(undos)
+            lost_bytes += sum(undo.new_bytes for undo in undos)
+        self._uncommitted.clear()
+        self.buffer_cache = BufferCache()
+        disk_lost = self.disk.crash() if self.disk is not None else 0
+        self.lost_writes += lost_writes
+        self.lost_bytes += lost_bytes
+        return {
+            "lost_writes": lost_writes,
+            "lost_bytes": lost_bytes,
+            "disk_lost_writes": disk_lost,
+        }
+
+    def recover(self) -> dict[str, int]:
+        """Journal recovery after a crash: drop torn records, verify
+        that the latest surviving record per inode matches the data.
+
+        A mismatch would mean the rollback left durable state that
+        disagrees with what a flush promised — the invariant the
+        crash-consistency tests pin down (``mismatched == 0``).
+        """
+        torn = [r for r in self._journal if r.torn]
+        self._journal = [r for r in self._journal if not r.torn]
+        latest: dict[int, JournalRecord] = {}
+        for record in self._journal:
+            latest[record.ino] = record
+        verified = mismatched = 0
+        for ino, record in latest.items():
+            inode = self._inodes.get(ino)
+            if (inode is None or inode.data is None
+                    or inode.generation != record.generation):
+                continue  # file since removed or replaced; record is moot
+            if (inode.data.checksum() == record.crc
+                    and inode.data.size == record.size):
+                verified += 1
+            else:
+                mismatched += 1
+        return {
+            "verified": verified,
+            "mismatched": mismatched,
+            "dropped_torn": len(torn),
+        }
 
     # --- lookups and attributes -------------------------------------------
 
@@ -386,8 +542,15 @@ class MemFs:
                 raise FsError(ERR_INVAL, "truncate on non-file")
             self._require(inode, cred, 2)
             assert inode.data is not None
+            # Truncate is a synchronous metadata update, so pending
+            # data writes ride to durability with it; flushing them
+            # first keeps the undo log from spanning the size change.
+            self._uncommitted.pop(inode.ino, None)
+            if self.disk is not None:
+                self.disk.mark_flushed(inode.ino)
             inode.data.truncate(size)
             inode.mtime = self._now()
+            self._journal_append(inode)
         if atime is not None:
             if not is_owner:
                 raise FsError(ERR_PERM)
@@ -544,19 +707,28 @@ class MemFs:
         assert inode.data is not None
         if offset + len(data) > self.total_bytes:
             raise FsError(ERR_FBIG)
+        if not sync:
+            self._log_undo(inode, offset, len(data))
         inode.data.write(offset, data)
         inode.mtime = inode.ctime = self._now()
         for block in range(offset // _BLOCK, (offset + len(data)) // _BLOCK + 1):
             self.buffer_cache.insert(inode.ino, block)
         self._charge_write(inode, len(data), sync)
+        if sync:
+            # FILE_SYNC makes the whole file's pending writes durable
+            # (conservative: NFS3 only requires this write's bytes).
+            self._note_flush(inode)
         return len(data)
 
     def commit(self, ino: int) -> None:
         """Flush cached writes for a file (NFS COMMIT)."""
         inode = self.get_inode(ino)
-        if self.disk is not None and inode.ftype == NF_REG:
-            assert inode.data is not None
-            self.disk.sync(inode.data.allocated_bytes)
+        if inode.ftype != NF_REG:
+            return
+        assert inode.data is not None
+        if self.disk is not None:
+            self.disk.sync(inode.data.allocated_bytes, tag=inode.ino)
+        self._note_flush(inode)
 
     # --- removal and rename --------------------------------------------------
 
@@ -579,6 +751,11 @@ class MemFs:
         child.ctime = self._now()
         if child.nlink == 0:
             del self._inodes[child_ino]
+            # The blocks are freed durably with the metadata update;
+            # there is nothing left for a crash to lose or roll back.
+            self._uncommitted.pop(child_ino, None)
+            if self.disk is not None:
+                self.disk.mark_flushed(child_ino)
         self._charge_meta()
 
     def rmdir(self, dir_ino: int, name: str, cred: Cred) -> None:

@@ -39,6 +39,21 @@ class NfsMounter:
         self._managed.pop(path, None)
         return self._kernel.remove_mount(path)
 
+    def remount(self, path: str, root_fh: bytes) -> bool:
+        """Re-point a managed mount at a (possibly new) root handle.
+
+        Used after a server restart: SFS handles derive from the
+        server's durable key so the root normally survives verbatim,
+        but a daemon that re-fetched the root can push it here without
+        the disruptive unmount/mount cycle.  Returns True if the path
+        was one of ours.
+        """
+        mount = self._managed.get(path)
+        if mount is None:
+            return False
+        mount.root_fh = root_fh
+        return True
+
     def mounted_paths(self) -> list[str]:
         return sorted(self._managed)
 

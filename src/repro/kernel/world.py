@@ -99,6 +99,37 @@ class ServerMachine:
     def path(self) -> SelfCertifyingPath:
         return self.exports["default"][0]
 
+    # -- crash / restart --
+
+    def crash(self) -> None:
+        """Power-fail this machine: every connection drops, every piece
+        of volatile state (leases, sessions, reply caches, un-committed
+        writes) is lost.  Durable state — the private key, the exports'
+        committed data — survives for :meth:`restart`."""
+        self.master.crash()
+
+    def restart(self) -> None:
+        """Boot the machine back up with the same keypair and exports."""
+        self.master.restart()
+
+    def schedule_restart(self, at: float) -> None:
+        """Arrange for the machine to come back at absolute time *at*.
+
+        The timer fires from inside Clock.advance — which is exactly
+        where a reconnecting client sits while it backs off, so the
+        restart happens "during" the client's wait like a real reboot.
+        A machine that never went down by then has nothing to do.
+        """
+        def boot() -> None:
+            if self.master.down:
+                self.restart()
+
+        self.world.clock.call_at(at, boot)
+
+    def install_crash_injector(self, schedule):
+        """Arm deterministic crash points; see sim/crash.py."""
+        return self.master.install_crash_injector(schedule)
+
     def add_user(self, name: str, uid: int, gid: int = 100,
                  groups: tuple[int, ...] = (),
                  key_bits: int = DEFAULT_KEY_BITS,

@@ -64,6 +64,12 @@ class EncryptedHandles:
         self._cipher = Blowfish(key)
         self._iv = sha1(b"SFS-handle-iv" + key)[:8]
         self._inner = PlainHandles()
+        #: Public digest of the (secret) handle key.  The key is derived
+        #: deterministically from the server's durable private key, so
+        #: handles clients cached before a crash must still decode after
+        #: a restart; the restart path asserts fingerprint equality to
+        #: pin that invariant without exposing key bytes.
+        self.fingerprint = sha1(b"SFS-handle-fingerprint" + key)[:8]
 
     def encode(self, fsid: int, ino: int, generation: int) -> bytes:
         plain = self._inner.encode(fsid, ino, generation)

@@ -25,8 +25,18 @@ from ..rpc.xdr import Record
 from . import const, types
 from .handles import BadHandle, PlainHandles
 
-_WRITE_VERF = b"SFSWVERF"
 _COOKIE_VERF = b"\x00" * 8
+
+#: Monotonic boot count; each Nfs3Server instance gets a distinct write
+#: verifier, as the NFS3 spec requires across server reboots — a client
+#: comparing verifiers can detect that un-committed writes may be gone.
+_BOOT_COUNTER = 0
+
+
+def _next_write_verf() -> bytes:
+    global _BOOT_COUNTER
+    _BOOT_COUNTER += 1
+    return b"SFSW" + _BOOT_COUNTER.to_bytes(4, "big")
 
 CredMapper = Callable[[CallContext], Cred]
 
@@ -70,6 +80,9 @@ class Nfs3Server:
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._clock = clock
         self._op_seconds = self.metrics.histogram("nfs3.op_seconds")
+        #: Changes every boot (every instance): WRITE/COMMIT return it so
+        #: clients can tell when a restart may have lost unstable writes.
+        self.write_verf = _next_write_verf()
         self.program = self._build_program()
 
     # --- handle and attribute helpers --------------------------------------
@@ -309,7 +322,7 @@ class Nfs3Server:
             file_wcc=self._wcc(before, inode),
             count=written,
             committed=args.stable if args.stable != const.UNSTABLE else const.UNSTABLE,
-            verf=_WRITE_VERF,
+            verf=self.write_verf,
         )
 
     def _create(self, args: Record, cred: Cred):
@@ -471,5 +484,5 @@ class Nfs3Server:
         before = self._wcc_attr(inode)
         self.fs.commit(inode.ino)
         return const.NFS3_OK, types.Record(
-            file_wcc=self._wcc(before, inode), verf=_WRITE_VERF
+            file_wcc=self._wcc(before, inode), verf=self.write_verf
         )

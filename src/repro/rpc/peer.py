@@ -60,6 +60,17 @@ class RpcTimeout(RpcError):
     """No reply arrived for an outstanding call (e.g. record dropped)."""
 
 
+class RpcTransportDown(RpcTimeout):
+    """The transport itself failed mid-call (connection closed).
+
+    Raised immediately — retransmitting into a dead link cannot help,
+    and the caller's reconnect machinery should run instead.  Subclasses
+    :class:`RpcTimeout` because every handler that tolerates a lost
+    reply (mount redial, session reconnect) must tolerate a lost
+    connection the same way; this also puts a deadline on handshake
+    RPCs, which previously hung when a server crashed mid-CONNECT."""
+
+
 class RpcNoWaiter(RpcError):
     """No reply *could* arrive: delivery is asynchronous and no
     ``reply_waiter`` is configured.  A transport-wiring problem, not a
@@ -444,7 +455,17 @@ class RpcPeer:
                             f"{self.name}: retransmit xid={xid} "
                             f"(attempt {attempt + 1}/{attempts})"
                         )
-                self._pipe.send(record)
+                try:
+                    self._pipe.send(record)
+                except ConnectionError as exc:
+                    # The link died under us (server crash closes it from
+                    # the other side, possibly during this very send's
+                    # nested delivery).  No reply can ever arrive.
+                    self._m_timeouts.inc()
+                    raise RpcTransportDown(
+                        f"transport down for xid {xid} "
+                        f"(prog={prog} proc={proc}): {exc}"
+                    ) from exc
                 reply = self._pending[xid]
                 while reply is None and self.reply_waiter is not None:
                     self.reply_waiter()

@@ -17,26 +17,61 @@ time.
 
 from __future__ import annotations
 
+import heapq
+from typing import Callable
+
 
 class Clock:
-    """Accumulates simulated time, in seconds."""
+    """Accumulates simulated time, in seconds.
+
+    Callbacks registered with :meth:`call_at` fire from inside
+    :meth:`advance` once the clock passes their deadline.  That is the
+    only notion of "elapsed wall time" a single-threaded simulation has:
+    a server restart scheduled for t=5 happens during whatever sleep or
+    device charge crosses t=5 (e.g. a client's reconnect backoff).
+    """
 
     def __init__(self) -> None:
         self._now = 0.0
+        self._timers: list[tuple[float, int, Callable[[], None]]] = []
+        self._timer_seq = 0
+        self._firing = False
 
     @property
     def now(self) -> float:
         """Total simulated seconds advanced so far."""
         return self._now
 
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule *callback* to run when simulated time reaches *when*.
+
+        Deadlines already in the past fire on the next :meth:`advance`
+        (including ``advance(0)``).  Ties fire in registration order.
+        """
+        self._timer_seq += 1
+        heapq.heappush(self._timers, (when, self._timer_seq, callback))
+
     def advance(self, seconds: float) -> None:
         """Charge *seconds* of simulated device time."""
         if seconds < 0:
             raise ValueError("cannot advance the clock backwards")
         self._now += seconds
+        self._fire_due()
+
+    def _fire_due(self) -> None:
+        if self._firing:
+            return  # a callback advanced the clock; the outer loop drains
+        self._firing = True
+        try:
+            while self._timers and self._timers[0][0] <= self._now:
+                _when, _seq, callback = heapq.heappop(self._timers)
+                callback()
+        finally:
+            self._firing = False
 
     def reset(self) -> None:
         self._now = 0.0
+        self._timers.clear()
 
 
 class Stopwatch:

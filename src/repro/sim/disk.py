@@ -35,7 +35,14 @@ class DiskParameters:
 
 
 class Disk:
-    """Charges simulated time for disk requests against a :class:`Clock`."""
+    """Charges simulated time for disk requests against a :class:`Clock`.
+
+    The write-back cache is modelled explicitly: asynchronous writes
+    enter a dirty set (keyed by caller-supplied *tag*, typically an
+    inode number) and leave it only when a sync covers their tag.  A
+    :meth:`crash` empties the cache, so whatever was dirty is counted
+    as lost — the honest version of "async writes cost nothing now".
+    """
 
     def __init__(self, clock: Clock, params: DiskParameters | None = None,
                  metrics=None) -> None:
@@ -45,10 +52,18 @@ class Disk:
         self.reads = 0
         self.writes = 0
         self.syncs = 0
+        #: dirty write-back cache: tag -> count of un-flushed writes
+        self._dirty: dict[int, int] = {}
+        self._torn_countdown = 0
+        self._torn_pending = False
+        self.torn_syncs = 0
+        self.lost_writes = 0
         self._metrics = metrics if metrics is not None else NULL_REGISTRY
         self._m_reads = self._metrics.counter("disk.reads")
         self._m_writes = self._metrics.counter("disk.writes")
         self._m_syncs = self._metrics.counter("disk.syncs")
+        self._m_lost = self._metrics.counter("disk.lost_writes")
+        self._m_torn = self._metrics.counter("disk.torn_syncs")
 
     @property
     def params(self) -> DiskParameters:
@@ -76,12 +91,15 @@ class Disk:
         self._m_reads.inc()
         self._access(block, nbytes)
 
-    def write(self, block: int, nbytes: int, sync: bool = False) -> None:
+    def write(self, block: int, nbytes: int, sync: bool = False,
+              tag: int = 0) -> None:
         """Charge for a write; asynchronous writes cost nothing now.
 
-        Asynchronous writes land in the write-back cache and are assumed
-        to be flushed during otherwise-idle rotations, mirroring how the
-        paper's FFS hides async data writes but pays for sync metadata.
+        Asynchronous writes land in the write-back cache (dirty under
+        *tag*) and are assumed to be flushed during otherwise-idle
+        rotations, mirroring how the paper's FFS hides async data
+        writes but pays for sync metadata.  They stay dirty until a
+        :meth:`sync` covers them — or a :meth:`crash` loses them.
         """
         self.writes += 1
         self._m_writes.inc()
@@ -89,11 +107,22 @@ class Disk:
             self.syncs += 1
             self._m_syncs.inc()
             self._access(block, nbytes)
+        else:
+            self._dirty[tag] = self._dirty.get(tag, 0) + 1
 
-    def sync(self, nbytes: int = 0) -> None:
-        """Charge for an explicit flush of *nbytes* of dirty data."""
+    def sync(self, nbytes: int = 0, tag: int | None = None) -> None:
+        """Charge for an explicit flush of *nbytes* of dirty data.
+
+        With *tag* given only that tag's dirty writes are flushed (an
+        NFS COMMIT covers one file); without it the whole cache drains.
+        """
         self.syncs += 1
         self._m_syncs.inc()
+        if not self._mark_synced():
+            if tag is None:
+                self._dirty.clear()
+            else:
+                self._dirty.pop(tag, None)
         layers = self._metrics.layers
         layers.push("disk")
         try:
@@ -104,3 +133,69 @@ class Disk:
             self._last_block = None
         finally:
             layers.pop()
+
+    # -- failure model --
+
+    def arm_torn_write(self, countdown: int = 1) -> None:
+        """Make the *countdown*-th subsequent explicit :meth:`sync` tear.
+
+        A torn flush charges its full mechanical cost but does not make
+        the data durable: the dirty set keeps its entries and the
+        caller can observe the tear with :meth:`consume_torn` (MemFs
+        marks the matching journal record so recovery discards it).
+        Synchronous writes (metadata, FILE_SYNC data) never tear — only
+        the multi-block cache flush behind COMMIT is at risk, which is
+        the scenario journaling exists for.
+        """
+        if countdown < 1:
+            raise ValueError("countdown is 1-based")
+        self._torn_countdown = countdown
+
+    def _mark_synced(self) -> bool:
+        """Account one flush against the torn-write schedule.
+
+        Returns True if this flush tore (in which case the dirty set
+        must NOT be cleared by the caller path).
+        """
+        if self._torn_countdown > 0:
+            self._torn_countdown -= 1
+            if self._torn_countdown == 0:
+                self._torn_pending = True
+                self.torn_syncs += 1
+                self._m_torn.inc()
+                return True
+        return False
+
+    def consume_torn(self) -> bool:
+        """Report and clear whether the last sync tore."""
+        torn = self._torn_pending
+        self._torn_pending = False
+        return torn
+
+    def dirty_writes(self, tag: int | None = None) -> int:
+        """Count of un-flushed writes (for *tag*, or in total)."""
+        if tag is not None:
+            return self._dirty.get(tag, 0)
+        return sum(self._dirty.values())
+
+    def mark_flushed(self, tag: int) -> None:
+        """Bookkeeping only: *tag*'s dirty writes became durable via a
+        path that already charged its own time (a FILE_SYNC data write,
+        a file removal freeing the blocks)."""
+        self._dirty.pop(tag, None)
+
+    def crash(self) -> int:
+        """Power loss: the write-back cache evaporates.
+
+        Returns the number of dirty writes lost (also counted on the
+        ``disk.lost_writes`` metric).  Charges no time — a crash is
+        instantaneous as far as the disk arm is concerned.
+        """
+        lost = sum(self._dirty.values())
+        self._dirty.clear()
+        self._last_block = None
+        self._torn_pending = False
+        if lost:
+            self.lost_writes += lost
+            self._m_lost.inc(lost)
+        return lost

@@ -320,8 +320,14 @@ class RecordingAdversary(Adversary):
         return [data]
 
 
-class LinkDown(Exception):
-    """Raised when sending on a closed link."""
+class LinkDown(ConnectionError):
+    """Raised when sending on a closed link.
+
+    Subclasses :class:`ConnectionError` so transport-level failure is
+    distinguishable from protocol errors: the RPC layer converts it to
+    an immediate :class:`~repro.rpc.peer.RpcTransportDown` rather than
+    retransmitting into a dead link.
+    """
 
 
 @dataclass

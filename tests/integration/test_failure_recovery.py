@@ -55,14 +55,26 @@ def test_other_mounts_survive_one_crash(setup):
 
 
 def test_server_vanishes_mid_session(setup):
-    """A server whose links die mid-session produces I/O errors, not
-    hangs or wrong data."""
+    """Dead links to a *live* server are redialed transparently; a
+    server that is truly gone produces I/O errors, not hangs or wrong
+    data."""
     world, server, path, client, proc = setup
     proc.write_file(f"{path}/w/f", b"x")
+    # Only the links die: the session's reconnect engine redials the
+    # still-running server, re-verifies the HostID, and replays.
+    for link in world.links:
+        link.close()
+    proc.write_file(f"{path}/w/g", b"y")
+    assert proc.read_file(f"{path}/w/g") == b"y"
+    session = client.sfscd._mounts[path.hostid].session
+    assert session.reconnects == 1
+    # Now the host itself disappears: every redial is refused, the
+    # backoff budget runs out, and the caller gets a clean EIO.
+    del world.servers[path.location]
     for link in world.links:
         link.close()
     with pytest.raises(KernelError) as excinfo:
-        proc.write_file(f"{path}/w/g", b"y")
+        proc.write_file(f"{path}/w/h", b"z")
     assert excinfo.value.errno == errno.EIO
 
 

@@ -1,0 +1,63 @@
+"""Tests for the shared exponential-backoff policy (repro.core.backoff)."""
+
+import random
+
+import pytest
+
+from repro.core.backoff import BackoffPolicy, NO_RETRY
+
+
+def test_first_attempt_is_immediate():
+    delays = list(BackoffPolicy(jitter=0.0).delays())
+    assert delays[0] == 0.0
+
+
+def test_exponential_growth_without_jitter():
+    policy = BackoffPolicy(max_attempts=6, base_delay=0.05, multiplier=2.0,
+                           max_delay=10.0, jitter=0.0)
+    assert list(policy.delays()) == [0.0, 0.05, 0.1, 0.2, 0.4, 0.8]
+
+
+def test_cap_applies():
+    policy = BackoffPolicy(max_attempts=6, base_delay=1.0, multiplier=4.0,
+                           max_delay=3.0, jitter=0.0)
+    assert list(policy.delays()) == [0.0, 1.0, 3.0, 3.0, 3.0, 3.0]
+
+
+def test_yields_exactly_max_attempts_values():
+    for attempts in (1, 2, 5, 9):
+        policy = BackoffPolicy(max_attempts=attempts, jitter=0.0)
+        assert len(list(policy.delays())) == attempts
+
+
+def test_jitter_bounds_and_determinism():
+    policy = BackoffPolicy(max_attempts=8, base_delay=0.1, multiplier=2.0,
+                           max_delay=1.0, jitter=0.25)
+    exact = list(BackoffPolicy(max_attempts=8, base_delay=0.1,
+                               multiplier=2.0, max_delay=1.0,
+                               jitter=0.0).delays())
+    jittered = list(policy.delays(random.Random(7)))
+    assert jittered[0] == 0.0
+    for ideal, actual in zip(exact[1:], jittered[1:]):
+        assert ideal * 0.75 <= actual <= ideal * 1.25
+    # Same seed, same delays: runs are reproducible.
+    assert jittered == list(policy.delays(random.Random(7)))
+    assert jittered != list(policy.delays(random.Random(8)))
+
+
+def test_jitter_without_rng_is_exact():
+    policy = BackoffPolicy(max_attempts=3, base_delay=0.5, jitter=0.5)
+    assert list(policy.delays()) == [0.0, 0.5, 1.0]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BackoffPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        BackoffPolicy(jitter=1.0)
+    with pytest.raises(ValueError):
+        BackoffPolicy(jitter=-0.1)
+
+
+def test_no_retry_policy():
+    assert list(NO_RETRY.delays()) == [0.0]

@@ -1,0 +1,107 @@
+"""Tests for crash-point fault injection and the clock's timer wheel."""
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.sim.crash import CRASH_POINTS, CrashInjector, ServerCrashed
+
+
+def test_unknown_point_rejected():
+    with pytest.raises(ValueError):
+        CrashInjector([("half-baked", 1)])
+    injector = CrashInjector()
+    with pytest.raises(ValueError):
+        injector.arm("half-baked")
+
+
+def test_counts_are_one_based():
+    with pytest.raises(ValueError):
+        CrashInjector([("after-write", 0)])
+
+
+def test_fires_on_nth_hit_only():
+    closed = []
+    injector = CrashInjector([("after-write", 3)], on_crash=closed.append)
+    injector.hit("after-write")
+    injector.hit("after-write")
+    assert closed == [] and injector.fired == []
+    with pytest.raises(ServerCrashed) as excinfo:
+        injector.hit("after-write")
+    assert excinfo.value.point == "after-write"
+    assert excinfo.value.hit == 3
+    assert isinstance(excinfo.value, ConnectionError)
+    assert injector.fired == [("after-write", 3)]
+    assert injector.pending == 0
+    # Later hits at the same point pass through unarmed.
+    injector.hit("after-write")
+
+
+def test_on_crash_runs_before_the_raise():
+    order = []
+    injector = CrashInjector(
+        [("mid-resync", 1)],
+        on_crash=lambda point: order.append(("closed", point)),
+    )
+    try:
+        injector.hit("mid-resync")
+    except ServerCrashed:
+        order.append(("raised", "mid-resync"))
+    assert order == [("closed", "mid-resync"), ("raised", "mid-resync")]
+
+
+def test_same_point_can_fire_repeatedly():
+    injector = CrashInjector([("after-write", 1), ("after-write", 3)])
+    with pytest.raises(ServerCrashed):
+        injector.hit("after-write")
+    injector.hit("after-write")
+    with pytest.raises(ServerCrashed):
+        injector.hit("after-write")
+    assert injector.fired == [("after-write", 1), ("after-write", 3)]
+    assert injector.hits["after-write"] == 3
+
+
+def test_unarmed_points_count_but_never_fire():
+    injector = CrashInjector()
+    for point in CRASH_POINTS:
+        injector.hit(point)
+    assert injector.fired == []
+    assert all(injector.hits[p] == 1 for p in CRASH_POINTS)
+
+
+def test_clock_call_at_fires_during_advance():
+    clock = Clock()
+    fired = []
+    clock.call_at(1.0, lambda: fired.append(clock.now))
+    clock.advance(0.5)
+    assert fired == []
+    clock.advance(0.6)
+    assert fired == [1.1]
+
+
+def test_clock_call_at_past_deadline_fires_on_zero_advance():
+    clock = Clock()
+    clock.advance(2.0)
+    fired = []
+    clock.call_at(1.0, lambda: fired.append(True))
+    assert fired == []  # registration alone never runs callbacks
+    clock.advance(0.0)
+    assert fired == [True]
+
+
+def test_clock_timers_fire_in_deadline_then_registration_order():
+    clock = Clock()
+    fired = []
+    clock.call_at(2.0, lambda: fired.append("b"))
+    clock.call_at(1.0, lambda: fired.append("a"))
+    clock.call_at(2.0, lambda: fired.append("c"))
+    clock.advance(5.0)
+    assert fired == ["a", "b", "c"]
+
+
+def test_clock_reset_clears_timers():
+    clock = Clock()
+    fired = []
+    clock.call_at(1.0, lambda: fired.append(True))
+    clock.reset()
+    clock.advance(5.0)
+    assert fired == []

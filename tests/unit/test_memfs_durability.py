@@ -1,0 +1,174 @@
+"""Crash-consistency tests for MemFs: undo log, journal, torn writes.
+
+The durability contract this file pins down:
+
+* metadata operations and FILE_SYNC/COMMIT-ed data survive a crash;
+* un-committed (UNSTABLE) writes are rolled back, and the loss is
+  counted;
+* journal recovery after any crash reports ``mismatched == 0`` — the
+  durable state always agrees with the last thing a flush promised;
+* a torn flush (power fails mid-sync) keeps the undo log alive, and its
+  journal record is discarded at recovery instead of trusted.
+"""
+
+import pytest
+
+from repro.fs.memfs import Cred, MemFs
+from repro.sim.clock import Clock
+from repro.sim.disk import Disk, DiskParameters
+
+ROOT = Cred(0, 0)
+
+
+def make_fs(with_disk: bool = False) -> MemFs:
+    disk = Disk(Clock(), DiskParameters.ibm_18es()) if with_disk else None
+    return MemFs(fsid=1, disk=disk)
+
+
+def make_file(fs: MemFs, name: str = "f", data: bytes = b"") -> int:
+    inode = fs.create(fs.root_ino, name, ROOT)
+    if data:
+        fs.write(inode.ino, 0, data, ROOT)
+        fs.commit(inode.ino)
+    return inode.ino
+
+
+def read_all(fs: MemFs, ino: int) -> bytes:
+    data, _eof = fs.read(ino, 0, 1 << 20, ROOT)
+    return data
+
+
+def test_uncommitted_write_rolls_back_on_crash():
+    fs = make_fs()
+    ino = make_file(fs, data=b"durable base")
+    fs.write(ino, 0, b"DOOMED", ROOT)
+    assert ino in fs.dirty_inodes
+    report = fs.crash()
+    assert report["lost_writes"] == 1
+    assert report["lost_bytes"] == len(b"DOOMED")
+    assert read_all(fs, ino) == b"durable base"
+    assert fs.dirty_inodes == frozenset()
+    assert fs.recover()["mismatched"] == 0
+
+
+def test_committed_write_survives_crash():
+    fs = make_fs(with_disk=True)
+    ino = make_file(fs)
+    fs.write(ino, 0, b"committed contents", ROOT)
+    fs.commit(ino)
+    report = fs.crash()
+    assert report["lost_writes"] == 0
+    assert read_all(fs, ino) == b"committed contents"
+    recovery = fs.recover()
+    assert recovery["mismatched"] == 0
+    assert recovery["verified"] >= 1
+
+
+def test_file_sync_write_survives_crash():
+    fs = make_fs()
+    ino = make_file(fs)
+    fs.write(ino, 0, b"stable", ROOT, sync=True)
+    assert ino not in fs.dirty_inodes
+    fs.crash()
+    assert read_all(fs, ino) == b"stable"
+    assert fs.recover()["mismatched"] == 0
+
+
+def test_overlapping_writes_unwind_in_reverse_order():
+    fs = make_fs()
+    ino = make_file(fs, data=b"AAAAAAAAAA")
+    fs.write(ino, 0, b"BBBB", ROOT)
+    fs.write(ino, 2, b"CCCC", ROOT)
+    fs.write(ino, 8, b"DDDDDD", ROOT)  # extends the file
+    fs.crash()
+    assert read_all(fs, ino) == b"AAAAAAAAAA"
+    assert fs.recover()["mismatched"] == 0
+
+
+def test_appending_write_rolls_back_to_old_size():
+    fs = make_fs()
+    ino = make_file(fs, data=b"12345")
+    fs.write(ino, 5, b"67890", ROOT)
+    fs.crash()
+    assert read_all(fs, ino) == b"12345"
+
+
+def test_truncate_is_durable():
+    fs = make_fs(with_disk=True)
+    ino = make_file(fs, data=b"long original contents")
+    fs.write(ino, 0, b"uncommitted scribble", ROOT)
+    fs.setattr(ino, ROOT, size=4)
+    fs.crash()
+    # The truncate flushed: the post-truncate prefix survives and the
+    # un-committed write before it does not resurrect anything.
+    assert read_all(fs, ino) == b"unco"[:4]
+    assert fs.recover()["mismatched"] == 0
+
+
+def test_commit_clears_disk_dirty_set():
+    fs = make_fs(with_disk=True)
+    ino = make_file(fs)
+    fs.write(ino, 0, b"x" * 9000, ROOT)
+    assert fs.disk.dirty_writes(ino) > 0
+    fs.commit(ino)
+    assert fs.disk.dirty_writes(ino) == 0
+    assert fs.disk.dirty_writes() == 0
+
+
+def test_disk_crash_counts_lost_cached_writes():
+    fs = make_fs(with_disk=True)
+    ino = make_file(fs)
+    fs.write(ino, 0, b"y" * 5000, ROOT)
+    report = fs.crash()
+    assert report["disk_lost_writes"] > 0
+    assert fs.disk.lost_writes > 0
+    assert fs.disk.dirty_writes() == 0
+
+
+def test_torn_flush_keeps_undo_and_recovery_drops_record():
+    fs = make_fs(with_disk=True)
+    ino = make_file(fs, data=b"before the storm")
+    fs.write(ino, 0, b"half-flushed data!!", ROOT)
+    fs.disk.arm_torn_write()
+    fs.commit(ino)  # the flush tears: journal record untrustworthy
+    assert fs.torn_flushes == 1
+    assert fs.disk.torn_syncs == 1
+    assert ino in fs.dirty_inodes  # undo survives a torn flush
+    fs.crash()
+    assert read_all(fs, ino) == b"before the storm"
+    recovery = fs.recover()
+    assert recovery["dropped_torn"] == 1
+    assert recovery["mismatched"] == 0
+
+
+def test_removed_file_forgets_its_undo_log():
+    fs = make_fs()
+    ino = make_file(fs, data=b"short-lived")
+    fs.write(ino, 0, b"scratch", ROOT)
+    fs.remove(fs.root_ino, "f", ROOT)
+    assert ino not in fs.dirty_inodes
+    report = fs.crash()
+    assert report["lost_writes"] == 0
+    assert fs.recover()["mismatched"] == 0
+
+
+def test_recovery_ignores_records_for_replaced_generations():
+    fs = make_fs()
+    ino = make_file(fs, data=b"first life")
+    fs.remove(fs.root_ino, "f", ROOT)
+    ino2 = make_file(fs, data=b"second life")
+    fs.crash()
+    recovery = fs.recover()
+    assert recovery["mismatched"] == 0
+    assert read_all(fs, ino2) == b"second life"
+
+
+def test_crash_counters_accumulate():
+    fs = make_fs()
+    ino = make_file(fs, data=b"base")
+    fs.write(ino, 0, b"one", ROOT)
+    fs.crash()
+    fs.write(ino, 0, b"twoo", ROOT)
+    fs.crash()
+    assert fs.lost_writes == 2
+    assert fs.lost_bytes == len(b"one") + len(b"twoo")
