@@ -158,12 +158,46 @@ def run_fig9(quick: bool, collector=None) -> str:
     return table + "\n\n" + _attribution_table("Figure 9", attributions)
 
 
+def run_scale(quick: bool, collector=None) -> str:
+    """Not a paper figure: N closed-loop clients vs one queued server.
+
+    Deterministic per seed — throughput and the latency percentiles are
+    pure functions of the configuration.  Past the worker pool's
+    service capacity, queueing delay dominates the tail.
+    """
+    from ..load import LoadConfig, LoadHarness
+
+    levels = [1, 4, 16] if quick else [1, 4, 16, 64]
+    ops = 10 if quick else 20
+    rows = []
+    for clients in levels:
+        config = LoadConfig(clients=clients, ops_per_client=ops,
+                            seed=2026, workers=2, service_time=0.001,
+                            think_time=0.010, max_depth=None)
+        harness = LoadHarness(config)
+        report = harness.run_closed_loop()
+        assert report.op_errors == 0 and report.unfinished_tasks == 0
+        rows.append((str(clients), report.throughput,
+                     report.p50 * 1000, report.p95 * 1000,
+                     report.p99 * 1000, str(report.max_queue_depth)))
+        if collector is not None:
+            collector.add(f"scale/{clients}-clients", harness.world.metrics,
+                          meta={"figure": "scale", "clients": clients})
+    return format_table(
+        f"Scale: closed-loop clients vs one queued SFS server "
+        f"(2 workers x 1 ms service, {ops} ops/client)",
+        ["Clients", "ops/s", "p50 ms", "p95 ms", "p99 ms", "peak queue"],
+        rows,
+    )
+
+
 FIGURES = {
     "fig5": run_fig5,
     "fig6": run_fig6,
     "fig7": run_fig7,
     "fig8": run_fig8,
     "fig9": run_fig9,
+    "scale": run_scale,
 }
 
 

@@ -44,6 +44,7 @@ from ..rpc.peer import (
     CallContext,
     Program,
     RetryPolicy,
+    RpcBusy,
     RpcError,
     RpcPeer,
     RpcTimeout,
@@ -53,6 +54,7 @@ from ..rpc.rpcmsg import AUTH_SYS, AuthSys, OpaqueAuth, RpcMsgError
 from ..rpc.xdr import Record, VOID
 from ..sim.clock import Clock
 from ..sim.network import LinkSide
+from ..sim.sched import Sleep
 from . import handlemap, proto
 from .agent import Agent, AgentRefused
 from .backoff import BackoffPolicy
@@ -160,6 +162,12 @@ class ServerSession:
         self._m_reconnects_failed = self.metrics.counter(
             "session.reconnects_failed"
         )
+        #: Backpressure: SERVER_BUSY replies (the server's admission
+        #: control rejecting at a full queue) are retried under this
+        #: policy rather than surfaced — see PROTOCOLS.md §12.
+        self.busy_policy = BackoffPolicy()
+        self.busy_retries = 0
+        self._m_busy_retries = self.metrics.counter("client.busy_retries")
         if self.session_keys is not None and self.channel is not None:
             pipe.control_handler = self._on_control
             peer.recovery_hook = self.resync
@@ -444,6 +452,12 @@ class ServerSession:
         """
         assert fresh.servinfo.public_key == self.servinfo.public_key, \
             "HostID verification let a different key through"
+        # The retransmission schedule is session configuration, not
+        # transport state: a tuned policy (e.g. widened for a queued
+        # server's service delay) must survive failover, or the fresh
+        # peer's default timer fires mid-backlog and triggers spurious
+        # channel resyncs.
+        fresh.peer.retry_policy = self.peer.retry_policy
         self.peer = fresh.peer
         self.pipe = fresh.pipe
         self.servinfo = fresh.servinfo
@@ -524,10 +538,56 @@ class ServerSession:
 
     def call_nfs(self, proc: int, args: Record, authno: int):
         arg_codec, res_codec = proto.NFS_PROC_CODECS[proc]
-        return self.peer.call(
-            proto.SFS_RW_PROGRAM, proto.SFS_VERSION, proc,
-            arg_codec, args, res_codec, cred=make_sfs_cred(authno),
-        )
+        delays = None
+        while True:
+            try:
+                return self.peer.call(
+                    proto.SFS_RW_PROGRAM, proto.SFS_VERSION, proc,
+                    arg_codec, args, res_codec, cred=make_sfs_cred(authno),
+                )
+            except RpcBusy:
+                if delays is None:
+                    delays = self.busy_policy.delays(self.rng)
+                    next(delays)  # discard the "first attempt" zero
+                delay = next(delays, None)
+                if delay is None:
+                    raise  # backoff exhausted; the server stayed full
+                self.busy_retries += 1
+                self._m_busy_retries.inc()
+                clock = self.peer.backoff_clock
+                if clock is not None and delay:
+                    clock.advance(delay)
+
+    def call_nfs_task(self, proc: int, args: Record, authno: int):
+        """Task variant of :meth:`call_nfs` (``yield from`` it).
+
+        Suspends instead of pumping while the reply is in flight, so
+        many client tasks share the simulation; SERVER_BUSY replies are
+        retried through the same backoff policy, with the wait spent as
+        a cooperative :class:`~repro.sim.sched.Sleep` rather than a
+        clock charge — other clients run during it, which is exactly
+        the contention being simulated.
+        """
+        arg_codec, res_codec = proto.NFS_PROC_CODECS[proc]
+        delays = None
+        while True:
+            try:
+                result = yield from self.peer.call_task(
+                    proto.SFS_RW_PROGRAM, proto.SFS_VERSION, proc,
+                    arg_codec, args, res_codec, cred=make_sfs_cred(authno),
+                )
+                return result
+            except RpcBusy:
+                if delays is None:
+                    delays = self.busy_policy.delays(self.rng)
+                    next(delays)  # discard the "first attempt" zero
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                self.busy_retries += 1
+                self._m_busy_retries.inc()
+                if delay:
+                    yield Sleep(delay)
 
 
 # ---------------------------------------------------------------------------

@@ -47,6 +47,7 @@ from ..sim.crash import CrashInjector
 from ..sim.network import LinkSide, link_pair
 from ..crypto.util import constant_time_eq
 from . import handlemap, proto
+from .admission import FIFO, RequestQueue
 from .authserv import AuthServer, SrpSession
 from .channel import (
     RESYNC_ACK,
@@ -177,6 +178,13 @@ class SwitchablePipe:
     def on_receive(self, handler: Callable[[bytes], None]) -> None:
         self._handler = handler
 
+    def on_close(self, handler: Callable[[], None]) -> None:
+        """Close notification always comes from the raw transport —
+        channels are wrappers and never close independently."""
+        register = getattr(self._raw, "on_close", None)
+        if callable(register):
+            register(handler)
+
     def _install(self, channel: SecureChannel) -> None:
         self._lower = channel
         channel.control_handler = self._forward_control
@@ -292,6 +300,9 @@ class SfsServerMaster:
         self.down = False
         #: Optional scheduled-fault source (see :mod:`repro.sim.crash`).
         self.crash_injector: CrashInjector | None = None
+        #: Set by :meth:`enable_concurrency`: inbound calls queue here
+        #: instead of executing inline during record delivery.
+        self.request_queue: RequestQueue | None = None
         self.crashes = 0
         self.restarts = 0
         self.dead_connections_pruned = 0
@@ -410,6 +421,10 @@ class SfsServerMaster:
         self.down = True
         self.crashes += 1
         self._m_crashes.inc()
+        if self.request_queue is not None:
+            # Queued-but-unserved requests die with the machine; their
+            # clients learn via the closing links, not busy replies.
+            self.request_queue.clear()
         for connection in self.connections:
             connection.pipe.raw.close()
         self.connections.clear()
@@ -471,6 +486,37 @@ class SfsServerMaster:
         self._rw.pop(hostid, None)
         self._ro.pop(hostid, None)
 
+    # --- concurrency -----------------------------------------------------
+
+    def enable_concurrency(
+        self,
+        scheduler,
+        max_depth: int = 32,
+        workers: int = 4,
+        policy: str = FIFO,
+        service_time: float = 0.0,
+    ) -> RequestQueue:
+        """Serve requests through a bounded queue + worker pool.
+
+        Until this is called the master keeps the classic model — every
+        call executes inline during record delivery, which is correct
+        but serializes the world.  Afterwards each connection's inbound
+        calls are admitted (or busy-rejected) into one shared
+        :class:`~repro.core.admission.RequestQueue` whose workers run as
+        daemon tasks on *scheduler*.  The loopback NFS connection stays
+        inline: its calls are issued *by* the workers, and queueing them
+        behind the same pool would deadlock.
+        """
+        queue = RequestQueue(
+            self.clock, max_depth=max_depth, workers=workers,
+            policy=policy, metrics=self.metrics, service_time=service_time,
+        )
+        queue.start(scheduler, name=f"{self.location}")
+        self.request_queue = queue
+        for connection in self.connections:
+            queue.bind(connection.peer, connection)
+        return queue
+
     # --- accepting connections ------------------------------------------------
 
     def accept(self, link: LinkSide) -> "ServerConnection":
@@ -485,6 +531,8 @@ class SfsServerMaster:
         self.connections = [c for c in self.connections if c.alive]
         connection = ServerConnection(self, link)
         self.connections.append(connection)
+        if self.request_queue is not None:
+            self.request_queue.bind(connection.peer, connection)
         return connection
 
 

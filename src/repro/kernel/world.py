@@ -35,7 +35,8 @@ from ..obs.registry import MetricsRegistry
 from ..rpc.peer import RpcPeer
 from ..sim.clock import Clock
 from ..sim.disk import Disk, DiskParameters
-from ..sim.network import LinkSide, NetworkParameters, link_pair
+from ..sim.network import LinkSide, Medium, NetworkParameters, link_pair
+from ..sim.sched import Scheduler
 from .mounter import NfsMounter
 from .vfs import Kernel, KernelError, Process
 
@@ -63,6 +64,11 @@ class ServerMachine:
                                       metrics=world.metrics)
         self.with_disk = with_disk
         self.exports: dict[str, tuple[SelfCertifyingPath, MemFs, AuthServer]] = {}
+        #: This machine's network interface, one shared medium per
+        #: direction: when the world enables contention, every client
+        #: link terminating here queues for the same rx/tx bandwidth.
+        self.nic_rx = Medium(f"{location}:rx")
+        self.nic_tx = Medium(f"{location}:tx")
 
     def _new_fs(self, fsid: int) -> MemFs:
         disk = Disk(self.world.clock, DiskParameters.ibm_18es(),
@@ -129,6 +135,20 @@ class ServerMachine:
     def install_crash_injector(self, schedule):
         """Arm deterministic crash points; see sim/crash.py."""
         return self.master.install_crash_injector(schedule)
+
+    def enable_queueing(self, max_depth: int = 32, workers: int = 4,
+                        policy: str = "fifo", service_time: float = 0.0):
+        """Serve this machine's requests through a bounded queue.
+
+        Requires (and, if needed, creates) the world's cooperative
+        scheduler, whose daemon tasks run the worker pool.  See
+        :meth:`repro.core.server.SfsServerMaster.enable_concurrency`.
+        """
+        scheduler = self.world.enable_concurrency()
+        return self.master.enable_concurrency(
+            scheduler, max_depth=max_depth, workers=workers,
+            policy=policy, service_time=service_time,
+        )
 
     def add_user(self, name: str, uid: int, gid: int = 100,
                  groups: tuple[int, ...] = (),
@@ -239,10 +259,14 @@ class ClientMachine:
                           clock=self.world.clock)
         mountd = MountServer()
         mountd.add_export(export_dir, nfsd.root_handle())
+        media = ({"a->b": server.nic_rx, "b->a": server.nic_tx}
+                 if self.world.contention else None)
         kernel_side, server_side = link_pair(
             self.world.clock, params or self.world.lan_params,
-            metrics=self.world.metrics,
+            metrics=self.world.metrics, media=media,
         )
+        if self.world.scheduler is not None:
+            kernel_side.link.pump = self.world.scheduler.pump_once
         peer = _RpcPeer(server_side, f"nfsd@{server.location}")
         peer.register(nfsd.program)
         peer.register(mountd.program)
@@ -269,6 +293,28 @@ class World:
         self.clients: dict[str, ClientMachine] = {}
         self.adversary_factory = None  # optional: () -> Adversary
         self.links: list[LinkSide] = []
+        #: Created by :meth:`enable_concurrency`; once present, every
+        #: new link pumps it while synchronous callers wait for replies.
+        self.scheduler: Scheduler | None = None
+        #: Set by :meth:`enable_contention`: new links to a server share
+        #: its NIC media, so concurrent clients queue for bandwidth.
+        self.contention = False
+
+    # -- concurrency --
+
+    def enable_concurrency(self, seed: int = 0) -> Scheduler:
+        """Create (once) the world's cooperative task scheduler."""
+        if self.scheduler is None:
+            self.scheduler = Scheduler(self.clock, seed=seed,
+                                       metrics=self.metrics)
+        return self.scheduler
+
+    def enable_contention(self) -> None:
+        """Make links to each server contend for its NIC bandwidth.
+
+        Off by default: single-client benchmarks keep their original,
+        independent per-record charges bit-for-bit."""
+        self.contention = True
 
     # -- topology --
 
@@ -303,9 +349,16 @@ class World:
         if server is None:
             raise ConnectionError(f"no route to host {location}")
         adversary = self.adversary_factory() if self.adversary_factory else None
+        media = ({"a->b": server.nic_rx, "b->a": server.nic_tx}
+                 if self.contention else None)
         client_side, server_side = link_pair(
-            self.clock, self.lan_params, adversary, metrics=self.metrics
+            self.clock, self.lan_params, adversary, metrics=self.metrics,
+            media=media,
         )
+        if self.scheduler is not None:
+            # Synchronous callers (handshakes, reconnects) wait out a
+            # queued server by pumping the scheduler, not by timing out.
+            client_side.link.pump = self.scheduler.pump_once
         server.master.accept(server_side)
         self.links.append(client_side)
         return client_side

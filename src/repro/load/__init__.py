@@ -1,0 +1,21 @@
+"""Multi-client load generation for the concurrent simulation engine.
+
+:mod:`repro.load.workload` defines *what* each simulated client does
+(operation mixes, seeded operation streams); :mod:`repro.load.harness`
+builds full SFS stacks — N sessions against one queued server on the
+cooperative scheduler — drives them closed- or open-loop, and reports
+throughput plus latency percentiles.  Everything is deterministic per
+seed: latencies are simulated time, interleavings come from the
+scheduler's seeded rng, and no wall-clock value enters a report.
+"""
+
+from .workload import OpMix, OpStream
+from .harness import LoadConfig, LoadHarness, LoadReport
+
+__all__ = [
+    "LoadConfig",
+    "LoadHarness",
+    "LoadReport",
+    "OpMix",
+    "OpStream",
+]

@@ -85,6 +85,16 @@ class Nfs3Server:
         self.write_verf = _next_write_verf()
         self.program = self._build_program()
 
+    def attach_queue(self, peer, queue, conn_id=None) -> None:
+        """Serve *peer*'s calls through a request queue.
+
+        The plain-NFS baseline registers this server's program directly
+        on a client-facing peer; routing that peer through the same
+        :class:`~repro.core.admission.RequestQueue` the SFS master uses
+        keeps the two configurations comparable under concurrent load.
+        """
+        queue.bind(peer, conn_id if conn_id is not None else peer)
+
     # --- handle and attribute helpers --------------------------------------
 
     def root_handle(self) -> bytes:

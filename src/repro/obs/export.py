@@ -116,11 +116,13 @@ def format_metrics(snapshot: dict, title: str = "Metrics") -> str:
     rows: list[tuple] = []
     for name, value in snapshot.get("metrics", {}).items():
         if isinstance(value, dict) and value.get("type") == "histogram":
-            rows.append((
-                name,
-                f"count={value['count']} sum={value['sum']:.6f}s "
-                f"mean={value['mean'] * 1e6:.1f}us",
-            ))
+            cell = (f"count={value['count']} sum={value['sum']:.6f}s "
+                    f"mean={value['mean'] * 1e6:.1f}us")
+            if "p50" in value:  # absent in pre-quantile snapshot files
+                cell += (f" p50={value['p50'] * 1e6:.1f}us"
+                         f" p95={value['p95'] * 1e6:.1f}us"
+                         f" p99={value['p99'] * 1e6:.1f}us")
+            rows.append((name, cell))
         elif isinstance(value, dict) and value.get("type") == "family":
             for label, count in value["values"].items():
                 rows.append((f"{name}{{{label}}}", count))

@@ -94,6 +94,32 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile by interpolating within buckets.
+
+        Walks the cumulative counts to the bucket holding rank
+        ``q * count`` and interpolates linearly between that bucket's
+        edges — the standard estimate for pre-aggregated exponential
+        buckets (so p99 from a snapshot needs no raw samples).
+        Observations in the overflow bucket report the last finite
+        bound, a deliberate floor rather than a guess.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile {q} outside (0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, n in enumerate(self.bucket_counts):
+            if seen + n >= rank and n > 0:
+                if index >= len(self.bounds):
+                    return self.bounds[-1]  # overflow: floor, not guess
+                lo = self.bounds[index - 1] if index else 0.0
+                hi = self.bounds[index]
+                return lo + (hi - lo) * ((rank - seen) / n)
+            seen += n
+        return self.bounds[-1]
+
     def snapshot(self) -> dict:
         buckets = [[bound, n]
                    for bound, n in zip(self.bounds, self.bucket_counts)]
@@ -103,6 +129,9 @@ class Histogram:
             "count": self.count,
             "sum": self.sum,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "buckets": buckets,
         }
 
@@ -254,6 +283,9 @@ class _NullInstrument:
 
     def observe(self, value) -> None:
         pass
+
+    def quantile(self, q) -> float:
+        return 0.0
 
     def labels(self, key) -> "_NullInstrument":
         return self

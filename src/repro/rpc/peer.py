@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Protocol
 
 from ..obs.registry import CounterFamily, NULL_REGISTRY
+from ..sim.sched import Future, SchedulerStalled
 from . import rpcmsg
 from .rpcmsg import (
     AUTH_NONE,
@@ -109,6 +110,15 @@ class RpcRejected(RpcError):
             f"accept_stat={header.accept_stat} reject_stat={header.reject_stat}"
         )
         self.header = header
+
+
+class RpcBusy(RpcRejected):
+    """The server's request queue was full; the call never executed.
+
+    The admission-control backpressure signal (``SERVER_BUSY``).  Unlike
+    other rejections this one is *retryable by design*: the client backs
+    off (``BackoffPolicy``) and resends as a fresh call — no duplicate
+    hazard, because the server never started the procedure."""
 
 
 @dataclass
@@ -213,9 +223,20 @@ class RpcPeer:
         self._m_duplicates = self.metrics.counter("rpc.duplicates_served")
         self._m_evictions = self.metrics.counter("rpc.reply_cache_evictions")
         self._m_call_seconds = self.metrics.histogram("rpc.call_seconds")
+        self._m_busy = self.metrics.counter("rpc.busy_replies")
         #: None (default) = classic single-shot calls.  Assign a
         #: :class:`RetryPolicy` to get retransmission + backoff.
         self.retry_policy: RetryPolicy | None = None
+        #: When set, inbound CALLs are handed to this callable as
+        #: ``dispatcher(header, body, request)`` instead of executing
+        #: inline — the server's request queue hangs here.  The queue
+        #: later runs the call via :meth:`serve_queued` or rejects it
+        #: with :meth:`send_busy`.  Duplicate retransmissions are still
+        #: answered from the reply cache *before* dispatch.
+        self.dispatcher: Callable[[CallHeader, bytes, bytes], None] | None = None
+        #: xid -> Future a cooperative task is waiting on (call_task).
+        self._call_futures: dict[int, Future] = {}
+        self._closed = False
         #: Called before the second and later retransmissions; the
         #: session layer hangs channel resynchronization here.  Returns
         #: truthy when it believes the path is repaired.
@@ -238,6 +259,20 @@ class RpcPeer:
         self.duplicates_served = 0
         self.reply_cache_evictions = 0
         pipe.on_receive(self._on_record)
+        # Transports that can die under us (the virtual link on server
+        # crash) volunteer an on_close hook; waiting tasks are failed
+        # immediately instead of hanging until their timeout timers.
+        on_close = getattr(pipe, "on_close", None)
+        if callable(on_close):
+            on_close(self._transport_closed)
+
+    def _transport_closed(self) -> None:
+        self._closed = True
+        futures, self._call_futures = self._call_futures, {}
+        for xid, future in futures.items():
+            future.fail(RpcTransportDown(
+                f"transport closed with xid {xid} in flight"
+            ))
 
     @property
     def proc_counts(self) -> dict[tuple[int, int], int]:
@@ -279,13 +314,19 @@ class RpcPeer:
             return
         if message.mtype == rpcmsg.CALL:
             assert message.call is not None
-            self._serve(message.call, message.body, data)
+            if self.dispatcher is not None:
+                self.dispatcher(message.call, message.body, data)
+            else:
+                self._serve(message.call, message.body, data)
         else:
             assert message.reply is not None
             xid = message.reply.xid
             if xid in self._pending:
                 self._pending[xid] = message.reply
                 self._results[xid] = message.body
+                future = self._call_futures.pop(xid, None)
+                if future is not None:
+                    future.resolve(message.reply)
             elif self.trace:
                 self.trace(f"{self.name}: reply for unknown xid {xid}")
 
@@ -302,6 +343,27 @@ class RpcPeer:
             self._serve_inner(header, body, request)
         finally:
             layers.pop()
+
+    def serve_queued(self, header: CallHeader, body: bytes,
+                     request: bytes) -> None:
+        """Execute a previously queued call (the request-queue workers'
+        entry point — bypasses :attr:`dispatcher` so the queue cannot
+        re-enqueue its own work)."""
+        self._serve(header, body, request)
+
+    def send_busy(self, xid: int) -> None:
+        """Reject a call with ``SERVER_BUSY`` — admission control's
+        backpressure reply.  Deliberately *not* inserted into the reply
+        cache: a busy rejection is not an execution, and the client's
+        backed-off resend must run for real next time."""
+        self._m_busy.inc()
+        record = rpcmsg.pack_reply(
+            ReplyHeader(xid, accept_stat=rpcmsg.SERVER_BUSY)
+        )
+        try:
+            self._pipe.send(record)
+        except ConnectionError:
+            pass  # client already gone; its retry logic owns recovery
 
     def _serve_inner(self, header: CallHeader, body: bytes,
                      request: bytes) -> None:
@@ -468,7 +530,14 @@ class RpcPeer:
                     ) from exc
                 reply = self._pending[xid]
                 while reply is None and self.reply_waiter is not None:
-                    self.reply_waiter()
+                    try:
+                        self.reply_waiter()
+                    except SchedulerStalled:
+                        # The cooperative scheduler has nothing runnable
+                        # and no timer: the record (or its reply) was
+                        # lost.  Same situation as an elapsed
+                        # retransmission timeout — fall through to retry.
+                        break
                     reply = self._pending[xid]
                 if reply is not None:
                     break
@@ -483,11 +552,17 @@ class RpcPeer:
                 self._m_timeouts.inc()
                 raise RpcTimeout(f"no reply for xid {xid} (prog={prog} proc={proc})")
             if not reply.successful:
-                raise RpcRejected(reply)
+                raise self._rejection(reply)
             return res_codec.unpack(self._results.pop(xid))
         finally:
             self._pending.pop(xid, None)
             self._results.pop(xid, None)
+
+    def _rejection(self, reply: ReplyHeader) -> RpcRejected:
+        if (reply.reply_stat == rpcmsg.MSG_ACCEPTED
+                and reply.accept_stat == rpcmsg.SERVER_BUSY):
+            return RpcBusy(reply)
+        return RpcRejected(reply)
 
     def _backoff(self, delay: float) -> None:
         """Wait before a retransmission, on whichever clock applies."""
@@ -497,3 +572,102 @@ class RpcPeer:
             self.backoff_clock.advance(delay)
         else:
             time.sleep(delay)
+
+    def call_task(
+        self,
+        prog: int,
+        vers: int,
+        proc: int,
+        arg_codec: Codec,
+        args: Any,
+        res_codec: Codec,
+        cred: OpaqueAuth = NULL_AUTH,
+    ):
+        """Task-yielding variant of :meth:`call` (``yield from`` it).
+
+        Instead of pumping the transport until the reply lands, the
+        generator yields a :class:`~repro.sim.sched.Future` per attempt
+        and suspends, so many in-flight calls share one transport.  The
+        retry policy's backoff schedule doubles as the per-attempt
+        timeout: a timer fails the future after the attempt's delay,
+        the task wakes, and the record is retransmitted (same xid, same
+        bytes — at-most-once via the remote reply cache).  Raises the
+        same exceptions as :meth:`call`, plus :class:`RpcBusy` when the
+        server's admission control rejects the call.
+        """
+        self._xid += 1
+        xid = self._xid
+        header = CallHeader(xid, prog, vers, proc, cred=cred)
+        record = rpcmsg.pack_call(header, arg_codec.pack(args))
+        self._pending[xid] = None
+        self.calls_sent += 1
+        self._m_calls.inc()
+        self._calls_by_proc.labels((prog, proc)).inc()
+        if self.trace:
+            self.trace(f"{self.name}: call prog={prog} proc={proc} args={args!r}")
+        clock = self.backoff_clock
+        sim0 = clock.now if clock is not None else 0.0
+        policy = self.retry_policy
+        attempts = policy.max_attempts if policy is not None else 1
+        timeout = policy.base_delay if policy is not None else 0.0
+        try:
+            reply = None
+            for attempt in range(attempts):
+                if attempt:
+                    self.retransmissions += 1
+                    self._m_retransmissions.inc()
+                    if attempt >= 2 and self.recovery_hook is not None:
+                        try:
+                            if self.recovery_hook():
+                                self.recoveries += 1
+                                self._m_recoveries.inc()
+                        except Exception:  # noqa: BLE001 - keep retrying
+                            pass
+                if self._closed:
+                    self._m_timeouts.inc()
+                    raise RpcTransportDown(
+                        f"transport down for xid {xid} "
+                        f"(prog={prog} proc={proc})"
+                    )
+                future = Future(name=f"{self.name}:xid{xid}")
+                self._call_futures[xid] = future
+                try:
+                    self._pipe.send(record)
+                except ConnectionError as exc:
+                    self._m_timeouts.inc()
+                    raise RpcTransportDown(
+                        f"transport down for xid {xid} "
+                        f"(prog={prog} proc={proc}): {exc}"
+                    ) from exc
+                reply = self._pending.get(xid)
+                if reply is not None:
+                    break  # nested synchronous delivery answered already
+                if clock is not None and policy is not None:
+                    def expire(future=future, xid=xid) -> None:
+                        future.fail(RpcTimeout(f"no reply for xid {xid}"))
+                    clock.call_at(clock.now + timeout, expire)
+                    timeout = min(timeout * policy.multiplier,
+                                  policy.max_delay)
+                try:
+                    yield future
+                except RpcTransportDown:
+                    raise
+                except RpcTimeout:
+                    continue  # this attempt timed out: retransmit
+                reply = self._pending.get(xid)
+                if reply is not None:
+                    break
+            if reply is None:
+                self._m_timeouts.inc()
+                raise RpcTimeout(
+                    f"no reply for xid {xid} (prog={prog} proc={proc})"
+                )
+            if not reply.successful:
+                raise self._rejection(reply)
+            return res_codec.unpack(self._results.pop(xid))
+        finally:
+            self._pending.pop(xid, None)
+            self._results.pop(xid, None)
+            self._call_futures.pop(xid, None)
+            if self.metrics.enabled and clock is not None:
+                self._m_call_seconds.observe(clock.now - sim0)

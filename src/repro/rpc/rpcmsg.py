@@ -28,6 +28,10 @@ PROG_MISMATCH = 2
 PROC_UNAVAIL = 3
 GARBAGE_ARGS = 4
 SYSTEM_ERR = 5
+#: SFS extension (outside RFC 1831's 0-5 range): the server's request
+#: queue is full and the call was never executed.  Retryable — the
+#: client backs off and resends; admission control's backpressure path.
+SERVER_BUSY = 102
 
 # Reject status
 RPC_MISMATCH = 0

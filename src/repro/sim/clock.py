@@ -51,6 +51,15 @@ class Clock:
         self._timer_seq += 1
         heapq.heappush(self._timers, (when, self._timer_seq, callback))
 
+    def next_deadline(self) -> float | None:
+        """The earliest pending timer deadline, or None when idle.
+
+        The cooperative scheduler (:mod:`repro.sim.sched`) uses this to
+        jump virtual time forward when every task is waiting on a timer:
+        it advances straight to the next deadline rather than polling.
+        """
+        return self._timers[0][0] if self._timers else None
+
     def advance(self, seconds: float) -> None:
         """Charge *seconds* of simulated device time."""
         if seconds < 0:

@@ -330,6 +330,35 @@ class LinkDown(ConnectionError):
     """
 
 
+class Medium:
+    """Shared serialization state: one transmission on the wire at a time.
+
+    Links that share a Medium (all the links terminating at one server's
+    NIC) contend for its bandwidth: a record sent while the medium is
+    still carrying an earlier record queues behind it, and the sender is
+    charged the queueing delay on top of its own latency.  Transmission
+    time accrues on :attr:`busy_until` rather than being charged to the
+    global clock, so concurrent flows genuinely overlap-and-contend
+    instead of each paying full serialization independently.
+
+    Links *without* a medium keep the original independent
+    latency+bandwidth charge, so every single-client figure benchmark is
+    bit-identical to the uncontended model.
+    """
+
+    __slots__ = ("name", "busy_until")
+
+    def __init__(self, name: str = "medium") -> None:
+        self.name = name
+        self.busy_until = 0.0
+
+    def occupy(self, now: float, tx_seconds: float) -> float:
+        """Claim the medium for *tx_seconds*; returns the queueing wait."""
+        start = self.busy_until if self.busy_until > now else now
+        self.busy_until = start + tx_seconds
+        return start - now
+
+
 @dataclass
 class _Endpoint:
     handler: Handler | None = None
@@ -349,6 +378,7 @@ class Link:
         params: NetworkParameters | None = None,
         adversary: Adversary | None = None,
         metrics=None,
+        media: "dict[str, Medium] | None" = None,
     ) -> None:
         self._clock = clock
         self._params = params or NetworkParameters.instant()
@@ -356,6 +386,16 @@ class Link:
         self._a = _Endpoint()
         self._b = _Endpoint()
         self._open = True
+        #: Optional per-direction shared media ({"a->b": ..., "b->a": ...});
+        #: see :class:`Medium`.  None = independent per-message charges.
+        self._media = media or {}
+        #: Optional progress pump (Scheduler.pump_once) that RpcPeer
+        #: picks up as its reply_waiter via ``suggested_reply_waiter``;
+        #: lets synchronous calls wait out a queued server.
+        self.pump = None
+        #: Called (once each) when the link closes; RpcPeer hangs the
+        #: failure of its in-flight call futures here.
+        self._close_handlers: list[Callable[[], None]] = []
         self.messages = 0
         self.bytes_carried = 0
         self._metrics = metrics if metrics is not None else NULL_REGISTRY
@@ -366,6 +406,10 @@ class Link:
         self._m_dropped = self._metrics.counter("net.faults.dropped")
         self._m_injected = self._metrics.counter("net.faults.injected")
         self._m_tampered = self._metrics.counter("net.faults.tampered")
+        self._m_medium_waits = self._metrics.counter("net.medium_waits")
+        self._m_medium_wait_s = self._metrics.histogram(
+            "net.medium_wait_seconds"
+        )
 
     @property
     def clock(self) -> Clock:
@@ -386,22 +430,43 @@ class Link:
         """Install the handler for records arriving at endpoint b."""
         self._b.handler = handler
 
+    def on_close(self, handler: Callable[[], None]) -> None:
+        """Register a handler to run when the link closes."""
+        self._close_handlers.append(handler)
+
     def close(self) -> None:
+        if not self._open:
+            return
         self._open = False
+        handlers, self._close_handlers = self._close_handlers, []
+        for handler in handlers:
+            handler()
 
     @property
     def is_open(self) -> bool:
         return self._open
 
-    def _charge(self, nbytes: int) -> None:
+    def _charge(self, nbytes: int, direction: str) -> None:
         layers = self._metrics.layers
         layers.push("network")
         try:
             params = self._params
-            self._clock.advance(params.latency)
             total = nbytes + params.per_message_overhead
-            if params.bandwidth != float("inf"):
-                self._clock.advance(total / params.bandwidth)
+            tx = (total / params.bandwidth
+                  if params.bandwidth != float("inf") else 0.0)
+            medium = self._media.get(direction)
+            if medium is None:
+                # Uncontended: the original independent charge.
+                self._clock.advance(params.latency + tx)
+                return
+            # Contended: transmission occupies the shared medium; the
+            # sender is charged propagation latency plus however long
+            # the medium stays busy with *earlier* records.
+            wait = medium.occupy(self._clock.now, tx)
+            if wait > 0:
+                self._m_medium_waits.inc()
+                self._m_medium_wait_s.observe(wait)
+            self._clock.advance(params.latency + wait)
         finally:
             layers.pop()
 
@@ -423,7 +488,7 @@ class Link:
             self.bytes_carried += len(record)
             self._m_messages.inc()
             self._m_bytes.inc(len(record))
-            self._charge(len(record))
+            self._charge(len(record), direction)
             if endpoint.handler is None:
                 raise LinkDown("no handler installed at destination")
             endpoint.handler(record)
@@ -469,6 +534,16 @@ class LinkSide:
         their counters in the owning World's registry."""
         return self._link.metrics
 
+    @property
+    def suggested_reply_waiter(self):
+        """The link's progress pump (a Scheduler.pump_once), if any.
+
+        With a queued server, a reply only arrives once a worker task
+        runs; synchronous callers wait by pumping the scheduler instead
+        of timing out.  None on plain links — behavior unchanged.
+        """
+        return self._link.pump
+
     def send(self, data: bytes) -> None:
         if self._side == "a":
             self._link.send_a(data)
@@ -480,6 +555,9 @@ class LinkSide:
             self._link.on_receive_a(handler)
         else:
             self._link.on_receive_b(handler)
+
+    def on_close(self, handler: Callable[[], None]) -> None:
+        self._link.on_close(handler)
 
     def close(self) -> None:
         self._link.close()
@@ -494,7 +572,8 @@ def link_pair(
     params: NetworkParameters | None = None,
     adversary: Adversary | None = None,
     metrics=None,
+    media: dict[str, Medium] | None = None,
 ) -> tuple[LinkSide, LinkSide]:
     """Create a link and return its two sides (client side first)."""
-    link = Link(clock, params, adversary, metrics)
+    link = Link(clock, params, adversary, metrics, media=media)
     return LinkSide(link, "a"), LinkSide(link, "b")

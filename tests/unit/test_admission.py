@@ -1,0 +1,172 @@
+"""Tests for server request queueing and admission control."""
+
+import pytest
+
+from repro.core.admission import FAIR_SHARE, FIFO, RequestQueue
+from repro.obs.registry import MetricsRegistry
+from repro.sim.clock import Clock
+from repro.sim.sched import Scheduler, SchedulerStalled, Sleep
+
+
+def pump_all(sched):
+    """Run until stalled.  The queue's workers are daemons, so they do
+    not hold ``Scheduler.run`` open on their own — real deployments
+    always have live client tasks; these tests do not."""
+    while True:
+        try:
+            sched.pump_once()
+        except SchedulerStalled:
+            return
+
+
+def make(max_depth=4, workers=1, policy=FIFO, service_time=0.0):
+    clock = Clock()
+    registry = MetricsRegistry()
+    sched = Scheduler(clock, seed=0, metrics=registry)
+    queue = RequestQueue(clock, max_depth=max_depth, workers=workers,
+                         policy=policy, metrics=registry,
+                         service_time=service_time)
+    return clock, sched, registry, queue
+
+
+def test_rejects_bad_configuration():
+    clock = Clock()
+    with pytest.raises(ValueError):
+        RequestQueue(clock, policy="lifo")
+    with pytest.raises(ValueError):
+        RequestQueue(clock, max_depth=0)
+    with pytest.raises(ValueError):
+        RequestQueue(clock, workers=0)
+
+
+def test_submit_bounded_by_max_depth():
+    _clock, _sched, registry, queue = make(max_depth=2)
+    assert queue.submit("c1", lambda: None) is True
+    assert queue.submit("c1", lambda: None) is True
+    assert queue.submit("c1", lambda: None) is False
+    assert queue.depth == 2
+    assert queue.peak_depth == 2
+    assert registry.counter("server.queue.admitted").value == 2
+    assert registry.counter("server.queue.rejected").value == 1
+    assert registry.gauge("server.queue.depth").value == 2
+
+
+def test_workers_drain_fifo_in_arrival_order():
+    _clock, sched, _registry, queue = make()
+    queue.start(sched, name="q")
+    served = []
+    for index in range(3):
+        queue.submit("c1", lambda i=index: served.append(i))
+    pump_all(sched)
+    assert served == [0, 1, 2]
+    assert queue.depth == 0
+
+
+def test_fair_share_round_robins_across_connections():
+    """An aggressive connection cannot monopolize the workers: service
+    alternates across connections no matter the arrival pattern."""
+    _clock, sched, _registry, queue = make(max_depth=16, policy=FAIR_SHARE)
+    queue.start(sched, name="q")
+    served = []
+    for index in range(6):                    # greedy client first
+        queue.submit("greedy", lambda i=index: served.append(("g", i)))
+    queue.submit("meek", lambda: served.append(("m", 0)))
+    queue.submit("meek", lambda: served.append(("m", 1)))
+    pump_all(sched)
+    # Round-robin: g0 m0 g1 m1 g2 g3 g4 g5 — the meek connection's two
+    # requests are served 2nd and 4th, not behind all six greedy ones.
+    assert served.index(("m", 0)) == 1
+    assert served.index(("m", 1)) == 3
+    assert [entry for entry in served if entry[0] == "g"] == [
+        ("g", i) for i in range(6)
+    ]
+
+
+def test_fifo_makes_the_meek_wait():
+    """The contrast case: under FIFO the greedy client's backlog is
+    served first."""
+    _clock, sched, _registry, queue = make(max_depth=16, policy=FIFO)
+    queue.start(sched, name="q")
+    served = []
+    for index in range(6):
+        queue.submit("greedy", lambda i=index: served.append(("g", i)))
+    queue.submit("meek", lambda: served.append(("m", 0)))
+    pump_all(sched)
+    assert served.index(("m", 0)) == 6
+
+
+def test_service_time_occupies_workers():
+    clock, sched, _registry, queue = make(workers=2, service_time=0.010)
+    queue.start(sched, name="q")
+    done = []
+    for index in range(4):
+        queue.submit("c", lambda i=index: done.append((i, clock.now)))
+    pump_all(sched)
+    # 4 requests, 2 workers, 10 ms each: two service waves.
+    assert [t for _i, t in done] == pytest.approx([0.01, 0.01, 0.02, 0.02])
+
+
+def test_wait_histogram_measures_queueing_delay():
+    clock, sched, registry, queue = make(workers=1, service_time=0.005)
+    queue.start(sched, name="q")
+    queue.submit("c", lambda: None)
+    queue.submit("c", lambda: None)
+    pump_all(sched)
+    snapshot = registry.histogram("server.queue.wait_seconds").snapshot()
+    assert snapshot["count"] == 2
+    # First request waited 0; second waited one service time.
+    assert snapshot["sum"] == pytest.approx(0.005)
+
+
+def test_worker_survives_failing_jobs():
+    _clock, sched, registry, queue = make()
+    queue.start(sched, name="q")
+    served = []
+    queue.submit("c", lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+    queue.submit("c", lambda: served.append("after"))
+    pump_all(sched)
+    assert served == ["after"]
+    assert registry.counter("server.queue.job_failures").value == 1
+
+
+def test_workers_wake_for_requests_submitted_later():
+    clock, sched, _registry, queue = make()
+    queue.start(sched, name="q")
+    served = []
+
+    def late_submitter():
+        yield Sleep(1.0)
+        queue.submit("c", lambda: served.append(clock.now))
+
+    sched.spawn(late_submitter())
+    pump_all(sched)
+    assert served == pytest.approx([1.0])
+
+
+def test_clear_drops_waiting_requests():
+    _clock, sched, registry, queue = make(max_depth=8)
+    queue.start(sched, name="q")
+    served = []
+    for index in range(3):
+        queue.submit("c", lambda i=index: served.append(i))
+    assert queue.clear() == 3
+    pump_all(sched)
+    assert served == []
+    assert queue.depth == 0
+    assert registry.gauge("server.queue.depth").value == 0
+    # The queue still works after a clear (server restart).
+    queue.submit("c", lambda: served.append("fresh"))
+    pump_all(sched)
+    assert served == ["fresh"]
+
+
+def test_fair_share_clear_resets_rotation():
+    _clock, sched, _registry, queue = make(max_depth=8, policy=FAIR_SHARE)
+    queue.start(sched, name="q")
+    queue.submit("a", lambda: None)
+    queue.submit("b", lambda: None)
+    queue.clear()
+    served = []
+    queue.submit("c", lambda: served.append("c"))
+    pump_all(sched)
+    assert served == ["c"]

@@ -320,3 +320,112 @@ def test_obs_cli_renders_both_shapes(tmp_path, capsys):
     assert main([str(collection)]) == 0
     out = capsys.readouterr().out
     assert "=== run-a ===" in out and "=== run-b ===" in out
+
+
+# --- histogram quantiles -------------------------------------------------
+
+from bisect import bisect_left  # noqa: E402
+
+from repro.obs.registry import Histogram  # noqa: E402
+
+
+def test_quantile_empty_histogram_is_zero():
+    histogram = Histogram("h", bounds=(1.0, 2.0, 4.0))
+    assert histogram.quantile(0.5) == 0.0
+
+
+def test_quantile_rejects_out_of_range():
+    histogram = Histogram("h", bounds=(1.0,))
+    for q in (0.0, -0.1, 1.5):
+        with pytest.raises(ValueError):
+            histogram.quantile(q)
+
+
+def test_quantile_interpolates_within_bucket():
+    histogram = Histogram("h", bounds=(1.0, 2.0, 4.0))
+    # 4 observations, all landing in the (1, 2] bucket.
+    for value in (1.2, 1.4, 1.6, 1.8):
+        histogram.observe(value)
+    # Median rank 2 of 4 → halfway through the bucket's span.
+    assert histogram.quantile(0.5) == pytest.approx(1.5)
+    assert histogram.quantile(1.0) == pytest.approx(2.0)
+
+
+def test_quantile_first_bucket_interpolates_from_zero():
+    histogram = Histogram("h", bounds=(1.0, 2.0))
+    histogram.observe(0.5)
+    histogram.observe(0.6)
+    assert histogram.quantile(0.5) == pytest.approx(0.5)
+
+
+def test_quantile_walks_cumulative_counts():
+    histogram = Histogram("h", bounds=(1.0, 2.0, 4.0))
+    for _ in range(90):
+        histogram.observe(0.5)      # bucket (0, 1]
+    for _ in range(10):
+        histogram.observe(3.0)      # bucket (2, 4]
+    # p50 falls well inside the first bucket...
+    assert histogram.quantile(0.50) <= 1.0
+    # ...while p95 lands in the (2, 4] tail bucket.
+    assert 2.0 < histogram.quantile(0.95) <= 4.0
+
+
+def test_quantile_overflow_reports_last_finite_bound():
+    histogram = Histogram("h", bounds=(1.0, 2.0))
+    histogram.observe(100.0)
+    assert histogram.quantile(0.99) == pytest.approx(2.0)
+
+
+def test_quantile_tracks_exact_percentiles_within_bucket_width():
+    """The estimator against ground truth: for a spread of samples the
+    interpolated p95 must land within one bucket's span of the exact
+    nearest-rank value."""
+    import random
+
+    rng = random.Random(11)
+    histogram = Histogram("h")  # default exponential buckets
+    samples = [rng.uniform(0.0001, 0.05) for _ in range(500)]
+    for sample in samples:
+        histogram.observe(sample)
+    exact = sorted(samples)[int(0.95 * len(samples)) - 1]
+    estimate = histogram.quantile(0.95)
+    index = bisect_left(histogram.bounds, exact)
+    lo = histogram.bounds[index - 1] if index else 0.0
+    hi = histogram.bounds[index]
+    assert lo <= estimate <= hi
+
+
+def test_snapshot_includes_percentiles():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("load.op_seconds")
+    for value in (0.001, 0.002, 0.004, 0.100):
+        histogram.observe(value)
+    snapshot = histogram.snapshot()
+    assert snapshot["p50"] == histogram.quantile(0.50)
+    assert snapshot["p95"] == histogram.quantile(0.95)
+    assert snapshot["p99"] == histogram.quantile(0.99)
+    assert snapshot["p50"] <= snapshot["p95"] <= snapshot["p99"]
+
+
+def test_format_metrics_renders_percentiles():
+    from repro.obs.export import format_metrics
+
+    registry = MetricsRegistry()
+    histogram = registry.histogram("rpc.call_seconds")
+    histogram.observe(0.010)
+    text = format_metrics(registry.snapshot())
+    line = next(l for l in text.splitlines() if "rpc.call_seconds" in l)
+    assert "p50=" in line and "p95=" in line and "p99=" in line
+
+
+def test_format_metrics_tolerates_pre_percentile_snapshots():
+    from repro.obs.export import format_metrics
+
+    registry = MetricsRegistry()
+    registry.histogram("old.hist").observe(1.0)
+    snapshot = registry.snapshot()
+    for value in snapshot.values():
+        if isinstance(value, dict):
+            for key in ("p50", "p95", "p99"):
+                value.pop(key, None)
+    assert "old.hist" in format_metrics(snapshot)

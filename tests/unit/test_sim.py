@@ -268,3 +268,137 @@ def test_chaos_adversary_mixes_faults():
         adversary.dropped + adversary.corrupted + adversary.duplicated
     )
     assert out == 300 - adversary.dropped + adversary.duplicated
+
+
+# --- timer re-entrancy ---------------------------------------------------
+
+def test_callback_advancing_clock_fires_later_timer_exactly_once():
+    """A timer callback that itself advances the clock (a device charge
+    inside a restart handler) must not re-enter ``_fire_due``: the
+    now-due later timer fires once, from the outer drain loop."""
+    clock = Clock()
+    fired = []
+
+    def first():
+        fired.append("first")
+        clock.advance(1.0)          # re-entrant advance crosses t=2
+
+    clock.call_at(1.0, first)
+    clock.call_at(2.0, lambda: fired.append("second"))
+    clock.advance(1.0)
+    assert fired == ["first", "second"]
+    assert clock.now == pytest.approx(2.0)
+
+
+def test_callback_registering_already_due_timer_fires_in_same_drain():
+    """A callback that registers a timer whose deadline has already
+    passed must see it fire during the same advance, not get dropped."""
+    clock = Clock()
+    fired = []
+
+    def first():
+        fired.append("first")
+        clock.call_at(clock.now - 0.5, lambda: fired.append("past-due"))
+
+    clock.call_at(1.0, first)
+    clock.advance(2.0)
+    assert fired == ["first", "past-due"]
+
+
+def test_chained_reentrant_callbacks_never_double_fire():
+    clock = Clock()
+    count = {"n": 0}
+
+    def tick():
+        count["n"] += 1
+        if count["n"] < 5:
+            # Each firing both advances (re-entrantly, a no-op drain)
+            # and schedules the next tick at an already-passed instant.
+            clock.advance(0.0)
+            clock.call_at(clock.now, tick)
+
+    clock.call_at(0.5, tick)
+    clock.advance(1.0)
+    assert count["n"] == 5
+
+
+def test_ties_fire_in_registration_order_under_reentrancy():
+    clock = Clock()
+    fired = []
+    clock.call_at(1.0, lambda: (fired.append("a"), clock.advance(0.0)))
+    clock.call_at(1.0, lambda: fired.append("b"))
+    clock.call_at(1.0, lambda: fired.append("c"))
+    clock.advance(1.0)
+    assert fired == ["a", "b", "c"]
+
+
+# --- shared-medium contention --------------------------------------------
+
+def test_medium_occupy_accumulates_queueing_delay():
+    from repro.sim.network import Medium
+
+    medium = Medium("nic")
+    assert medium.occupy(0.0, 0.010) == pytest.approx(0.0)
+    # Second record sent at t=0.002 queues behind the first.
+    assert medium.occupy(0.002, 0.010) == pytest.approx(0.008)
+    assert medium.busy_until == pytest.approx(0.020)
+    # After the medium drains, no wait.
+    assert medium.occupy(0.5, 0.010) == pytest.approx(0.0)
+    assert medium.busy_until == pytest.approx(0.510)
+
+
+def test_links_sharing_a_medium_contend_for_bandwidth():
+    """Two links into the same server NIC: the second sender pays the
+    first sender's residual transmission time."""
+    from repro.sim.network import Medium, NetworkParameters, link_pair
+
+    clock = Clock()
+    params = NetworkParameters(latency=0.001, bandwidth=1000.0,
+                               per_message_overhead=0)
+    rx = Medium("server:rx")
+    seen = []
+    a1, b1 = link_pair(clock, params, media={"a->b": rx})
+    a2, b2 = link_pair(clock, params, media={"a->b": rx})
+    b1.on_receive(seen.append)
+    b2.on_receive(seen.append)
+
+    a1.send(b"x" * 100)             # tx = 0.1s, charged as occupancy
+    first_done = clock.now
+    a2.send(b"y" * 100)             # queues behind link 1's record
+    assert first_done == pytest.approx(0.001)       # latency only
+    # Second sender: latency + 0.1s residual wait for the medium.
+    assert clock.now == pytest.approx(0.001 + 0.001 + 0.1 - 0.001)
+    assert len(seen) == 2
+
+
+def test_link_without_medium_keeps_original_charge():
+    """Cut-through equivalence: no medium means the original
+    independent latency + serialization charge, bit for bit."""
+    from repro.sim.network import NetworkParameters, link_pair
+
+    params = NetworkParameters(latency=0.001, bandwidth=1000.0,
+                               per_message_overhead=0)
+    plain_clock = Clock()
+    a, b = link_pair(plain_clock, params)
+    b.on_receive(lambda data: None)
+    a.send(b"x" * 100)
+    assert plain_clock.now == pytest.approx(0.001 + 0.1)
+
+
+def test_medium_wait_metrics():
+    from repro.obs.registry import MetricsRegistry
+    from repro.sim.network import Medium, NetworkParameters, link_pair
+
+    clock = Clock()
+    registry = MetricsRegistry()
+    params = NetworkParameters(latency=0.0, bandwidth=1000.0,
+                               per_message_overhead=0)
+    rx = Medium("rx")
+    a, b = link_pair(clock, params, metrics=registry, media={"a->b": rx})
+    b.on_receive(lambda data: None)
+    a.send(b"x" * 100)
+    a.send(b"y" * 100)
+    assert registry.counter("net.medium_waits").value == 1
+    snapshot = registry.histogram("net.medium_wait_seconds").snapshot()
+    assert snapshot["count"] == 1
+    assert snapshot["sum"] == pytest.approx(0.1)
