@@ -88,7 +88,10 @@ def test_fig5_report(benchmark, capsys):
     # Encryption is a minority of the latency difference: disabling it
     # must not bring SFS anywhere near NFS.
     assert latency[SFS_NOENC] > 1.2 * latency[NFS_UDP]
-    # Throughput ordering from the paper's table.
+    # Throughput ordering from the paper's table.  The encryption
+    # penalty itself is smaller here than the paper's 7.1-vs-4.1 now
+    # that ARC4 runs through the block kernel (docs/PERFORMANCE.md),
+    # but the ordering must hold with a clear margin.
     assert throughput[NFS_UDP] > throughput[NFS_TCP]
     assert throughput[NFS_TCP] > throughput[SFS_NOENC] * 0.9  # close race
-    assert throughput[SFS_NOENC] > 1.5 * throughput[SFS]
+    assert throughput[SFS_NOENC] > 1.1 * throughput[SFS]

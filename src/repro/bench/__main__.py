@@ -4,6 +4,8 @@
     python -m repro.bench fig5 fig8  # a subset
     python -m repro.bench --quick    # reduced workload sizes
     python -m repro.bench fig5 --metrics-out metrics.json
+    python -m repro.bench fig5 --json BENCH_fig5.json
+    python -m repro.bench fig5 --profile
 
 Prints the same rows/series the paper's section 4 reports, each followed
 by a per-layer latency attribution table (where did the time go: crypto,
@@ -14,15 +16,30 @@ roughly what factor) is the reproduction target — see EXPERIMENTS.md.
 With ``--metrics-out PATH``, the full metrics snapshot of every
 (figure, configuration) run is written as JSON; render it later with
 ``python -m repro.obs PATH``.
+
+With ``--json PATH``, a machine-readable summary of the selected
+figures — rows, per-layer attribution, and the wire-path fast-lane
+counters (which ARC4 kernel generated how many keystream bytes, fast vs
+slow marshals, Packer buffer-pool hits) — is written as JSON.  The
+committed ``BENCH_fig5.json``/``BENCH_scale.json`` at the repo root are
+snapshots of this output; CI's perf-smoke job compares fresh runs
+against them (see docs/PERFORMANCE.md).
+
+With ``--profile``, the selected figures run under :mod:`cProfile` and
+the top-20 cumulative-time entries are printed after the tables, so
+perf work starts from evidence rather than guesses.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from ..crypto import arc4kernel, backend
 from ..obs.export import SnapshotCollector
+from ..rpc import xdr
 from . import compile_bench, mab, micro, sprite
 from .setups import LOCAL, NFS_TCP, NFS_UDP, SFS, SFS_NOENC, make_setup
 from .timing import format_table
@@ -31,6 +48,34 @@ MICRO_CONFIGS = [NFS_UDP, NFS_TCP, SFS, SFS_NOENC]
 APP_CONFIGS = [LOCAL, NFS_UDP, NFS_TCP, SFS]
 
 _LAYERS = ["crypto", "rpc", "nfs3", "network", "disk", "other"]
+
+
+def perf_stats() -> dict:
+    """Process-wide fast-lane counters (see docs/PERFORMANCE.md).
+
+    The ARC4 kernel and marshal counters are module-level because the
+    cipher streams and codec singletons are shared across every World in
+    the process; figure runners snapshot-and-diff around each figure.
+    """
+    return {
+        "fast_kernel": arc4kernel.FAST_KERNEL,
+        "flags": {
+            "use_fast_sha1": backend.use_fast_sha1,
+            "use_fast_arc4": backend.use_fast_arc4,
+            "use_fast_marshal": backend.use_fast_marshal,
+        },
+        "arc4": arc4kernel.STATS.snapshot(),
+        "marshal": xdr.STATS.snapshot(),
+    }
+
+
+def _perf_delta(before: dict, after: dict) -> dict:
+    delta = dict(after)
+    delta["arc4"] = {k: after["arc4"][k] - before["arc4"][k]
+                     for k in after["arc4"]}
+    delta["marshal"] = {k: after["marshal"][k] - before["marshal"][k]
+                        for k in after["marshal"]}
+    return delta
 
 
 def _measured(name: str, figure: str, collector, workload):
@@ -42,11 +87,23 @@ def _measured(name: str, figure: str, collector, workload):
     """
     setup = make_setup(name)
     setup.metrics.layers.reset()
+    arc4_before = arc4kernel.STATS.snapshot()
+    marshal_before = xdr.STATS.snapshot()
     sim_start = setup.clock.now
     cpu_start = time.perf_counter()
     result = workload(setup)
     headline = ((time.perf_counter() - cpu_start)
                 + (setup.clock.now - sim_start))
+    # Fold this run's fast-lane counter deltas into the World's own
+    # registry so the exported snapshot carries them alongside the
+    # layer attribution (the kernel/marshal counters are process-wide;
+    # runs are sequential, so the delta is this workload's).
+    for key, value in arc4kernel.STATS.snapshot().items():
+        setup.metrics.counter(f"fastlane.arc4.{key}").inc(
+            value - arc4_before[key])
+    for key, value in xdr.STATS.snapshot().items():
+        setup.metrics.counter(f"fastlane.marshal.{key}").inc(
+            value - marshal_before[key])
     breakdown = setup.metrics.layers.breakdown()
     attribution = {n: cpu + sim for n, (cpu, sim) in breakdown.items()}
     if collector is not None:
@@ -71,7 +128,12 @@ def _attribution_table(figure: str, attributions) -> str:
     )
 
 
-def run_fig5(quick: bool, collector=None) -> str:
+def _attribution_data(attributions) -> dict:
+    return {name: {"headline_seconds": headline, "layers": attribution}
+            for name, attribution, headline in attributions}
+
+
+def run_fig5(quick: bool, collector=None) -> tuple[str, dict]:
     ops = 100 if quick else 200
     size = (1 << 20) if quick else (2 << 20)
     rows, attributions = [], []
@@ -86,10 +148,16 @@ def run_fig5(quick: bool, collector=None) -> str:
         "Figure 5: micro-benchmarks for basic operations",
         ["File system", "Latency (usec)", "Throughput (MB/s)"], rows,
     )
-    return table + "\n\n" + _attribution_table("Figure 5", attributions)
+    data = {
+        "rows": [{"config": name, "latency_usec": latency,
+                  "throughput_mbs": throughput}
+                 for name, latency, throughput in rows],
+        "attribution": _attribution_data(attributions),
+    }
+    return table + "\n\n" + _attribution_table("Figure 5", attributions), data
 
 
-def run_fig6(quick: bool, collector=None) -> str:
+def run_fig6(quick: bool, collector=None) -> tuple[str, dict]:
     rows, attributions = [], []
     for name in APP_CONFIGS:
         result, attribution = _measured(name, "fig6", collector, mab.run_mab)
@@ -102,10 +170,15 @@ def run_fig6(quick: bool, collector=None) -> str:
         "Figure 6: Modified Andrew Benchmark (seconds per phase)",
         ["File system"] + mab.PHASES + ["total"], rows,
     )
-    return table + "\n\n" + _attribution_table("Figure 6", attributions)
+    data = {
+        "rows": [dict(zip(["config"] + mab.PHASES + ["total"], row))
+                 for row in rows],
+        "attribution": _attribution_data(attributions),
+    }
+    return table + "\n\n" + _attribution_table("Figure 6", attributions), data
 
 
-def run_fig7(quick: bool, collector=None) -> str:
+def run_fig7(quick: bool, collector=None) -> tuple[str, dict]:
     rows, attributions = [], []
     for name in APP_CONFIGS + [SFS_NOENC]:
         result, attribution = _measured(
@@ -117,10 +190,15 @@ def run_fig7(quick: bool, collector=None) -> str:
         "Figure 7: compiling the GENERIC kernel (synthetic)",
         ["System", "Time (seconds)"], rows,
     )
-    return table + "\n\n" + _attribution_table("Figure 7", attributions)
+    data = {
+        "rows": [{"config": name, "seconds": seconds}
+                 for name, seconds in rows],
+        "attribution": _attribution_data(attributions),
+    }
+    return table + "\n\n" + _attribution_table("Figure 7", attributions), data
 
 
-def run_fig8(quick: bool, collector=None) -> str:
+def run_fig8(quick: bool, collector=None) -> tuple[str, dict]:
     count = 150 if quick else 500
     rows, attributions = [], []
     for name in APP_CONFIGS:
@@ -136,10 +214,15 @@ def run_fig8(quick: bool, collector=None) -> str:
         f"Figure 8: Sprite LFS small-file benchmark ({count} x 1 KB files)",
         ["File system"] + sprite.SMALL_PHASES, rows,
     )
-    return table + "\n\n" + _attribution_table("Figure 8", attributions)
+    data = {
+        "rows": [dict(zip(["config"] + sprite.SMALL_PHASES, row))
+                 for row in rows],
+        "attribution": _attribution_data(attributions),
+    }
+    return table + "\n\n" + _attribution_table("Figure 8", attributions), data
 
 
-def run_fig9(quick: bool, collector=None) -> str:
+def run_fig9(quick: bool, collector=None) -> tuple[str, dict]:
     size = (1 << 20) if quick else (4 << 20)
     rows, attributions = [], []
     for name in APP_CONFIGS:
@@ -155,10 +238,15 @@ def run_fig9(quick: bool, collector=None) -> str:
         f"Figure 9: Sprite LFS large-file benchmark ({size >> 20} MB file)",
         ["File system"] + sprite.LARGE_PHASES, rows,
     )
-    return table + "\n\n" + _attribution_table("Figure 9", attributions)
+    data = {
+        "rows": [dict(zip(["config"] + sprite.LARGE_PHASES, row))
+                 for row in rows],
+        "attribution": _attribution_data(attributions),
+    }
+    return table + "\n\n" + _attribution_table("Figure 9", attributions), data
 
 
-def run_scale(quick: bool, collector=None) -> str:
+def run_scale(quick: bool, collector=None) -> tuple[str, dict]:
     """Not a paper figure: N closed-loop clients vs one queued server.
 
     Deterministic per seed — throughput and the latency percentiles are
@@ -169,7 +257,7 @@ def run_scale(quick: bool, collector=None) -> str:
 
     levels = [1, 4, 16] if quick else [1, 4, 16, 64]
     ops = 10 if quick else 20
-    rows = []
+    rows, data_rows = [], []
     for clients in levels:
         config = LoadConfig(clients=clients, ops_per_client=ops,
                             seed=2026, workers=2, service_time=0.001,
@@ -180,15 +268,22 @@ def run_scale(quick: bool, collector=None) -> str:
         rows.append((str(clients), report.throughput,
                      report.p50 * 1000, report.p95 * 1000,
                      report.p99 * 1000, str(report.max_queue_depth)))
+        data_rows.append({
+            "clients": clients, "ops_per_second": report.throughput,
+            "p50_ms": report.p50 * 1000, "p95_ms": report.p95 * 1000,
+            "p99_ms": report.p99 * 1000,
+            "max_queue_depth": report.max_queue_depth,
+        })
         if collector is not None:
             collector.add(f"scale/{clients}-clients", harness.world.metrics,
                           meta={"figure": "scale", "clients": clients})
-    return format_table(
+    table = format_table(
         f"Scale: closed-loop clients vs one queued SFS server "
         f"(2 workers x 1 ms service, {ops} ops/client)",
         ["Clients", "ops/s", "p50 ms", "p95 ms", "p99 ms", "peak queue"],
         rows,
     )
+    return table, {"rows": data_rows}
 
 
 FIGURES = {
@@ -199,6 +294,22 @@ FIGURES = {
     "fig9": run_fig9,
     "scale": run_scale,
 }
+
+
+def run_figures(selected: list[str], quick: bool, collector=None,
+                echo=print) -> dict:
+    """Run *selected* figures; print tables via *echo*; return JSON data."""
+    report: dict = {"quick": quick, "figures": {}}
+    for index, figure in enumerate(selected):
+        if index:
+            echo()
+        before = perf_stats()
+        text, data = FIGURES[figure](quick, collector)
+        data["perf"] = _perf_delta(before, perf_stats())
+        report["figures"][figure] = data
+        echo(text)
+    report["perf_totals"] = perf_stats()
+    return report
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -212,13 +323,30 @@ def main(argv: list[str] | None = None) -> int:
                         help="reduced workload sizes")
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write every run's metrics snapshot as JSON")
+    parser.add_argument("--json", metavar="PATH", default=None, dest="json_out",
+                        help="write machine-readable results (rows, "
+                             "attribution, fast-lane counters) as JSON")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile; print top-20 cumulative")
     args = parser.parse_args(argv)
     selected = args.figures or list(FIGURES)
     collector = SnapshotCollector() if args.metrics_out else None
-    for index, figure in enumerate(selected):
-        if index:
-            print()
-        print(FIGURES[figure](args.quick, collector))
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        report = profiler.runcall(run_figures, selected, args.quick, collector)
+        print("\nprofile: top 20 by cumulative time")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(20)
+    else:
+        report = run_figures(selected, args.quick, collector)
+    if args.json_out is not None:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nbench results written to {args.json_out}")
     if collector is not None:
         collector.write(args.metrics_out)
         print(f"\nmetrics snapshots written to {args.metrics_out}")

@@ -63,9 +63,15 @@ def make_control_record(payload: bytes) -> bytes:
 
 
 def parse_control_record(record: bytes) -> bytes | None:
-    """The control payload, or None if *record* is not a control record."""
-    if record.startswith(CONTROL_PREFIX):
-        return record[len(CONTROL_PREFIX):]
+    """The control payload, or None if *record* is not a control record.
+
+    Accepts any bytes-like *record* — record routers sit both below the
+    channel (raw transport, bytes) and above it (verified plaintext,
+    delivered as a zero-copy view).
+    """
+    if record[:len(CONTROL_PREFIX)] == CONTROL_PREFIX:
+        tail = record[len(CONTROL_PREFIX):]
+        return tail if tail.__class__ is bytes else bytes(tail)
     return None
 
 
@@ -200,8 +206,15 @@ class SecureChannel:
         layers = self.metrics.layers
         layers.push("crypto")
         try:
+            # Seal in one buffer: length‖payload‖MAC assembled once,
+            # one encrypt pass over the whole record.  Chained bytes
+            # concatenation here cost two extra copies of every payload.
             mac = self._send_mac.compute(data)
-            body = len(data).to_bytes(_LEN_BYTES, "big") + data + mac
+            n = len(data)
+            body = bytearray(_LEN_BYTES + n + len(mac))
+            body[:_LEN_BYTES] = n.to_bytes(_LEN_BYTES, "big")
+            body[_LEN_BYTES:_LEN_BYTES + n] = data
+            body[_LEN_BYTES + n:] = mac
             record = self._send_stream.encrypt(body)
         finally:
             layers.pop()
@@ -241,8 +254,12 @@ class SecureChannel:
                 if length != len(body) - _LEN_BYTES - MAC_LEN:
                     self._recv_mac.skip()
                 else:
-                    candidate = body[_LEN_BYTES : _LEN_BYTES + length]
-                    tag = body[_LEN_BYTES + length :]
+                    # Views, not slices: the payload is verified and
+                    # delivered without ever being copied out of the
+                    # decrypted record (the RPC layer accepts views).
+                    view = memoryview(body)
+                    candidate = view[_LEN_BYTES : _LEN_BYTES + length]
+                    tag = view[_LEN_BYTES + length :]
                     if self._recv_mac.verify(candidate, tag):
                         plaintext = candidate
         finally:

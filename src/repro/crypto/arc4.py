@@ -8,9 +8,27 @@ implementation particulars which we reproduce:
   128 bits of key data" — i.e. a 160-bit key runs the key-setup loop twice.
 * SFS keeps one ARC4 stream running for the whole session, pulling 32 bytes
   of MAC key per message from the same stream (see :mod:`repro.crypto.mac`).
+
+Keystream generation is a block operation: draws are served from a
+lazily-refilled lookahead buffer so the per-message 32-byte MAC rekey
+draws and the bulk `process` calls share amortized block generation.
+Blocks come from the best kernel in :mod:`repro.crypto.arc4kernel`
+(OpenSSL's C PRGA when its layout self-check passes, else a locals-bound
+pure-Python block loop); with :func:`repro.crypto.backend.set_fast`
+switched off, every byte instead comes from the reference per-byte loop
+below, which remains the ground truth the kernels are tested against.
+All three advance the identical (state, i, j) machine, so the choice can
+never change a wire byte — only speed.
 """
 
 from __future__ import annotations
+
+from . import arc4kernel, backend
+
+#: Lookahead block size for small draws.  One refill covers 32 MAC rekey
+#: draws, so a session's MAC stream touches the kernel once per 32
+#: records instead of once per record.
+_REFILL = 1024
 
 
 class ARC4:
@@ -29,28 +47,52 @@ class ARC4:
             raise ValueError("ARC4 key must be at most 256 bytes")
         if spins is None:
             spins = max(1, (len(key) * 8 + 127) // 128)
-        state = list(range(256))
-        j = 0
-        for _ in range(spins):
-            for i in range(256):
-                j = (j + state[i] + key[i % len(key)]) & 0xFF
-                state[i], state[j] = state[j], state[i]
-        self._state = state
+        self._state = arc4kernel.key_schedule(key, spins)
         self._i = 0
         self._j = 0
+        #: Keystream generated ahead of consumption.  ``_state``/``_i``/
+        #: ``_j`` always describe the *generated* frontier; the logical
+        #: stream position trails it by ``len(_pending) - _pending_pos``
+        #: bytes.  Draining the buffer before generating keeps the
+        #: stream continuous even if the backend flag flips mid-session.
+        self._pending = b""
+        self._pending_pos = 0
+
+    def _generate(self, length: int) -> bytes:
+        """Advance the machine by *length* bytes with the active kernel."""
+        if backend.use_fast_arc4:
+            out, self._i, self._j = arc4kernel.fast_crank(
+                self._state, self._i, self._j, length
+            )
+            return out
+        arc4kernel.STATS.reference_bytes += length
+        out, self._i, self._j = arc4kernel.reference_crank(
+            self._state, self._i, self._j, length
+        )
+        return out
 
     def keystream(self, length: int) -> bytes:
         """Produce *length* keystream bytes, advancing the cipher state."""
-        state = self._state
-        i, j = self._i, self._j
-        out = bytearray(length)
-        for n in range(length):
-            i = (i + 1) & 0xFF
-            j = (j + state[i]) & 0xFF
-            state[i], state[j] = state[j], state[i]
-            out[n] = state[(state[i] + state[j]) & 0xFF]
-        self._i, self._j = i, j
-        return bytes(out)
+        pending = self._pending
+        pos = self._pending_pos
+        buffered = len(pending) - pos
+        if buffered >= length:
+            # Entirely from the lookahead buffer.
+            self._pending_pos = pos + length
+            if self._pending_pos == len(pending):
+                self._pending = b""
+                self._pending_pos = 0
+            return pending[pos : pos + length]
+        need = length - buffered
+        head = pending[pos:] if buffered else b""
+        self._pending = b""
+        self._pending_pos = 0
+        if backend.use_fast_arc4 and need < _REFILL:
+            block = self._generate(_REFILL)
+            self._pending = block
+            self._pending_pos = need
+            return head + block[:need] if head else block[:need]
+        return head + self._generate(need) if head else self._generate(need)
 
     def process(self, data: bytes) -> bytes:
         """Encrypt or decrypt *data* (XOR with the keystream).

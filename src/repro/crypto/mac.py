@@ -32,6 +32,8 @@ def hmac_sha1(key: bytes, message: bytes) -> bytes:
 
     if backend.use_fast_sha1:
         return backend.fast_hmac_sha1(key, message)
+    if not isinstance(message, bytes):
+        message = bytes(message)  # from-scratch sha1 wants real bytes
     if len(key) > _BLOCK:
         key = sha1(key)
     key = key.ljust(_BLOCK, b"\x00")
@@ -62,11 +64,21 @@ class SessionMAC:
         self.slots_consumed = 0
 
     def compute(self, message: bytes) -> bytes:
-        """MAC over the length and plaintext of *message*."""
+        """MAC over the length and plaintext of *message*.
+
+        The fast backend streams length and message into the HMAC
+        separately, so sealing a record never copies the payload just to
+        prepend four bytes; output is identical either way.
+        """
+        from . import backend
+
         per_message_key = self._stream.keystream(_REKEY_BYTES)
         self.slots_consumed += 1
-        body = len(message).to_bytes(4, "big") + message
-        return hmac_sha1(per_message_key, body)
+        length = len(message).to_bytes(4, "big")
+        if backend.use_fast_sha1:
+            return backend.fast_hmac_sha1_parts(per_message_key, length,
+                                                message)
+        return hmac_sha1(per_message_key, length + bytes(message))
 
     def verify(self, message: bytes, tag: bytes) -> bool:
         """Verify *tag*; consumes the message slot whether or not it

@@ -1,0 +1,439 @@
+"""Flat fast-path marshals for the hot NFS3 types.
+
+The generic codec layer in :mod:`repro.rpc.xdr` dispatches per field —
+correct for every type, but each GETATTR/READ/WRITE/LOOKUP message pays
+dozens of method calls for what is really one fixed byte layout plus a
+couple of length-prefixed blobs.  Because each NFS operation crosses
+three RPC hops in the SFS configuration (kernel→sfscd, sfscd→sfssd,
+sfssd→server), that dispatch cost is paid three times per op and shows
+up directly in Fig. 5's rpc attribution.
+
+This module installs precompiled flat marshal functions onto the hot
+codec singletons in :mod:`repro.nfs3.types` (instance attributes read by
+:meth:`repro.rpc.xdr.Codec.pack`/``unpack`` when
+:data:`repro.crypto.backend.use_fast_marshal` is on).  Each function
+handles only the *canonical* shape — Record values with in-range fields
+on the way in, well-formed zero-padded XDR on the way out — and returns
+:data:`repro.rpc.xdr.DECLINED` for anything else, so the field-by-field
+codec remains the authority for unusual values and for error reporting
+(a malformed buffer declines here, then the codec raises its usual
+:class:`~repro.rpc.xdr.XdrError`).  Within the canonical shapes the
+output is bit-identical to the codec path, which the golden wire-vector
+suite asserts for every procedure covered here.
+
+XDR's strictness rules are enforced, not relaxed: nonzero bytes in
+opaque/string padding and trailing garbage after the last field both
+decline to the codec, which rejects them.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from ..rpc.xdr import DECLINED, Record
+from . import const, types
+
+_U32 = struct.Struct(">I")
+_QI = struct.Struct(">QI")          # offset + count (READ/WRITE/COMMIT args)
+# fattr3 flattened: type..gid, size, used, rdev.major/minor, fsid,
+# fileid, then atime/mtime/ctime as (seconds, nseconds) pairs.
+_FATTR = struct.Struct(">5I2Q2I2Q6I")
+# wcc_attr flattened: size, mtime, ctime.
+_WCC_ATTR = struct.Struct(">Q4I")
+
+_OK = const.NFS3_OK
+_PAD = (b"", b"\x00", b"\x00\x00", b"\x00\x00\x00")
+_FHSIZE = const.NFS3_FHSIZE
+
+
+def _bytes_at(data: Any, start: int, end: int) -> bytes:
+    chunk = data[start:end]
+    return chunk if chunk.__class__ is bytes else bytes(chunk)
+
+
+# ---------------------------------------------------------------------------
+# Shared field helpers.  Packers append to a bytearray and raise on any
+# non-canonical shape (the caller catches and declines); unpackers take
+# (data, offset), return (value, new_offset), and raise likewise.
+# ---------------------------------------------------------------------------
+
+def _put_opaque(out: bytearray, value: bytes, maximum: int) -> None:
+    if value.__class__ is not bytes or len(value) > maximum:
+        raise ValueError
+    out += _U32.pack(len(value))
+    out += value
+    out += _PAD[-len(value) % 4]
+
+
+def _get_opaque(data: Any, off: int, maximum: int) -> tuple[bytes, int]:
+    (length,) = _U32.unpack_from(data, off)
+    if length > maximum:
+        raise ValueError
+    start = off + 4
+    end = start + length
+    stop = end + (-length % 4)
+    if stop > len(data):
+        raise ValueError
+    for k in range(end, stop):
+        if data[k]:
+            raise ValueError
+    return _bytes_at(data, start, end), stop
+
+
+def _put_fattr(out: bytearray, a: Any) -> None:
+    rdev = a.rdev
+    atime = a.atime
+    mtime = a.mtime
+    ctime = a.ctime
+    out += _FATTR.pack(
+        a.type, a.mode, a.nlink, a.uid, a.gid, a.size, a.used,
+        rdev.major, rdev.minor, a.fsid, a.fileid,
+        atime.seconds, atime.nseconds, mtime.seconds, mtime.nseconds,
+        ctime.seconds, ctime.nseconds,
+    )
+
+
+def _get_fattr(data: Any, off: int) -> tuple[Record, int]:
+    (ftype, mode, nlink, uid, gid, size, used, major, minor, fsid,
+     fileid, at_s, at_ns, mt_s, mt_ns, ct_s, ct_ns) = _FATTR.unpack_from(
+        data, off)
+    return Record(
+        type=ftype, mode=mode, nlink=nlink, uid=uid, gid=gid,
+        size=size, used=used, rdev=Record(major=major, minor=minor),
+        fsid=fsid, fileid=fileid,
+        atime=Record(seconds=at_s, nseconds=at_ns),
+        mtime=Record(seconds=mt_s, nseconds=mt_ns),
+        ctime=Record(seconds=ct_s, nseconds=ct_ns),
+    ), off + _FATTR.size
+
+
+def _put_post_op_attr(out: bytearray, attr: Any) -> None:
+    if attr is None:
+        out += _U32.pack(0)
+    else:
+        out += _U32.pack(1)
+        _put_fattr(out, attr)
+
+
+def _get_post_op_attr(data: Any, off: int) -> tuple[Record | None, int]:
+    (present,) = _U32.unpack_from(data, off)
+    if present == 0:
+        return None, off + 4
+    if present != 1:
+        raise ValueError
+    return _get_fattr(data, off + 4)
+
+
+def _put_wcc_data(out: bytearray, wcc: Any) -> None:
+    before = wcc.before
+    if before is None:
+        out += _U32.pack(0)
+    else:
+        mtime = before.mtime
+        ctime = before.ctime
+        out += _U32.pack(1)
+        out += _WCC_ATTR.pack(before.size, mtime.seconds, mtime.nseconds,
+                              ctime.seconds, ctime.nseconds)
+    _put_post_op_attr(out, wcc.after)
+
+
+def _get_wcc_data(data: Any, off: int) -> tuple[Record, int]:
+    (present,) = _U32.unpack_from(data, off)
+    off += 4
+    if present == 0:
+        before = None
+    elif present == 1:
+        size, mt_s, mt_ns, ct_s, ct_ns = _WCC_ATTR.unpack_from(data, off)
+        before = Record(size=size,
+                        mtime=Record(seconds=mt_s, nseconds=mt_ns),
+                        ctime=Record(seconds=ct_s, nseconds=ct_ns))
+        off += _WCC_ATTR.size
+    else:
+        raise ValueError
+    after, off = _get_post_op_attr(data, off)
+    return Record(before=before, after=after), off
+
+
+# ---------------------------------------------------------------------------
+# GETATTR
+# ---------------------------------------------------------------------------
+
+def _pack_getattr_args(value: Any) -> Any:
+    try:
+        out = bytearray()
+        _put_opaque(out, value.object, _FHSIZE)
+        return bytes(out)
+    except Exception:
+        return DECLINED
+
+
+def _unpack_getattr_args(data: Any) -> Any:
+    try:
+        fh, off = _get_opaque(data, 0, _FHSIZE)
+        if off != len(data):
+            return DECLINED
+        return Record(object=fh)
+    except Exception:
+        return DECLINED
+
+
+def _pack_getattr_res(value: Any) -> Any:
+    try:
+        disc, body = value
+        if disc != _OK:
+            if body is not None:
+                return DECLINED
+            return _U32.pack(disc)
+        out = bytearray(_U32.pack(_OK))
+        _put_fattr(out, body.obj_attributes)
+        return bytes(out)
+    except Exception:
+        return DECLINED
+
+
+def _unpack_getattr_res(data: Any) -> Any:
+    try:
+        (disc,) = _U32.unpack_from(data, 0)
+        if disc != _OK:
+            if len(data) != 4:
+                return DECLINED
+            return disc, None
+        attrs, off = _get_fattr(data, 4)
+        if off != len(data):
+            return DECLINED
+        return _OK, Record(obj_attributes=attrs)
+    except Exception:
+        return DECLINED
+
+
+# ---------------------------------------------------------------------------
+# LOOKUP
+# ---------------------------------------------------------------------------
+
+def _pack_lookup_args(value: Any) -> Any:
+    try:
+        what = value.what
+        name = what.name
+        out = bytearray()
+        _put_opaque(out, what.dir, _FHSIZE)
+        _put_opaque(out, name.encode(), 0xFFFFFFFF)
+        return bytes(out)
+    except Exception:
+        return DECLINED
+
+
+def _unpack_lookup_args(data: Any) -> Any:
+    try:
+        fh, off = _get_opaque(data, 0, _FHSIZE)
+        raw, off = _get_opaque(data, off, 0xFFFFFFFF)
+        if off != len(data):
+            return DECLINED
+        return Record(what=Record(dir=fh, name=raw.decode()))
+    except Exception:
+        return DECLINED
+
+
+def _pack_lookup_res(value: Any) -> Any:
+    try:
+        disc, body = value
+        out = bytearray(_U32.pack(disc))
+        if disc == _OK:
+            _put_opaque(out, body.object, _FHSIZE)
+            _put_post_op_attr(out, body.obj_attributes)
+            _put_post_op_attr(out, body.dir_attributes)
+        else:
+            _put_post_op_attr(out, body.dir_attributes)
+        return bytes(out)
+    except Exception:
+        return DECLINED
+
+
+def _unpack_lookup_res(data: Any) -> Any:
+    try:
+        (disc,) = _U32.unpack_from(data, 0)
+        if disc == _OK:
+            fh, off = _get_opaque(data, 4, _FHSIZE)
+            obj_attrs, off = _get_post_op_attr(data, off)
+            dir_attrs, off = _get_post_op_attr(data, off)
+            if off != len(data):
+                return DECLINED
+            return _OK, Record(object=fh, obj_attributes=obj_attrs,
+                               dir_attributes=dir_attrs)
+        dir_attrs, off = _get_post_op_attr(data, 4)
+        if off != len(data):
+            return DECLINED
+        return disc, Record(dir_attributes=dir_attrs)
+    except Exception:
+        return DECLINED
+
+
+# ---------------------------------------------------------------------------
+# READ
+# ---------------------------------------------------------------------------
+
+def _pack_read_args(value: Any) -> Any:
+    try:
+        out = bytearray()
+        _put_opaque(out, value.file, _FHSIZE)
+        out += _QI.pack(value.offset, value.count)
+        return bytes(out)
+    except Exception:
+        return DECLINED
+
+
+def _unpack_read_args(data: Any) -> Any:
+    try:
+        fh, off = _get_opaque(data, 0, _FHSIZE)
+        if off + 12 != len(data):
+            return DECLINED
+        offset, count = _QI.unpack_from(data, off)
+        return Record(file=fh, offset=offset, count=count)
+    except Exception:
+        return DECLINED
+
+
+def _pack_read_res(value: Any) -> Any:
+    try:
+        disc, body = value
+        out = bytearray(_U32.pack(disc))
+        if disc == _OK:
+            _put_post_op_attr(out, body.file_attributes)
+            out += _U32.pack(body.count)
+            out += _U32.pack(1 if body.eof else 0)
+            _put_opaque(out, body.data, 0xFFFFFFFF)
+        else:
+            _put_post_op_attr(out, body.file_attributes)
+        return bytes(out)
+    except Exception:
+        return DECLINED
+
+
+def _unpack_read_res(data: Any) -> Any:
+    try:
+        (disc,) = _U32.unpack_from(data, 0)
+        if disc == _OK:
+            attrs, off = _get_post_op_attr(data, 4)
+            count, = _U32.unpack_from(data, off)
+            eof_raw, = _U32.unpack_from(data, off + 4)
+            if eof_raw > 1:
+                return DECLINED
+            payload, off = _get_opaque(data, off + 8, 0xFFFFFFFF)
+            if off != len(data):
+                return DECLINED
+            return _OK, Record(file_attributes=attrs, count=count,
+                               eof=bool(eof_raw), data=payload)
+        attrs, off = _get_post_op_attr(data, 4)
+        if off != len(data):
+            return DECLINED
+        return disc, Record(file_attributes=attrs)
+    except Exception:
+        return DECLINED
+
+
+# ---------------------------------------------------------------------------
+# WRITE
+# ---------------------------------------------------------------------------
+
+_STABLE_VALUES = (const.UNSTABLE, const.DATA_SYNC, const.FILE_SYNC)
+
+
+def _pack_write_args(value: Any) -> Any:
+    try:
+        if value.stable not in _STABLE_VALUES:
+            return DECLINED
+        out = bytearray()
+        _put_opaque(out, value.file, _FHSIZE)
+        out += _QI.pack(value.offset, value.count)
+        out += _U32.pack(value.stable)
+        _put_opaque(out, value.data, 0xFFFFFFFF)
+        return bytes(out)
+    except Exception:
+        return DECLINED
+
+
+def _unpack_write_args(data: Any) -> Any:
+    try:
+        fh, off = _get_opaque(data, 0, _FHSIZE)
+        offset, count = _QI.unpack_from(data, off)
+        stable, = _U32.unpack_from(data, off + 12)
+        if stable not in _STABLE_VALUES:
+            return DECLINED
+        payload, off = _get_opaque(data, off + 16, 0xFFFFFFFF)
+        if off != len(data):
+            return DECLINED
+        return Record(file=fh, offset=offset, count=count, stable=stable,
+                      data=payload)
+    except Exception:
+        return DECLINED
+
+
+def _pack_write_res(value: Any) -> Any:
+    try:
+        disc, body = value
+        out = bytearray(_U32.pack(disc))
+        if disc == _OK:
+            _put_wcc_data(out, body.file_wcc)
+            out += _U32.pack(body.count)
+            out += _U32.pack(body.committed)
+            verf = body.verf
+            if verf.__class__ is not bytes or len(verf) != 8:
+                return DECLINED
+            out += verf
+        else:
+            _put_wcc_data(out, body.file_wcc)
+        return bytes(out)
+    except Exception:
+        return DECLINED
+
+
+def _unpack_write_res(data: Any) -> Any:
+    try:
+        (disc,) = _U32.unpack_from(data, 0)
+        if disc == _OK:
+            wcc, off = _get_wcc_data(data, 4)
+            count, = _U32.unpack_from(data, off)
+            committed, = _U32.unpack_from(data, off + 4)
+            end = off + 16
+            if end != len(data):
+                return DECLINED
+            verf = _bytes_at(data, off + 8, end)
+            return _OK, Record(file_wcc=wcc, count=count,
+                               committed=committed, verf=verf)
+        wcc, off = _get_wcc_data(data, 4)
+        if off != len(data):
+            return DECLINED
+        return disc, Record(file_wcc=wcc)
+    except Exception:
+        return DECLINED
+
+
+#: codec singleton -> (fast_pack, fast_unpack); module import installs
+#: these as instance attributes, read by Codec.pack/unpack.
+_INSTALL = (
+    (types.GetAttrArgs, _pack_getattr_args, _unpack_getattr_args),
+    (types.GetAttrRes, _pack_getattr_res, _unpack_getattr_res),
+    (types.LookupArgs, _pack_lookup_args, _unpack_lookup_args),
+    (types.LookupRes, _pack_lookup_res, _unpack_lookup_res),
+    (types.ReadArgs, _pack_read_args, _unpack_read_args),
+    (types.ReadRes, _pack_read_res, _unpack_read_res),
+    (types.WriteArgs, _pack_write_args, _unpack_write_args),
+    (types.WriteRes, _pack_write_res, _unpack_write_res),
+)
+
+
+def install() -> None:
+    """Attach the flat marshals to the hot codec singletons."""
+    for codec, fast_pack, fast_unpack in _INSTALL:
+        codec.fast_pack = fast_pack
+        codec.fast_unpack = fast_unpack
+
+
+def uninstall() -> None:
+    """Detach the flat marshals (restores pure codec dispatch)."""
+    for codec, _fast_pack, _fast_unpack in _INSTALL:
+        codec.fast_pack = None
+        codec.fast_unpack = None
+
+
+install()

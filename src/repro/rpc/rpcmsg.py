@@ -89,7 +89,7 @@ class AuthSys:
         packer.pack_uint32(len(gids))
         for gid in gids:
             packer.pack_uint32(gid)
-        return OpaqueAuth(AUTH_SYS, packer.data())
+        return OpaqueAuth(AUTH_SYS, packer.detach())
 
     @classmethod
     def from_auth(cls, auth: OpaqueAuth) -> "AuthSys":
@@ -130,7 +130,8 @@ def pack_call(header: CallHeader, args: bytes) -> bytes:
     packer.pack_uint32(header.proc)
     header.cred.pack_into(packer)
     header.verf.pack_into(packer)
-    return packer.data() + args
+    packer.pack_raw(args)  # envelope + body leave as one buffer
+    return packer.detach()
 
 
 @dataclass(frozen=True)
@@ -163,7 +164,7 @@ def pack_reply(header: ReplyHeader, results: bytes = b"") -> bytes:
             packer.pack_uint32(header.mismatch_low)
             packer.pack_uint32(header.mismatch_high)
         elif header.accept_stat == SUCCESS:
-            return packer.data() + results
+            packer.pack_raw(results)
     else:
         packer.pack_uint32(header.reject_stat)
         if header.reject_stat == RPC_MISMATCH:
@@ -171,12 +172,19 @@ def pack_reply(header: ReplyHeader, results: bytes = b"") -> bytes:
             packer.pack_uint32(header.mismatch_high)
         else:
             packer.pack_uint32(header.auth_stat)
-    return packer.data()
+    return packer.detach()
 
 
 @dataclass(frozen=True)
 class ParsedMessage:
-    """Either a CALL or a REPLY, with the trailing body bytes."""
+    """Either a CALL or a REPLY, with the trailing body bytes.
+
+    ``body`` is a ``memoryview`` over the record's tail, not a copy —
+    an 8 KB READ payload crosses three RPC hops in the SFS
+    configuration, and slicing it out of every envelope showed up in
+    profiles.  The codec layer accepts views everywhere and copies only
+    the opaque payloads it hands to callers as real ``bytes``.
+    """
 
     mtype: int
     call: CallHeader | None
@@ -214,7 +222,7 @@ def parse_message(data: bytes) -> ParsedMessage:
         proc = unpacker.unpack_uint32()
         cred = OpaqueAuth.unpack_from(unpacker)
         verf = OpaqueAuth.unpack_from(unpacker)
-        body = data[len(data) - unpacker.remaining() :]
+        body = memoryview(data)[len(data) - unpacker.remaining() :]
         return ParsedMessage(
             CALL, CallHeader(xid, prog, vers, proc, cred, verf), None, body
         )
@@ -227,7 +235,7 @@ def parse_message(data: bytes) -> ParsedMessage:
             if accept_stat == PROG_MISMATCH:
                 low = unpacker.unpack_uint32()
                 high = unpacker.unpack_uint32()
-            body = data[len(data) - unpacker.remaining() :]
+            body = memoryview(data)[len(data) - unpacker.remaining() :]
             return ParsedMessage(
                 REPLY,
                 None,

@@ -29,11 +29,28 @@ class TcpClosed(Exception):
 
 
 def send_record(sock: socket.socket, data: bytes) -> None:
-    """Send one record-marked record."""
+    """Send one record-marked record.
+
+    Header and payload go out with one scatter-gather ``sendmsg`` —
+    no ``header + data`` copy of every record just to prepend 4 bytes.
+    """
     if len(data) > _MAX_FRAGMENT:
         raise ValueError("record too large for a single fragment")
     header = struct.pack(">I", _LAST_FRAGMENT | len(data))
-    sock.sendall(header + data)
+    buffers = [memoryview(header)]
+    if data:
+        buffers.append(memoryview(data))
+    remaining = 4 + len(data)
+    while remaining:
+        sent = sock.sendmsg(buffers)
+        remaining -= sent
+        while sent:
+            if sent >= len(buffers[0]):
+                sent -= len(buffers[0])
+                del buffers[0]
+            else:
+                buffers[0] = buffers[0][sent:]
+                sent = 0
 
 
 def recv_record(sock: socket.socket) -> bytes:
@@ -43,21 +60,25 @@ def recv_record(sock: socket.socket) -> bytes:
         header = _recv_exact(sock, 4)
         word = struct.unpack(">I", header)[0]
         length = word & _MAX_FRAGMENT
-        fragments.append(_recv_exact(sock, length))
+        body = _recv_exact(sock, length)
         if word & _LAST_FRAGMENT:
+            if not fragments:
+                return body
+            fragments.append(body)
             return b"".join(fragments)
+        fragments.append(body)
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
-    chunks = []
-    remaining = count
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
+    buf = bytearray(count)
+    view = memoryview(buf)
+    got = 0
+    while got < count:
+        n = sock.recv_into(view[got:])
+        if not n:
             raise TcpClosed("connection closed mid-record")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+        got += n
+    return bytes(buf)
 
 
 class TcpPipe:

@@ -13,14 +13,42 @@ pair plus a declarative codec-combinator layer (:class:`Struct`,
 the repository.  Structs decode to :class:`Record` objects that offer
 attribute access, equality, and a readable repr — which also powers the
 RPC library's traffic pretty-printer.
+
+Marshaling is on the wire path of every RPC hop, so the byte layer is
+built to avoid per-item allocation: a :class:`Packer` writes into a
+pooled ``bytearray`` with ``struct.pack_into`` (the pool is recycled by
+:meth:`Packer.detach`, the terminal snapshot-and-release used by the
+one-shot helpers), and an :class:`Unpacker` reads numerics in place with
+``struct.unpack_from`` — no intermediate 4/8-byte slices.  An Unpacker
+also accepts ``memoryview`` input so record parsing never copies the
+payload region just to decode it.  Codecs may additionally carry a
+*flat fast path* (installed by :mod:`repro.nfs3.fastpath` on the hot
+NFS3 types): :meth:`Codec.pack`/:meth:`Codec.unpack` consult it when
+:data:`repro.crypto.backend.use_fast_marshal` is on, falling back to
+field-by-field dispatch whenever the fast path declines.  Fast and slow
+paths produce identical bytes — the golden wire-vector suite asserts
+this — and both enforce XDR's zero-fill rule for padding.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..crypto import backend
 
 UNLIMITED = 0xFFFFFFFF
+
+#: Sentinel a codec's flat fast path returns to decline a value whose
+#: shape it cannot marshal; the caller falls back to codec dispatch.
+DECLINED = object()
+
+_U32 = struct.Struct(">I")
+_I32 = struct.Struct(">i")
+_U64 = struct.Struct(">Q")
+_I64 = struct.Struct(">q")
+
+_PAD = (b"", b"\x00", b"\x00\x00", b"\x00\x00\x00")
 
 
 class XdrError(Exception):
@@ -31,34 +59,128 @@ def _padding(length: int) -> int:
     return (4 - length % 4) % 4
 
 
-class Packer:
-    """Serializes primitive XDR items into a growing byte buffer."""
+class MarshalStats:
+    """Process-wide marshaling counters, surfaced by the bench layer."""
+
+    __slots__ = ("fast_packs", "fast_unpacks", "slow_packs",
+                 "slow_unpacks", "pool_hits", "pool_misses")
 
     def __init__(self) -> None:
-        self._parts: list[bytes] = []
+        self.reset()
+
+    def reset(self) -> None:
+        self.fast_packs = 0
+        self.fast_unpacks = 0
+        self.slow_packs = 0
+        self.slow_unpacks = 0
+        self.pool_hits = 0
+        self.pool_misses = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "fast_packs": self.fast_packs,
+            "fast_unpacks": self.fast_unpacks,
+            "slow_packs": self.slow_packs,
+            "slow_unpacks": self.slow_unpacks,
+            "pool_hits": self.pool_hits,
+            "pool_misses": self.pool_misses,
+        }
+
+
+STATS = MarshalStats()
+
+# Recycled Packer buffers.  Small stack: steady-state RPC traffic keeps
+# a handful in flight (call pack + reply pack per hop).  Buffers above
+# _MAX_POOLED (a full WRITE record is ~8.2 KB; 128 KB is far past any
+# legal record) are dropped rather than hoarded.
+_POOL: list[bytearray] = []
+_POOL_MAX = 8
+_MAX_POOLED = 1 << 17
+
+
+class Packer:
+    """Serializes primitive XDR items into a pooled, growing buffer."""
+
+    __slots__ = ("_buf", "_len")
+
+    def __init__(self) -> None:
+        if _POOL:
+            self._buf = _POOL.pop()
+            STATS.pool_hits += 1
+        else:
+            self._buf = bytearray(256)
+            STATS.pool_misses += 1
+        self._len = 0
 
     def data(self) -> bytes:
-        return b"".join(self._parts)
+        """Snapshot the packed bytes (non-destructive)."""
+        return bytes(memoryview(self._buf)[: self._len])
+
+    def detach(self) -> bytes:
+        """Snapshot the packed bytes and recycle the buffer.
+
+        Terminal: the Packer must not be used afterwards.  All one-shot
+        pack helpers end with this so steady-state marshaling reuses the
+        same few buffers instead of growing a fresh one per message.
+        """
+        buf = self._buf
+        out = bytes(memoryview(buf)[: self._len])
+        self._buf = None  # type: ignore[assignment] - poison further use
+        if len(_POOL) < _POOL_MAX and len(buf) <= _MAX_POOLED:
+            _POOL.append(buf)
+        return out
+
+    def _write(self, raw: bytes) -> None:
+        off = self._len
+        end = off + len(raw)
+        # Slice assignment both overwrites reserved space and extends
+        # past the end, so one statement covers the grow-or-fit cases.
+        self._buf[off:end] = raw
+        self._len = end
+
+    def pack_raw(self, raw: bytes) -> None:
+        """Append pre-marshaled bytes (an already-packed body)."""
+        self._write(raw)
 
     def pack_uint32(self, value: int) -> None:
         if not 0 <= value <= 0xFFFFFFFF:
             raise XdrError(f"uint32 out of range: {value}")
-        self._parts.append(struct.pack(">I", value))
+        off = self._len
+        buf = self._buf
+        if off + 4 > len(buf):
+            buf.extend(bytes(len(buf) or 64))
+        _U32.pack_into(buf, off, value)
+        self._len = off + 4
 
     def pack_int32(self, value: int) -> None:
         if not -0x80000000 <= value <= 0x7FFFFFFF:
             raise XdrError(f"int32 out of range: {value}")
-        self._parts.append(struct.pack(">i", value))
+        off = self._len
+        buf = self._buf
+        if off + 4 > len(buf):
+            buf.extend(bytes(len(buf) or 64))
+        _I32.pack_into(buf, off, value)
+        self._len = off + 4
 
     def pack_uhyper(self, value: int) -> None:
         if not 0 <= value <= 0xFFFFFFFFFFFFFFFF:
             raise XdrError(f"uhyper out of range: {value}")
-        self._parts.append(struct.pack(">Q", value))
+        off = self._len
+        buf = self._buf
+        if off + 8 > len(buf):
+            buf.extend(bytes(len(buf) or 64))
+        _U64.pack_into(buf, off, value)
+        self._len = off + 8
 
     def pack_hyper(self, value: int) -> None:
         if not -(1 << 63) <= value < (1 << 63):
             raise XdrError(f"hyper out of range: {value}")
-        self._parts.append(struct.pack(">q", value))
+        off = self._len
+        buf = self._buf
+        if off + 8 > len(buf):
+            buf.extend(bytes(len(buf) or 64))
+        _I64.pack_into(buf, off, value)
+        self._len = off + 8
 
     def pack_bool(self, value: bool) -> None:
         self.pack_uint32(1 if value else 0)
@@ -66,53 +188,77 @@ class Packer:
     def pack_fixed_opaque(self, value: bytes, length: int) -> None:
         if len(value) != length:
             raise XdrError(f"fixed opaque must be {length} bytes, got {len(value)}")
-        self._parts.append(value + b"\x00" * _padding(length))
+        self._write(value)
+        pad = _padding(length)
+        if pad:
+            self._write(_PAD[pad])
 
     def pack_opaque(self, value: bytes, maximum: int = UNLIMITED) -> None:
         if len(value) > maximum:
             raise XdrError(f"opaque exceeds maximum {maximum}")
         self.pack_uint32(len(value))
-        self._parts.append(value + b"\x00" * _padding(len(value)))
+        self._write(value)
+        pad = _padding(len(value))
+        if pad:
+            self._write(_PAD[pad])
 
     def pack_string(self, value: str, maximum: int = UNLIMITED) -> None:
         self.pack_opaque(value.encode(), maximum)
 
 
 class Unpacker:
-    """Deserializes primitive XDR items from a byte buffer."""
+    """Deserializes primitive XDR items from a byte buffer.
+
+    Accepts ``bytes``, ``bytearray``, or ``memoryview`` input; numerics
+    are read in place with ``unpack_from`` and only opaque payloads are
+    materialized as fresh ``bytes`` (callers hash them and use them as
+    dict keys, so they must be real immutable bytes).
+    """
+
+    __slots__ = ("_data", "_offset", "_len")
 
     def __init__(self, data: bytes) -> None:
         self._data = data
         self._offset = 0
+        self._len = len(data)
 
     def done(self) -> None:
         """Assert the whole buffer was consumed."""
-        if self._offset != len(self._data):
+        if self._offset != self._len:
             raise XdrError(
-                f"{len(self._data) - self._offset} unconsumed bytes after decode"
+                f"{self._len - self._offset} unconsumed bytes after decode"
             )
 
     def remaining(self) -> int:
-        return len(self._data) - self._offset
-
-    def _take(self, count: int) -> bytes:
-        if self._offset + count > len(self._data):
-            raise XdrError("truncated XDR data")
-        chunk = self._data[self._offset : self._offset + count]
-        self._offset += count
-        return chunk
+        return self._len - self._offset
 
     def unpack_uint32(self) -> int:
-        return struct.unpack(">I", self._take(4))[0]
+        off = self._offset
+        if off + 4 > self._len:
+            raise XdrError("truncated XDR data")
+        self._offset = off + 4
+        return _U32.unpack_from(self._data, off)[0]
 
     def unpack_int32(self) -> int:
-        return struct.unpack(">i", self._take(4))[0]
+        off = self._offset
+        if off + 4 > self._len:
+            raise XdrError("truncated XDR data")
+        self._offset = off + 4
+        return _I32.unpack_from(self._data, off)[0]
 
     def unpack_uhyper(self) -> int:
-        return struct.unpack(">Q", self._take(8))[0]
+        off = self._offset
+        if off + 8 > self._len:
+            raise XdrError("truncated XDR data")
+        self._offset = off + 8
+        return _U64.unpack_from(self._data, off)[0]
 
     def unpack_hyper(self) -> int:
-        return struct.unpack(">q", self._take(8))[0]
+        off = self._offset
+        if off + 8 > self._len:
+            raise XdrError("truncated XDR data")
+        self._offset = off + 8
+        return _I64.unpack_from(self._data, off)[0]
 
     def unpack_bool(self) -> bool:
         value = self.unpack_uint32()
@@ -121,11 +267,18 @@ class Unpacker:
         return bool(value)
 
     def unpack_fixed_opaque(self, length: int) -> bytes:
-        value = self._take(length)
-        pad = self._take(_padding(length))
-        if any(pad):
-            raise XdrError("nonzero XDR padding")
-        return value
+        off = self._offset
+        end = off + length
+        pad = _padding(length)
+        if end + pad > self._len:
+            raise XdrError("truncated XDR data")
+        data = self._data
+        for k in range(end, end + pad):
+            if data[k]:
+                raise XdrError("nonzero XDR padding")
+        self._offset = end + pad
+        chunk = data[off:end]
+        return chunk if chunk.__class__ is bytes else bytes(chunk)
 
     def unpack_opaque(self, maximum: int = UNLIMITED) -> bytes:
         length = self.unpack_uint32()
@@ -161,7 +314,17 @@ class Record:
 
 
 class Codec:
-    """Base class for declarative XDR codecs."""
+    """Base class for declarative XDR codecs.
+
+    ``fast_pack``/``fast_unpack`` are optional flat marshal functions
+    (installed on hot codec instances by :mod:`repro.nfs3.fastpath`);
+    they return :data:`DECLINED` for values/bytes whose shape they do
+    not cover, and the one-shot helpers then fall back to the
+    field-by-field ``encode``/``decode`` dispatch.
+    """
+
+    fast_pack: Callable[[Any], Any] | None = None
+    fast_unpack: Callable[[bytes], Any] | None = None
 
     def encode(self, packer: Packer, value: Any) -> None:
         raise NotImplementedError
@@ -171,12 +334,26 @@ class Codec:
 
     def pack(self, value: Any) -> bytes:
         """One-shot encode to bytes."""
+        fast = self.fast_pack
+        if fast is not None and backend.use_fast_marshal:
+            out = fast(value)
+            if out is not DECLINED:
+                STATS.fast_packs += 1
+                return out
+        STATS.slow_packs += 1
         packer = Packer()
         self.encode(packer, value)
-        return packer.data()
+        return packer.detach()
 
     def unpack(self, data: bytes) -> Any:
         """One-shot decode from bytes (requires full consumption)."""
+        fast = self.fast_unpack
+        if fast is not None and backend.use_fast_marshal:
+            out = fast(data)
+            if out is not DECLINED:
+                STATS.fast_unpacks += 1
+                return out
+        STATS.slow_unpacks += 1
         unpacker = Unpacker(data)
         value = self.decode(unpacker)
         unpacker.done()
