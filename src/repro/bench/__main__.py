@@ -286,6 +286,84 @@ def run_scale(quick: bool, collector=None) -> tuple[str, dict]:
     return table, {"rows": data_rows}
 
 
+def run_fleet(quick: bool, collector=None) -> tuple[str, dict]:
+    """Not a paper figure: fixed clients vs a growing server fleet.
+
+    The namespace composes out of symlinks (section 2.4), so capacity
+    scales by adding servers: the sweep holds the client population
+    fixed and grows the fleet, expecting aggregate ops/s to rise until
+    the clients are the bottleneck.  A tamper demonstration rides along:
+    the fastest namespace mirror serves bit-flipped blobs and is banned
+    on the first digest mismatch with zero wrong links resolved.
+    """
+    from ..fleet.bench import FleetHarness, FleetLoadConfig, run_tamper_demo
+
+    levels = [1, 4, 16]
+    ops = 8 if quick else 20
+    names = 16 if quick else 32
+    rows, data_rows = [], []
+    previous_throughput = 0.0
+    for servers in levels:
+        config = FleetLoadConfig(servers=servers, clients=16,
+                                 ops_per_client=ops, names=names, seed=2026)
+        harness = FleetHarness(config)
+        report = harness.run()
+        assert report.op_errors == 0 and report.unfinished_tasks == 0
+        assert report.names_resolved == names
+        assert report.throughput > previous_throughput, \
+            f"{servers} servers did not beat {previous_throughput:.0f} ops/s"
+        previous_throughput = report.throughput
+        rows.append((str(servers), report.throughput,
+                     report.p50 * 1000, report.p99 * 1000,
+                     report.worst_shard_p99() * 1000,
+                     str(max(s.peak_queue_depth for s in report.shards))))
+        data_rows.append({
+            "servers": servers, "clients": report.clients,
+            "ops_per_second": report.throughput,
+            "p50_ms": report.p50 * 1000, "p95_ms": report.p95 * 1000,
+            "p99_ms": report.p99 * 1000,
+            "names_resolved": report.names_resolved,
+            "namespace": report.namespace,
+            "shards": [{
+                "location": shard.location, "names": shard.names,
+                "clients": shard.clients, "ops": shard.ops_completed,
+                "p50_ms": shard.p50 * 1000, "p99_ms": shard.p99 * 1000,
+                "peak_queue_depth": shard.peak_queue_depth,
+            } for shard in report.shards],
+        })
+        if collector is not None:
+            collector.add(f"fleet/{servers}-servers", harness.world.metrics,
+                          meta={"figure": "fleet", "servers": servers})
+    tamper = run_tamper_demo(seed=2026)
+    assert tamper.wrong_links == 0 and tamper.bans >= 1
+    table = format_table(
+        "Fleet: 16 closed-loop clients vs server count "
+        f"(2 workers x 5 ms service per shard, {names} names, "
+        f"{ops} ops/client)",
+        ["Servers", "ops/s", "p50 ms", "p99 ms", "worst shard p99 ms",
+         "peak queue"],
+        rows,
+    )
+    table += (
+        f"\n\ntamper demotion: {tamper.names_resolved} links resolved, "
+        f"{tamper.wrong_links} wrong, {tamper.corrupt_blobs} corrupt "
+        f"blob(s) rejected, banned: {', '.join(tamper.banned_replicas)}"
+    )
+    data = {
+        "rows": data_rows,
+        "tamper": {
+            "names_resolved": tamper.names_resolved,
+            "wrong_links": tamper.wrong_links,
+            "corrupt_blobs": tamper.corrupt_blobs,
+            "bans": tamper.bans,
+            "failovers": tamper.failovers,
+            "banned_replicas": tamper.banned_replicas,
+            "replicas": tamper.replicas,
+        },
+    }
+    return table, data
+
+
 FIGURES = {
     "fig5": run_fig5,
     "fig6": run_fig6,
@@ -293,6 +371,7 @@ FIGURES = {
     "fig8": run_fig8,
     "fig9": run_fig9,
     "scale": run_scale,
+    "fleet": run_fleet,
 }
 
 

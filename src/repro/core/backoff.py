@@ -41,20 +41,36 @@ class BackoffPolicy:
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError("jitter is a fraction in [0, 1)")
 
-    def delays(self, rng: random.Random | None = None) -> Iterator[float]:
+    def delays(self, rng: random.Random | None) -> Iterator[float]:
         """Yield the pre-attempt delay for each attempt.
 
         The first yielded value is 0.0 (try immediately); each later
         value is the jittered, capped exponential wait before that
         retry.  ``max_attempts`` values are yielded in total.
+
+        *rng* is required: a jittered policy without a randomness
+        source would silently retry a whole fleet of clients in
+        lockstep — the exact thundering herd jitter exists to prevent
+        — so that combination raises instead of degrading.  Only a
+        policy pinned to ``jitter=0.0`` (deterministic tests, NO_RETRY)
+        may pass ``None``.
         """
+        if rng is None and self.jitter:
+            raise ValueError(
+                "BackoffPolicy with jitter needs the caller's seeded "
+                "random.Random; without one every client would retry in "
+                "lockstep (pass rng, or pin jitter=0.0 for exact delays)"
+            )
+        return self._delays(rng)
+
+    def _delays(self, rng: random.Random | None) -> Iterator[float]:
         delay = self.base_delay
         for attempt in range(self.max_attempts):
             if attempt == 0:
                 yield 0.0
                 continue
             scale = 1.0
-            if self.jitter and rng is not None:
+            if self.jitter:
                 scale = rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
             yield min(delay, self.max_delay) * scale
             delay = min(delay * self.multiplier, self.max_delay)

@@ -225,7 +225,10 @@ class ServerSession:
             )
         if servinfo.dialect == proto.DIALECT_RO:
             # Read-only dialect: no key negotiation, content is signed.
-            return cls(peer, pipe, path, servinfo, None, encrypt=False)
+            # The rng still rides along: the busy-retry backoff path is
+            # jittered and refuses to run without a randomness source.
+            return cls(peer, pipe, path, servinfo, None, encrypt=False,
+                       rng=rng)
         # Figure 3 steps 3-4.
         client_key = ephemeral_keys.current()
 
@@ -845,12 +848,27 @@ class ReadOnlyMount:
 
     Handles are the 20-byte content digests themselves — self-verifying
     names all the way down.
+
+    The transport is a pair of fetch callbacks: a single session's RPC
+    stubs (:meth:`from_session`, the classic one-server mount) or a
+    :class:`~repro.fleet.replicas.ReplicaSet`'s latency-ranked,
+    tamper-demoting fetchers (the fleet's untrusted mirror tier).
+    Verification lives in :class:`ReadOnlyClient` either way — where
+    the bytes came from never changes what is accepted.
     """
 
-    def __init__(self, daemon: "SfsClientDaemon", session: ServerSession,
-                 fsid: int) -> None:
+    def __init__(self, daemon: "SfsClientDaemon", path: SelfCertifyingPath,
+                 fetch_root, fetch_data, fsid: int) -> None:
         self.daemon = daemon
         self.fsid = fsid
+        self.client = ReadOnlyClient(path, fetch_root, fetch_data,
+                                     metrics=daemon.metrics)
+        self.program = self._build_program()
+
+    @classmethod
+    def from_session(cls, daemon: "SfsClientDaemon", session: ServerSession,
+                     fsid: int) -> "ReadOnlyMount":
+        """The one-server transport: both callbacks on *session*'s peer."""
         store_peer = session.peer
 
         def fetch_root() -> Record:
@@ -869,8 +887,7 @@ class ReadOnlyMount:
             )
             return body if disc == proto.GETDATA_OK else None
 
-        self.client = ReadOnlyClient(session.path, fetch_root, fetch_data)
-        self.program = self._build_program()
+        return cls(daemon, session.path, fetch_root, fetch_data, fsid)
 
     def root_handle(self) -> bytes:
         return self.client.root_digest
@@ -1050,6 +1067,11 @@ class SfsClientDaemon:
         self._m_mount_backoff = self.metrics.counter("client.backoff_sleeps")
         self.agents: dict[int, Agent] = {}
         self.ephemeral_keys = EphemeralKeyCache(rng)
+        #: hostid -> dial locations for a read-only path served by an
+        #: untrusted replica tier (see register_replicas).
+        self._replicas: dict[bytes, tuple[str, ...]] = {}
+        #: hostid -> the live ReplicaSet once mounted (introspection).
+        self.replica_sets: dict[bytes, Any] = {}
         self._mounts: dict[bytes, MountedRemoteFs | ReadOnlyMount] = {}
         self._mount_roots: dict[bytes, bytes] = {}  # hostid -> root handle
         self._references: dict[int, set[str]] = {}  # uid -> mount names seen
@@ -1071,6 +1093,60 @@ class SfsClientDaemon:
             if isinstance(mount, MountedRemoteFs):
                 mount.logout_uid(uid)
 
+    # -- the untrusted replica tier --
+
+    def register_replicas(self, path: SelfCertifyingPath,
+                          locations: "tuple[str, ...] | list[str]") -> None:
+        """Serve future mounts of *path* from a set of untrusted mirrors.
+
+        *locations* are dial names (the publisher's own server and any
+        number of mirrors); the mount fetches through a latency-ranked
+        :class:`~repro.fleet.replicas.ReplicaSet` that demotes dead
+        mirrors and bans tampering ones.  Security is unchanged — the
+        signed root is still verified against *path*'s HostID and every
+        blob against its digest — so none of the mirrors needs to be
+        trusted.  Registering again replaces the location list for the
+        next mount.
+        """
+        if not locations:
+            raise ValueError("a replica registration needs at least one "
+                             "location")
+        self._replicas[path.hostid] = tuple(locations)
+
+    def _mount_replicated(self, path: SelfCertifyingPath,
+                          uid: int) -> "ReadOnlyMount":
+        """Build a read-only mount whose transport is the replica set."""
+        from ..fleet.replicas import Replica, ReplicaSet, dial_readonly
+
+        def dialer_for(location: str):
+            def dial():
+                return dial_readonly(self.connector, location, path,
+                                     self.ephemeral_keys, self.rng)
+            return dial
+
+        replica_set = ReplicaSet(
+            [Replica(location, dialer_for(location), self.clock)
+             for location in self._replicas[path.hostid]],
+            self.clock, self.rng, backoff=self.backoff,
+            metrics=self.metrics,
+        )
+        fsid = self._next_fsid
+        self._next_fsid += 1
+        try:
+            mount = ReadOnlyMount(self, path, replica_set.fetch_root,
+                                  replica_set.fetch_data, fsid)
+        except ReadOnlyError as exc:
+            raise MountError(
+                f"read-only verification failed across replicas: {exc}"
+            ) from None
+        self.replica_sets[path.hostid] = replica_set
+        self._mounts[path.hostid] = mount
+        self._mount_roots[path.hostid] = mount.root_handle()
+        self._references.setdefault(uid, set()).add(path.mount_name)
+        self.mounter.mount(f"/sfs/{path.mount_name}", mount.program,
+                           mount.root_handle())
+        return mount
+
     # -- mounting --
 
     def mount_path(self, path: SelfCertifyingPath, uid: int):
@@ -1091,6 +1167,11 @@ class SfsClientDaemon:
         if existing is not None:
             self._references.setdefault(uid, set()).add(path.mount_name)
             return existing
+        if path.hostid in self._replicas:
+            # A registered replica tier replaces the single-server dial:
+            # the ReplicaSet picks (and re-picks) which mirror actually
+            # answers, with its own failover and demotion policy.
+            return self._mount_replicated(path, uid)
         # A hostile network can drop handshake records; in-call
         # retransmission covers most of that, but a reply lost *after*
         # the server armed its secure channel strands the plaintext
@@ -1136,9 +1217,8 @@ class SfsClientDaemon:
         self._next_fsid += 1
         if session.servinfo.dialect == proto.DIALECT_RO:
             try:
-                mount: MountedRemoteFs | ReadOnlyMount = ReadOnlyMount(
-                    self, session, fsid
-                )
+                mount: MountedRemoteFs | ReadOnlyMount = \
+                    ReadOnlyMount.from_session(self, session, fsid)
             except ReadOnlyError as exc:
                 # Bad signature / wrong key: the mount simply does not
                 # exist from this client's point of view.

@@ -21,11 +21,13 @@ blob against its digest, so a tampering mirror is always detected.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..crypto.rabin import PrivateKey, PublicKey, RabinError
 from ..crypto.sha1 import sha1
 from ..fs.memfs import Cred, MemFs, NF_DIR, NF_LNK, NF_REG
+from ..obs.registry import NULL_REGISTRY
 from ..rpc.xdr import (
     Array,
     FixedOpaque,
@@ -45,6 +47,12 @@ CHUNK_SIZE = 8192
 RO_REG = 1
 RO_DIR = 2
 RO_LNK = 3
+
+#: Default budget for a client's verified-blob cache.  Under the
+#: replica tier a long-lived client would otherwise mirror the whole
+#: image in memory; the LRU bound keeps the working set and re-verifies
+#: anything evicted on refetch.
+DEFAULT_CACHE_BYTES = 4 * 1024 * 1024
 
 RoFile = Struct(
     "RoFile",
@@ -198,10 +206,19 @@ class ReadOnlyClient:
     """
 
     def __init__(self, path: SelfCertifyingPath, fetch_root, fetch_data,
-                 min_serial: int = 0) -> None:
+                 min_serial: int = 0,
+                 cache_bytes: int = DEFAULT_CACHE_BYTES,
+                 metrics=NULL_REGISTRY) -> None:
         self._path = path
         self._fetch_data = fetch_data
-        self._cache: dict[bytes, bytes] = {}
+        #: LRU over verified blobs, bounded by total byte size; an
+        #: evicted blob is re-verified against its digest on refetch.
+        self._cache: OrderedDict[bytes, bytes] = OrderedDict()
+        self._cache_limit = cache_bytes
+        self._cached_bytes = 0
+        self._m_cache_hits = metrics.counter("readonly.cache_hits")
+        self._m_cache_misses = metrics.counter("readonly.cache_misses")
+        self._m_cache_evictions = metrics.counter("readonly.cache_evictions")
         root_res = fetch_root()
         try:
             public_key = PublicKey.from_bytes(
@@ -245,13 +262,21 @@ class ReadOnlyClient:
         """Fetch and verify one blob by digest."""
         cached = self._cache.get(digest)
         if cached is not None:
+            self._cache.move_to_end(digest)
+            self._m_cache_hits.inc()
             return cached
+        self._m_cache_misses.inc()
         blob = self._fetch_data(digest)
         if blob is None:
             raise ReadOnlyError(f"server has no data for {digest.hex()[:12]}")
         if sha1(blob) != digest:
             raise ReadOnlyError("blob digest mismatch (tampered mirror?)")
         self._cache[digest] = blob
+        self._cached_bytes += len(blob)
+        while self._cached_bytes > self._cache_limit and len(self._cache) > 1:
+            _evicted, old = self._cache.popitem(last=False)
+            self._cached_bytes -= len(old)
+            self._m_cache_evictions.inc()
         return blob
 
     def node(self, digest: bytes) -> tuple[int, Record]:
@@ -289,16 +314,39 @@ class ReadOnlyClient:
         kind, body = self.node(digest)
         if kind != RO_REG:
             raise ReadOnlyError("read of a non-file")
+        # The root signature proves the publisher signed this node, not
+        # that the publisher was honest: a malformed size/chunk-list
+        # pair must surface as the tampered-mirror error contract, not
+        # escape as an IndexError or as silently shifted bytes.
+        size = body.size
+        chunk_count = len(body.chunks)
+        expected_chunks = (size + CHUNK_SIZE - 1) // CHUNK_SIZE
+        if chunk_count != expected_chunks:
+            raise ReadOnlyError(
+                f"signed size {size} disagrees with chunk list "
+                f"({chunk_count} chunks, expected {expected_chunks})"
+            )
         if count is None:
-            count = body.size
-        end = min(body.size, offset + count)
+            count = size
+        end = min(size, offset + count)
         if offset >= end:
             return b""
         out = bytearray()
         first = offset // CHUNK_SIZE
         last = (end - 1) // CHUNK_SIZE
         for index in range(first, last + 1):
-            out += self.fetch(body.chunks[index])
+            chunk = self.fetch(body.chunks[index])
+            expected_len = (CHUNK_SIZE if index < chunk_count - 1
+                            else size - (chunk_count - 1) * CHUNK_SIZE)
+            if len(chunk) != expected_len:
+                # An over- or under-length chunk (digest-valid, since
+                # the publisher signed it) would shift every byte after
+                # it; reject rather than deliver misaligned data.
+                raise ReadOnlyError(
+                    f"chunk {index} is {len(chunk)} bytes, "
+                    f"expected {expected_len}"
+                )
+            out += chunk
         skip = offset - first * CHUNK_SIZE
         return bytes(out[skip : skip + (end - offset)])
 

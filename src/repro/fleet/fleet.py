@@ -1,0 +1,190 @@
+"""Fleet federation: one namespace, many servers, zero extra trust.
+
+The paper's namespace composes by construction — "CAs are nothing more
+than ordinary file systems serving symbolic links", and a symbolic link
+can point at *any* self-certifying pathname.  A :class:`Fleet` takes
+that literally at scale:
+
+* **shards** — N ordinary SFS servers, each with its own key pair and
+  read-write export.  No shard knows the others exist; there is no
+  fleet-wide secret and no inter-server protocol.
+* **placement** — each provisioned name is owned by the shard that the
+  consistent-hash ring (:class:`~repro.fleet.sharding.HashRing` over
+  the shards' HostIDs) assigns it; growing the fleet moves ~1/N names.
+* **namespace** — a certification authority serves one symlink per
+  name, ``/<name> -> /sfs/<shard-Location>:<HostID>/<name>``.  The CA
+  tree is published as a signed read-only image, so it can be mirrored
+  by machines nobody trusts, and the mirrors form the client's
+  :class:`~repro.fleet.replicas.ReplicaSet`.
+
+A client resolves ``/sfs/<ca>:<HostID>/alice`` by reading a verified
+symlink (possibly from the nearest untrusted mirror), follows it, and
+lands on alice's shard with the full read-write security of a direct
+mount — key management and namespace placement stay out of the file
+systems' trust story, which is the paper's thesis applied to topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.pathnames import SelfCertifyingPath, hostid_to_text
+from ..fs import pathops
+from ..keymgmt.ca import CertificationAuthority
+from ..sim.network import NetworkParameters
+from .sharding import DEFAULT_VNODES, HashRing
+
+DEFAULT_KEY_BITS = 768
+
+
+@dataclass
+class Shard:
+    """One fleet member: an ordinary server plus its export's identity."""
+
+    server: object               # kernel.world.ServerMachine
+    path: SelfCertifyingPath     # the shard export's self-certifying name
+    export: str                  # export name on the server
+
+    @property
+    def location(self) -> str:
+        return self.server.location
+
+    @property
+    def hostid_text(self) -> str:
+        return hostid_to_text(self.path.hostid)
+
+    @property
+    def fs(self):
+        return self.server.exports[self.export][1]
+
+
+class Fleet:
+    """N shard servers behind one CA-served, mirrorable namespace."""
+
+    def __init__(self, world, count: int, name: str = "fleet",
+                 key_bits: int = DEFAULT_KEY_BITS,
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if count < 1:
+            raise ValueError("a fleet needs at least one shard")
+        self.world = world
+        self.name = name
+        self.key_bits = key_bits
+        self.shards: list[Shard] = []          # in creation order
+        self.ring = HashRing(vnodes=vnodes)
+        self._by_hostid: dict[str, Shard] = {}
+        self._m_shards = world.metrics.gauge("fleet.shards")
+        self._m_provisioned = world.metrics.counter("fleet.provisioned")
+        self._m_republished = world.metrics.counter(
+            "fleet.namespace_publications"
+        )
+        for index in range(count):
+            self.add_shard(f"shard{index}.{name}")
+        self.ca = CertificationAuthority(f"ca.{name}", world.rng,
+                                         key_bits=key_bits)
+        self.ca_server = None
+        self.mirror_locations: list[str] = []
+        #: name -> owning shard Location, in provision order.
+        self.assignments: dict[str, str] = {}
+        self.image = None
+
+    # -- topology ------------------------------------------------------------
+
+    def add_shard(self, location: str) -> Shard:
+        """Grow the fleet by one server; existing names stay put (the
+        ring only re-homes ~1/N of *future* lookups, so republishing
+        the namespace after growth invalidates a minimal slice)."""
+        server = self.world.add_server(location)
+        path = server.export_fs(name=f"{self.name}-shard",
+                                key_bits=self.key_bits)
+        shard = Shard(server=server, path=path, export=f"{self.name}-shard")
+        self.ring.add(shard.hostid_text)
+        self._by_hostid[shard.hostid_text] = shard
+        self.shards.append(shard)
+        self._m_shards.set(len(self.shards))
+        return shard
+
+    def shard_for(self, name: str) -> Shard:
+        """The shard owning *name* under the current ring."""
+        return self._by_hostid[self.ring.lookup(name)]
+
+    # -- provisioning ----------------------------------------------------------
+
+    def provision(self, name: str) -> str:
+        """Create *name*'s directory on its shard and certify the link.
+
+        Returns the symlink target — the full self-certifying pathname
+        of the directory, e.g. ``/sfs/shard2.fleet:HOSTID/alice``.
+        """
+        shard = self.shard_for(name)
+        pathops.mkdirs(shard.fs, "/" + name)
+        target = f"/sfs/{shard.path.mount_name}/{name}"
+        self.ca.certify(name, target)
+        self.assignments[name] = shard.location
+        self._m_provisioned.inc()
+        return target
+
+    # -- publication -----------------------------------------------------------
+
+    def publish(self, mirrors: int = 0,
+                mirror_params: NetworkParameters | None = None
+                ) -> SelfCertifyingPath:
+        """Sign the namespace and serve it, optionally via mirrors.
+
+        The CA's own server plus *mirrors* untrusted machines each get
+        a copy of the signed image (``replicate()``: bytes, no keys).
+        *mirror_params* gives the mirror links their own network
+        parameters — e.g. WAN mirrors in a LAN world, so the clients'
+        latency-ranked selection has something to rank.
+        """
+        self.image = self.ca.publish_image()
+        self._m_republished.inc()
+        if self.ca_server is None:
+            self.ca_server = self.world.add_server(self.ca.location,
+                                                   with_disk=False)
+        self.ca_server.master.add_ro_export(self.image,
+                                            name=f"{self.name}-namespace")
+        for index in range(mirrors):
+            location = f"mirror{index}.{self.name}"
+            if location not in self.world.servers:
+                mirror = self.world.add_server(location, with_disk=False)
+                if mirror_params is not None:
+                    self.world.set_link_params(location, mirror_params)
+                self.mirror_locations.append(location)
+            else:
+                mirror = self.world.servers[location]
+            mirror.master.add_ro_export(self.image.replicate(),
+                                        name=f"{self.name}-namespace")
+        return self.ca.path
+
+    @property
+    def namespace_path(self) -> SelfCertifyingPath:
+        return self.ca.path
+
+    @property
+    def replica_locations(self) -> tuple[str, ...]:
+        """Everywhere the namespace is served: CA first, then mirrors."""
+        return (self.ca.location, *self.mirror_locations)
+
+    # -- clients ---------------------------------------------------------------
+
+    def attach(self, client) -> SelfCertifyingPath:
+        """Point a ClientMachine's sfscd at the namespace replica tier.
+
+        After this, any mount of the namespace path fetches through a
+        latency-ranked ReplicaSet over the CA and its mirrors.
+        """
+        if self.image is None:
+            raise RuntimeError("publish() the namespace before attaching "
+                               "clients")
+        client.sfscd.register_replicas(self.ca.path,
+                                       self.replica_locations)
+        return self.ca.path
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def placement(self) -> dict[str, int]:
+        """Provisioned names per shard Location (balance check)."""
+        counts = {shard.location: 0 for shard in self.shards}
+        for location in self.assignments.values():
+            counts[location] += 1
+        return counts

@@ -1,0 +1,87 @@
+"""Consistent hashing over HostIDs: the fleet's namespace sharder.
+
+The paper's namespace is symbolic links all the way down — a
+certification authority "is nothing more than an ordinary file system
+serving symbolic links", and nothing stops those links from spreading
+one logical tree across many servers.  The ring decides *which* link a
+name gets: each shard (identified by its export's HostID, the only
+stable server name SFS has) is hashed onto a circle at ``vnodes``
+points, and a key belongs to the first shard point at or clockwise
+from the key's own hash.
+
+Consistent hashing is what makes the fleet growable: adding a shard
+moves only ~1/N of the keys, so republishing the CA's link directory
+after a topology change invalidates a minimal slice of client
+bookmarks.  All hashing is SHA-1 (the repo's one digest), so placement
+is a pure function of the membership — every client, server, and test
+computes the same ring with no coordination.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from ..crypto.sha1 import sha1
+
+DEFAULT_VNODES = 64
+
+
+class HashRing:
+    """Consistent hash ring mapping keys to member ids.
+
+    Members are opaque strings (the fleet uses HostID hex).  Lookup is
+    O(log(members * vnodes)); membership changes rebuild nothing but
+    the changed member's points.
+    """
+
+    def __init__(self, members: list[str] | None = None,
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("need at least one virtual node per member")
+        self.vnodes = vnodes
+        self._points: list[tuple[int, str]] = []
+        self._members: set[str] = set()
+        for member in members or []:
+            self.add(member)
+
+    @staticmethod
+    def _hash(data: bytes) -> int:
+        return int.from_bytes(sha1(data)[:8], "big")
+
+    def add(self, member: str) -> None:
+        if member in self._members:
+            raise ValueError(f"member {member!r} already on the ring")
+        self._members.add(member)
+        for index in range(self.vnodes):
+            point = self._hash(f"{member}#{index}".encode())
+            self._points.append((point, member))
+        self._points.sort()
+
+    def remove(self, member: str) -> None:
+        if member not in self._members:
+            raise KeyError(member)
+        self._members.remove(member)
+        self._points = [(point, m) for point, m in self._points
+                        if m != member]
+
+    @property
+    def members(self) -> set[str]:
+        return set(self._members)
+
+    def lookup(self, key: str | bytes) -> str:
+        """The member owning *key* (first point clockwise of its hash)."""
+        if not self._points:
+            raise LookupError("ring has no members")
+        data = key.encode() if isinstance(key, str) else key
+        target = self._hash(data)
+        index = bisect_right(self._points, (target, ""))
+        if index == len(self._points):
+            index = 0  # wrap around the circle
+        return self._points[index][1]
+
+    def distribution(self, keys: list[str | bytes]) -> dict[str, int]:
+        """How many of *keys* each member owns (balance diagnostics)."""
+        counts: dict[str, int] = {member: 0 for member in self._members}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts

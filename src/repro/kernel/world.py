@@ -289,6 +289,11 @@ class World:
         self.metrics = metrics if metrics is not None \
             else MetricsRegistry(clock=self.clock)
         self.lan_params = lan_params or NetworkParameters.lan_100mbit()
+        #: Per-Location overrides of the world's default link timing,
+        #: set via :meth:`set_link_params` — how a WAN mirror coexists
+        #: with LAN servers, giving the replica tier's latency-ranked
+        #: selection something real to rank.
+        self.link_params: dict[str, NetworkParameters] = {}
         self.servers: dict[str, ServerMachine] = {}
         self.clients: dict[str, ClientMachine] = {}
         self.adversary_factory = None  # optional: () -> Adversary
@@ -332,6 +337,29 @@ class World:
         self.clients[hostname] = client
         return client
 
+    def set_link_params(self, location: str,
+                        params: NetworkParameters) -> None:
+        """Give every future link dialed to *location* its own timing.
+
+        Existing connections are unaffected; the override applies at
+        dial time in :meth:`connector`.
+        """
+        self.link_params[location] = params
+
+    def add_fleet(self, count: int, name: str = "fleet", **kwargs):
+        """Spin up *count* shard servers behind one CA-served namespace.
+
+        Returns a :class:`repro.fleet.Fleet`: N ordinary servers whose
+        names are sharded by consistent hashing over their HostIDs, a
+        certification authority serving one symlink per provisioned
+        name, and (after ``publish(mirrors=...)``) an untrusted replica
+        tier for the signed namespace image.  See the fleet module for
+        the whole story; this is just the front door.
+        """
+        from ..fleet import Fleet  # runtime import: fleet builds on world
+
+        return Fleet(self, count, name=name, **kwargs)
+
     def route(self, location: str, server: ServerMachine) -> None:
         """Point *location* at *server* (DNS-style aliasing).
 
@@ -352,8 +380,8 @@ class World:
         media = ({"a->b": server.nic_rx, "b->a": server.nic_tx}
                  if self.contention else None)
         client_side, server_side = link_pair(
-            self.clock, self.lan_params, adversary, metrics=self.metrics,
-            media=media,
+            self.clock, self.link_params.get(location, self.lan_params),
+            adversary, metrics=self.metrics, media=media,
         )
         if self.scheduler is not None:
             # Synchronous callers (handshakes, reconnects) wait out a

@@ -35,6 +35,7 @@ class CertificationAuthority:
         self.key = key or generate_key(key_bits, rng)
         self.fs = MemFs(fsid=0xCA)
         self._serial = 0
+        self._last_image: ReadOnlyImage | None = None
         from ..fs import pathops
         self._pathops = pathops
         pathops.mkdirs(self.fs, "/revocations")
@@ -81,6 +82,17 @@ class CertificationAuthority:
     # --- publication --------------------------------------------------------------
 
     def publish_image(self) -> ReadOnlyImage:
-        """Sign the current tree into a servable read-only image."""
+        """Sign the current tree into a servable read-only image.
+
+        Publication is incremental across calls: unchanged blobs carry
+        over from the previous image without re-serialization, so a
+        fleet republishing its namespace after certifying one more name
+        (or growing by a shard) pays for the links that moved, not the
+        whole link farm — :attr:`ReadOnlyImage.new_blobs` counts what
+        actually changed.
+        """
         self._serial += 1
-        return publish(self.fs, self.key, self.location, serial=self._serial)
+        image = publish(self.fs, self.key, self.location,
+                        serial=self._serial, previous=self._last_image)
+        self._last_image = image
+        return image

@@ -179,3 +179,82 @@ def test_revocation_overrules_forwarding_pointer(world):
     daemon = client.sfscd
     daemon._handle_certificate(path, pointer)
     assert proc.readlink(f"/sfs/{path.mount_name}") == REVOKED_LINK_TARGET
+
+
+def test_forwarding_first_then_revocation_still_revokes(world):
+    """The reverse arrival order: a forwarding pointer is installed and
+    *working*, then the revocation lands — and wins, permanently."""
+    old_server, old_path, old_key = make_server(world, "old.example.com")
+    _new_server, new_path, _new_key = make_server(
+        world, "new.example.com", {"/moved": b"new home"}
+    )
+    pointer = make_forwarding_pointer(old_key, "old.example.com",
+                                      str(new_path))
+    old_server.master.set_forwarding_pointer(old_path.hostid, pointer)
+    client = world.add_client("c")
+    client.new_agent("u", 1000)
+    proc = client.process(uid=1000)
+    # The pointer is live: the old name redirects and resolves.
+    assert proc.read_file(f"{old_path}/moved") == b"new home"
+    assert proc.readlink(f"/sfs/{old_path.mount_name}") == str(new_path)
+    # Now the revocation certificate arrives — later than the pointer.
+    cert = make_revocation_certificate(old_key, "old.example.com")
+    client.sfscd._handle_certificate(old_path, cert)
+    assert proc.readlink(f"/sfs/{old_path.mount_name}") == (
+        REVOKED_LINK_TARGET
+    )
+    # Re-delivering the pointer afterwards must not resurrect the name.
+    client.sfscd._handle_certificate(old_path, pointer)
+    assert proc.readlink(f"/sfs/{old_path.mount_name}") == (
+        REVOKED_LINK_TARGET
+    )
+
+
+def test_server_with_both_certificates_serves_the_revocation(world):
+    """A server that knows both certificates for one HostID must answer
+    CONNECT with the revocation, whichever arrived first."""
+    server, path, key = make_server(world, "both.example.com", {"/f": b"x"})
+    _other, other_path, _ok = make_server(world, "elsewhere.example.com")
+    pointer = make_forwarding_pointer(key, "both.example.com",
+                                      str(other_path))
+    cert = make_revocation_certificate(key, "both.example.com")
+    # Forwarding installed first, revocation second.
+    server.master.set_forwarding_pointer(path.hostid, pointer)
+    server.master.set_revocation(path.hostid, cert)
+    client = world.add_client("c")
+    client.new_agent("u", 1000)
+    proc = client.process(uid=1000)
+    with pytest.raises(KernelError):
+        proc.read_file(f"{path}/f")
+    assert proc.readlink(f"/sfs/{path.mount_name}") == REVOKED_LINK_TARGET
+
+
+def test_revocation_mid_traffic_evicts_cached_mount(world):
+    """Revocation propagating to a client that is actively using the
+    file system (HostID cached, mount live) takes effect immediately:
+    the mount is torn down, the revoked link appears, and a forwarding
+    pointer arriving afterwards cannot bring the name back."""
+    server, path, key = make_server(world, "live.example.com",
+                                    {"/f": b"payload"})
+    _other, other_path, _ok = make_server(world, "elsewhere.example.com")
+    client = world.add_client("c")
+    client.new_agent("u", 1000)
+    proc = client.process(uid=1000)
+    assert proc.read_file(f"{path}/f") == b"payload"  # mount is cached
+    daemon = client.sfscd
+    assert path.hostid in daemon._mounts
+    cert = make_revocation_certificate(key, "live.example.com")
+    daemon._handle_certificate(path, cert)
+    # The cached mount is gone, not just future lookups.
+    assert path.hostid not in daemon._mounts
+    with pytest.raises(KernelError) as excinfo:
+        proc.read_file(f"{path}/f")
+    assert excinfo.value.errno == errno.ENOENT
+    assert proc.readlink(f"/sfs/{path.mount_name}") == REVOKED_LINK_TARGET
+    # A forwarding pointer arriving after the fact changes nothing.
+    pointer = make_forwarding_pointer(key, "live.example.com",
+                                      str(other_path))
+    daemon._handle_certificate(path, pointer)
+    assert proc.readlink(f"/sfs/{path.mount_name}") == REVOKED_LINK_TARGET
+    with pytest.raises(KernelError):
+        proc.read_file(f"{path}/f")

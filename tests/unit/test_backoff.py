@@ -8,26 +8,26 @@ from repro.core.backoff import BackoffPolicy, NO_RETRY
 
 
 def test_first_attempt_is_immediate():
-    delays = list(BackoffPolicy(jitter=0.0).delays())
+    delays = list(BackoffPolicy(jitter=0.0).delays(None))
     assert delays[0] == 0.0
 
 
 def test_exponential_growth_without_jitter():
     policy = BackoffPolicy(max_attempts=6, base_delay=0.05, multiplier=2.0,
                            max_delay=10.0, jitter=0.0)
-    assert list(policy.delays()) == [0.0, 0.05, 0.1, 0.2, 0.4, 0.8]
+    assert list(policy.delays(None)) == [0.0, 0.05, 0.1, 0.2, 0.4, 0.8]
 
 
 def test_cap_applies():
     policy = BackoffPolicy(max_attempts=6, base_delay=1.0, multiplier=4.0,
                            max_delay=3.0, jitter=0.0)
-    assert list(policy.delays()) == [0.0, 1.0, 3.0, 3.0, 3.0, 3.0]
+    assert list(policy.delays(None)) == [0.0, 1.0, 3.0, 3.0, 3.0, 3.0]
 
 
 def test_yields_exactly_max_attempts_values():
     for attempts in (1, 2, 5, 9):
         policy = BackoffPolicy(max_attempts=attempts, jitter=0.0)
-        assert len(list(policy.delays())) == attempts
+        assert len(list(policy.delays(None))) == attempts
 
 
 def test_jitter_bounds_and_determinism():
@@ -35,7 +35,7 @@ def test_jitter_bounds_and_determinism():
                            max_delay=1.0, jitter=0.25)
     exact = list(BackoffPolicy(max_attempts=8, base_delay=0.1,
                                multiplier=2.0, max_delay=1.0,
-                               jitter=0.0).delays())
+                               jitter=0.0).delays(None))
     jittered = list(policy.delays(random.Random(7)))
     assert jittered[0] == 0.0
     for ideal, actual in zip(exact[1:], jittered[1:]):
@@ -45,9 +45,32 @@ def test_jitter_bounds_and_determinism():
     assert jittered != list(policy.delays(random.Random(8)))
 
 
-def test_jitter_without_rng_is_exact():
+def test_jitter_without_rng_fails_loudly():
+    """The old behavior — silently disabling jitter when rng is None —
+    put every forgetful call site into fleet-wide lockstep retries, the
+    exact thundering herd the policy exists to prevent.  Now it raises."""
     policy = BackoffPolicy(max_attempts=3, base_delay=0.5, jitter=0.5)
-    assert list(policy.delays()) == [0.0, 0.5, 1.0]
+    with pytest.raises(ValueError, match="lockstep"):
+        policy.delays(None)
+
+
+def test_rng_argument_is_required():
+    """Forgetting the argument entirely is a TypeError at the call,
+    not a degraded retry train discovered in production."""
+    with pytest.raises(TypeError):
+        BackoffPolicy().delays()  # noqa: deliberate wrong arity
+
+
+def test_two_clients_with_different_seeds_desynchronize():
+    """The thundering-herd regression: two clients retrying against the
+    same dead server must not share a delay train.  Every retry (past
+    the immediate first attempt) should differ between seeds."""
+    policy = BackoffPolicy()  # the production default, jitter enabled
+    train_a = list(policy.delays(random.Random(1)))
+    train_b = list(policy.delays(random.Random(2)))
+    assert train_a[0] == train_b[0] == 0.0
+    for wait_a, wait_b in zip(train_a[1:], train_b[1:]):
+        assert wait_a != wait_b
 
 
 def test_validation():
@@ -60,4 +83,4 @@ def test_validation():
 
 
 def test_no_retry_policy():
-    assert list(NO_RETRY.delays()) == [0.0]
+    assert list(NO_RETRY.delays(None)) == [0.0]

@@ -4,16 +4,23 @@ import random
 
 import pytest
 
+from repro.core import proto
 from repro.core.pathnames import make_path
 from repro.core.readonly import (
     CHUNK_SIZE,
     ReadOnlyClient,
     ReadOnlyError,
+    ReadOnlyImage,
     ReadOnlyStore,
+    RoDir,
+    RoDirEntry,
+    RoFile,
+    RoNode,
     RO_DIR,
     RO_REG,
     publish,
 )
+from repro.crypto.sha1 import sha1
 from repro.crypto.rabin import generate_key
 from repro.fs import pathops
 from repro.fs.memfs import MemFs
@@ -155,6 +162,181 @@ def test_replicate_is_deep_enough(image):
     copy = image.replicate()
     copy.store.clear()
     assert image.store  # original unaffected
+
+
+def make_signed_image(key, location, file_nodes):
+    """Sign a hand-crafted store: an image from a *malicious publisher*.
+
+    Every blob is digest-valid and the root signature verifies — the
+    malformations live in the signed metadata itself (size vs chunk
+    list), which is exactly what a correctly-signing but hostile
+    publisher can produce.
+    """
+    store = {}
+
+    def put(blob):
+        digest = sha1(blob)
+        store[digest] = blob
+        return digest
+
+    entries = []
+    for name, size, chunk_blobs in file_nodes:
+        chunks = [put(blob) for blob in chunk_blobs]
+        node = put(RoNode.pack((RO_REG, RoFile.make(
+            size=size, mode=0o644, chunks=chunks))))
+        entries.append(RoDirEntry.make(name=name, digest=node))
+    root_digest = put(RoNode.pack((RO_DIR, RoDir.make(
+        mode=0o755, entries=entries))))
+    root_bytes = proto.ReadOnlyRoot.pack(proto.ReadOnlyRoot.make(
+        msg_type="RoRoot", location=location,
+        root_digest=root_digest, serial=1,
+    ))
+    return ReadOnlyImage(location, root_bytes, key.sign(root_bytes),
+                         store, key.public_key.to_bytes())
+
+
+def test_size_exceeding_chunk_list_raises_readonly_error(key):
+    """A signed size past the chunk list must not escape as IndexError."""
+    evil = make_signed_image(key, "ro.example.com",
+                             [("f", 3 * CHUNK_SIZE, [b"x" * CHUNK_SIZE])])
+    client, _store = make_client(evil, key)
+    with pytest.raises(ReadOnlyError, match="chunk list"):
+        client.read_file(client.resolve_path("f"))
+    # A read that stays inside the existing chunks is just as rejected:
+    # the node is malformed, not merely short.
+    with pytest.raises(ReadOnlyError):
+        client.read_file(client.resolve_path("f"), 0, 10)
+
+
+def test_size_smaller_than_chunk_list_rejected(key):
+    evil = make_signed_image(key, "ro.example.com",
+                             [("f", 5, [b"x" * CHUNK_SIZE, b"y" * 7])])
+    client, _store = make_client(evil, key)
+    with pytest.raises(ReadOnlyError, match="chunk list"):
+        client.read_file(client.resolve_path("f"))
+
+
+def test_overlength_interior_chunk_rejected(key):
+    """An interior chunk longer than CHUNK_SIZE would silently shift
+    every subsequent byte; it must raise, never misalign."""
+    evil = make_signed_image(
+        key, "ro.example.com",
+        [("f", CHUNK_SIZE + 100,
+          [b"x" * (CHUNK_SIZE + 16), b"y" * 84])],
+    )
+    client, _store = make_client(evil, key)
+    with pytest.raises(ReadOnlyError, match="chunk 0"):
+        client.read_file(client.resolve_path("f"))
+
+
+def test_short_final_chunk_mismatch_rejected(key):
+    evil = make_signed_image(
+        key, "ro.example.com",
+        [("f", CHUNK_SIZE + 100, [b"x" * CHUNK_SIZE, b"y" * 10])],
+    )
+    client, _store = make_client(evil, key)
+    with pytest.raises(ReadOnlyError, match="chunk 1"):
+        client.read_file(client.resolve_path("f"))
+
+
+def test_wellformed_crafted_image_still_reads(key):
+    """The validator accepts exactly what publish() produces."""
+    content = bytes(range(256)) * 40  # 10240 bytes: one full + one partial
+    image = make_signed_image(
+        key, "ro.example.com",
+        [("f", len(content), [content[:CHUNK_SIZE], content[CHUNK_SIZE:]])],
+    )
+    client, _store = make_client(image, key)
+    digest = client.resolve_path("f")
+    assert client.read_file(digest) == content
+    assert client.read_file(digest, CHUNK_SIZE - 5, 10) == (
+        content[CHUNK_SIZE - 5 : CHUNK_SIZE + 5]
+    )
+
+
+def distinct_chunk_image(key, chunks=4, tail=1024):
+    """An image whose file has *distinct* chunk contents (the fixture's
+    repeating pattern dedupes into one blob, which defeats any test of
+    cache pressure)."""
+    import random as _random
+
+    rng = _random.Random(12345)
+    blobs = [bytes(rng.randrange(256) for _ in range(CHUNK_SIZE))
+             for _ in range(chunks - 1)]
+    blobs.append(bytes(rng.randrange(256) for _ in range(tail)))
+    size = (chunks - 1) * CHUNK_SIZE + tail
+    image = make_signed_image(key, "ro.example.com", [("f", size, blobs)])
+    return image, b"".join(blobs)
+
+
+def test_cache_is_bounded_lru(key):
+    from repro.obs.registry import MetricsRegistry
+
+    image, content = distinct_chunk_image(key)
+    metrics = MetricsRegistry()
+    store = ReadOnlyStore(image)
+
+    def fetch_root():
+        res = store.get_root()
+        res.public_key = key.public_key.to_bytes()
+        return res
+
+    client = ReadOnlyClient(
+        make_path("ro.example.com", key.public_key),
+        fetch_root, store.get_data,
+        cache_bytes=2 * CHUNK_SIZE, metrics=metrics,
+    )
+    digest = client.resolve_path("f")
+    assert client.read_file(digest) == content
+    assert metrics.counter("readonly.cache_evictions").value > 0
+    # The cache never exceeds its budget...
+    assert client._cached_bytes <= 2 * CHUNK_SIZE
+    # ...and an evicted blob is refetched on the next read (the cache
+    # does not pretend to still hold the whole image).
+    calls_before = store.getdata_calls
+    assert client.read_file(digest) == content
+    assert store.getdata_calls > calls_before
+
+
+def test_evicted_blob_is_reverified_on_refetch(key):
+    """The verify-on-refetch invariant: eviction means the next fetch
+    goes back to the (untrusted) server and re-checks the digest, so a
+    mirror that turns hostile after the first read is still caught."""
+    image, content = distinct_chunk_image(key)
+    store = ReadOnlyStore(image)
+
+    def fetch_root():
+        res = store.get_root()
+        res.public_key = key.public_key.to_bytes()
+        return res
+
+    client = ReadOnlyClient(
+        make_path("ro.example.com", key.public_key),
+        fetch_root, store.get_data, cache_bytes=2 * CHUNK_SIZE,
+    )
+    digest = client.resolve_path("f")
+    assert client.read_file(digest) == content
+    kind, body = client.node(digest)
+    tampered = body.chunks[0]
+    assert tampered not in client._cache  # evicted under the small budget
+    store.image.store[tampered] = b"Z" * CHUNK_SIZE
+    with pytest.raises(ReadOnlyError, match="digest mismatch"):
+        client.read_file(digest)
+
+
+def test_cache_keeps_hot_blob_under_pressure(key):
+    """LRU, not FIFO: re-touching a blob protects it from eviction."""
+    image, _content = distinct_chunk_image(key, chunks=6)
+    client, _store = make_client(image, key)
+    client._cache_limit = 3 * CHUNK_SIZE
+    digest = client.resolve_path("f")
+    kind, body = client.node(digest)
+    hot = body.chunks[0]
+    client.fetch(hot)
+    for chunk in body.chunks[1:]:
+        client.fetch(hot)  # keep the hot blob most-recently-used
+        client.fetch(chunk)
+    assert hot in client._cache
 
 
 def test_publish_content_addressing_dedupes(key):
