@@ -1,0 +1,241 @@
+"""Closed-loop policy: SLO breaches become mechanism adjustments.
+
+Each actuator reads the tick's :class:`~repro.control.slo.SloStatus`
+map and turns breaches into calls on mechanisms earlier PRs built —
+never new mechanisms of its own:
+
+:class:`AimdAdmission`
+    Drives :meth:`RequestQueue.set_max_depth` per shard, TCP-style:
+    **multiplicative decrease** when that shard's latency SLO breaches
+    (a deep queue is stored latency — shed it to the clients as busy
+    replies, which back off), **additive increase** while latency is
+    healthy but the shard still rejects (capacity to spare; admit
+    more).  Floors and ceilings keep the oscillation bounded.
+
+:class:`ReplicaSteerer`
+    Biases :class:`~repro.fleet.replicas.ReplicaSet` rankings away
+    from mirrors whose per-source SLO breaches, and clears the bias on
+    recovery.  Bias composes with — never overrides — the health
+    machinery: banned or sidelined mirrors stay excluded regardless.
+
+:class:`LoadShedder`
+    Raises the closed-loop generators' think-time multiplier
+    (``set_think_scale``) step-by-step while the fleet latency SLO
+    breaches, and steps it back toward 1.0 on recovery.  This is the
+    only actuator that reaches *outside* the service: when every
+    server-side lever is exhausted, the remaining variable is offered
+    load.
+
+Every adjustment is recorded as a :class:`PolicyAction` in the
+engine's bounded log — the audit trail the bench artifact ships.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..obs.registry import NULL_REGISTRY
+
+
+@dataclass(frozen=True)
+class PolicyAction:
+    """One recorded adjustment (or deliberate non-adjustment)."""
+
+    t: float
+    actuator: str
+    target: str
+    action: str
+    value: float
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {"t": self.t, "actuator": self.actuator,
+                "target": self.target, "action": self.action,
+                "value": self.value, "reason": self.reason}
+
+
+class Actuator:
+    """Interface: read statuses, adjust mechanisms, report actions."""
+
+    name = "actuator"
+
+    def actuate(self, t: float, statuses: dict,
+                collector) -> list[PolicyAction]:
+        raise NotImplementedError
+
+
+class AimdAdmission(Actuator):
+    """Per-shard AIMD on ``RequestQueue.max_depth``.
+
+    Priority order encodes "a reject is worse than slow service": a
+    rejected request got *zero* service and pays a full client backoff
+    cycle, while a queued one merely waits.  So a shard breaching its
+    reject-rate SLO gets **additive increase** up to ``ceiling`` (absorb
+    the wave), and only a shard whose rejects are healthy but whose
+    latency SLO breaches gets **multiplicative decrease** down to
+    ``floor`` (a deep idle-ish queue is stored latency — trim it).
+    """
+
+    name = "aimd-admission"
+
+    def __init__(self, queues: dict[str, object], latency_slo: str,
+                 reject_slo: str, increase: int = 4, decrease: float = 0.5,
+                 floor: int = 2, ceiling: int | None = None) -> None:
+        if not 0.0 < decrease < 1.0:
+            raise ValueError("decrease must be in (0, 1)")
+        self.queues = dict(queues)          #: {source name: RequestQueue}
+        self.latency_slo = latency_slo
+        self.reject_slo = reject_slo
+        self.increase = increase
+        self.decrease = decrease
+        self.floor = floor
+        #: Per-queue headroom bound for additive increase; defaults to
+        #: 4x the configured depth — elastic, but not unbounded memory.
+        self.ceiling = {
+            name: (ceiling if ceiling is not None else 4 * queue.max_depth)
+            for name, queue in self.queues.items()
+        }
+
+    def actuate(self, t, statuses, collector) -> list[PolicyAction]:
+        latency = statuses.get(self.latency_slo)
+        rejects = statuses.get(self.reject_slo)
+        actions: list[PolicyAction] = []
+        for name in sorted(self.queues):
+            queue = self.queues[name]
+            lat = latency.per_source.get(name) if latency else None
+            rej = rejects.per_source.get(name) if rejects else None
+            rejecting = rej is not None and not rejects.spec.healthy(rej)
+            if rejecting:
+                new_depth = min(self.ceiling[name],
+                                queue.max_depth + self.increase)
+                if new_depth > queue.max_depth:
+                    queue.set_max_depth(new_depth)
+                    actions.append(PolicyAction(
+                        t, self.name, name, "max_depth", new_depth,
+                        f"rejecting ({rej:.6g}/s): additive increase",
+                    ))
+            elif lat is not None and not latency.spec.healthy(lat):
+                new_depth = max(self.floor,
+                                int(queue.max_depth * self.decrease))
+                if new_depth < queue.max_depth:
+                    queue.set_max_depth(new_depth)
+                    actions.append(PolicyAction(
+                        t, self.name, name, "max_depth", new_depth,
+                        f"latency {lat:.6g} breaches "
+                        f"{latency.spec.threshold:.6g} with rejects "
+                        "healthy: multiplicative decrease",
+                    ))
+        return actions
+
+
+class ReplicaSteerer(Actuator):
+    """Bias replica selection away from breaching mirrors."""
+
+    name = "replica-steering"
+
+    def __init__(self, replica_sets, slo: str, bias: float = 0.050) -> None:
+        self.replica_sets = list(replica_sets)
+        self.slo = slo
+        self.bias = bias
+        self._biased: set[str] = set()
+
+    def actuate(self, t, statuses, collector) -> list[PolicyAction]:
+        status = statuses.get(self.slo)
+        if status is None:
+            return []
+        actions: list[PolicyAction] = []
+        for name, value in sorted(status.per_source.items()):
+            breaching = not status.spec.healthy(value)
+            if breaching == (name in self._biased):
+                continue
+            applied = False
+            for replica_set in self.replica_sets:
+                try:
+                    replica_set.set_steering_bias(
+                        name, self.bias if breaching else 0.0)
+                    applied = True
+                except KeyError:
+                    continue            # this set has no such mirror
+            if not applied:
+                continue
+            if breaching:
+                self._biased.add(name)
+                reason = (f"{status.spec.name} {value:.6g} breaches "
+                          f"{status.spec.threshold:.6g}")
+            else:
+                self._biased.discard(name)
+                reason = f"{status.spec.name} recovered ({value:.6g})"
+            actions.append(PolicyAction(
+                t, self.name, name, "steering_bias",
+                self.bias if breaching else 0.0, reason))
+        return actions
+
+
+class LoadShedder(Actuator):
+    """Raise closed-loop think time while a fleet SLO breaches."""
+
+    name = "load-shedding"
+
+    def __init__(self, targets, slo: str, step: float = 2.0,
+                 max_scale: float = 16.0, ease: float | None = None) -> None:
+        if step <= 1.0:
+            raise ValueError("step must exceed 1.0")
+        if ease is not None and ease <= 1.0:
+            raise ValueError("ease must exceed 1.0")
+        self.targets = list(targets)        #: anything with set_think_scale
+        self.slo = slo
+        self.step = step
+        #: Fast attack, slow release: shed by ``step`` on a breach tick,
+        #: ease by the (gentler) ``ease`` factor on a healthy one, so
+        #: one quiet window does not throw the load right back.
+        self.ease = ease if ease is not None else step ** 0.25
+        self.max_scale = max_scale
+        self.scale = 1.0
+
+    def actuate(self, t, statuses, collector) -> list[PolicyAction]:
+        status = statuses.get(self.slo)
+        if status is None or status.observed is None:
+            return []
+        if status.breached:
+            new_scale = min(self.max_scale, self.scale * self.step)
+            reason = (f"{status.spec.name} {status.observed:.6g} breaches "
+                      f"{status.spec.threshold:.6g}: shedding")
+        else:
+            new_scale = max(1.0, self.scale / self.ease)
+            reason = f"{status.spec.name} healthy: easing shed"
+        if new_scale == self.scale:
+            return []
+        self.scale = new_scale
+        for target in self.targets:
+            target.set_think_scale(new_scale)
+        return [PolicyAction(t, self.name, "closed-loop-clients",
+                             "think_scale", new_scale, reason)]
+
+
+class PolicyEngine:
+    """Runs every actuator each tick; keeps the bounded action log."""
+
+    def __init__(self, actuators=(), metrics=None,
+                 action_limit: int = 1024) -> None:
+        self.actuators: list[Actuator] = list(actuators)
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.actions: deque[PolicyAction] = deque(maxlen=action_limit)
+        self._f_actions = self.metrics.family("control.policy.actions")
+
+    def add(self, actuator: Actuator) -> Actuator:
+        self.actuators.append(actuator)
+        return actuator
+
+    def actuate(self, t: float, statuses: dict,
+                collector) -> list[PolicyAction]:
+        tick_actions: list[PolicyAction] = []
+        for actuator in self.actuators:
+            for action in actuator.actuate(t, statuses, collector):
+                tick_actions.append(action)
+                self.actions.append(action)
+                self._f_actions.labels(actuator.name).inc()
+        return tick_actions
+
+    def artifact(self) -> list[dict]:
+        return [action.to_dict() for action in self.actions]

@@ -1,0 +1,251 @@
+"""Declarative fleet-wide SLOs evaluated against collector state.
+
+An :class:`SloSpec` names a metric (glob patterns allowed), a reduction
+and a threshold:
+
+    SloSpec("shard-wait-p99", metric="server.queue.wait_seconds",
+            reduce="p99", threshold=0.050, scope="sources")
+
+Every control tick the engine resolves the spec against the collector:
+
+* ``scope="merged"`` reads the fleet-level merged snapshot;
+* ``scope="sources"`` reads every non-dead source separately and takes
+  the **worst** match (max under ``op="<="``, min under ``op=">="``) —
+  per-source values stay available to actuators that steer individual
+  shards or mirrors.
+
+Reductions over histograms (``p50``/``p95``/``p99``/``mean``/``count``)
+and counter ``rate`` are **windowed** by default: computed on the diff
+of the two newest ring snapshots, so the signal tracks *current*
+behaviour instead of averaging over the whole run (a breach can end).
+``value``/``peak`` read gauges instantly and ``total`` reads cumulative
+counters.
+
+The engine emits ``control.slo.<name>`` (observed value) and
+``control.slo.<name>.healthy`` gauges, counts breach ticks in the
+``control.slo.breach_ticks`` family, and records **transition events**
+(healthy→breach, breach→healthy) in a bounded log for artifacts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+
+from ..obs.registry import NULL_REGISTRY
+
+#: Reductions that read per-tick windows when the ring allows it.
+_WINDOWED = ("p50", "p95", "p99", "mean", "count", "rate")
+_INSTANT = ("value", "peak", "total")
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One service-level objective, declaratively."""
+
+    name: str
+    metric: str                 #: dotted metric name; fnmatch globs ok
+    reduce: str = "value"       #: p50|p95|p99|mean|count|rate|value|peak|total
+    threshold: float = 0.0
+    op: str = "<="              #: healthy when ``observed op threshold``
+    scope: str = "merged"       #: "merged" (fleet) or "sources" (worst-of)
+    #: Windowed reductions look back this many collector ticks: 1 = the
+    #: newest interval, larger = smoother signal (quantiles over one
+    #: control period can rest on a handful of observations).
+    window: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.reduce not in _WINDOWED + _INSTANT:
+            raise ValueError(f"unknown reduction {self.reduce!r}")
+        if self.op not in ("<=", ">="):
+            raise ValueError(f"unknown op {self.op!r} (use '<=' or '>=')")
+        if self.scope not in ("merged", "sources"):
+            raise ValueError(f"unknown scope {self.scope!r}")
+        if self.window < 1:
+            raise ValueError("window must be at least 1 tick")
+
+    def healthy(self, observed: float) -> bool:
+        if self.op == "<=":
+            return observed <= self.threshold
+        return observed >= self.threshold
+
+    def worse(self, a: float, b: float) -> float:
+        """The worse of two observations under this spec's op."""
+        return max(a, b) if self.op == "<=" else min(a, b)
+
+
+@dataclass
+class SloStatus:
+    """One spec's evaluation at one tick."""
+
+    spec: SloSpec
+    t: float
+    observed: float | None = None     #: worst matching value; None = no data
+    healthy: bool = True
+    #: scope="sources": worst value per source (actuator steering input).
+    per_source: dict[str, float] = field(default_factory=dict)
+    worst_source: str | None = None
+
+    @property
+    def breached(self) -> bool:
+        return self.observed is not None and not self.healthy
+
+
+def _reduce(value, reduce: str, dt: float) -> float | None:
+    """Apply a reduction to one metric's snapshot value, or None if the
+    shape does not support it (a glob can sweep in mixed shapes)."""
+    if isinstance(value, dict) and value.get("type") == "histogram":
+        if reduce in ("p50", "p95", "p99", "mean"):
+            return float(value[reduce])
+        if reduce == "count":
+            return float(value["count"])
+        if reduce == "rate":
+            return value["count"] / dt if dt > 0 else 0.0
+        return None
+    if isinstance(value, dict) and value.get("type") == "gauge":
+        if reduce in ("value", "peak"):
+            return float(value[reduce])
+        return None
+    if isinstance(value, dict):      # family
+        if value.get("type") == "family":
+            total = sum(value["values"].values())
+            if reduce in ("total", "count"):
+                return float(total)
+            if reduce == "rate":
+                return total / dt if dt > 0 else 0.0
+        return None
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, int):       # counter
+        if reduce in ("total", "count"):
+            return float(value)
+        if reduce == "rate":
+            return value / dt if dt > 0 else 0.0
+        return None
+    if isinstance(value, float):     # plain gauge
+        return value if reduce == "value" else None
+    return None
+
+
+class SloEngine:
+    """Evaluates a set of specs each tick and tracks breach state."""
+
+    def __init__(self, specs=(), metrics=None, event_limit: int = 256
+                 ) -> None:
+        self.specs: list[SloSpec] = list(specs)
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.statuses: dict[str, SloStatus] = {}
+        #: healthy/breach *transitions* only — bounded, artifact-ready.
+        self.events: deque[dict] = deque(maxlen=event_limit)
+        self._breached: set[str] = set()
+        self._f_breach_ticks = self.metrics.family("control.slo.breach_ticks")
+
+    def add(self, spec: SloSpec) -> SloSpec:
+        if any(existing.name == spec.name for existing in self.specs):
+            raise ValueError(f"SLO {spec.name!r} already defined")
+        self.specs.append(spec)
+        return spec
+
+    # -- evaluation --------------------------------------------------------
+
+    def _snapshot_for(self, record_window, latest, windowed: bool):
+        """Pick windowed vs cumulative metrics and the window length."""
+        if windowed and record_window is not None:
+            dt, diff = record_window
+            return diff.get("metrics", {}), dt
+        if latest is None:
+            return {}, 0.0
+        return latest.get("metrics", {}), 0.0
+
+    def _evaluate_metrics(self, spec: SloSpec, metrics: dict, dt: float
+                          ) -> float | None:
+        worst: float | None = None
+        for name, value in metrics.items():
+            if not fnmatchcase(name, spec.metric):
+                continue
+            reduced = _reduce(value, spec.reduce, dt)
+            if reduced is None:
+                continue
+            worst = reduced if worst is None else spec.worse(worst, reduced)
+        return worst
+
+    def evaluate(self, collector, t: float) -> dict[str, SloStatus]:
+        """Evaluate every spec; returns {name: status} (also stored)."""
+        self.statuses = {}
+        for spec in self.specs:
+            status = SloStatus(spec=spec, t=t)
+            windowed = spec.reduce in _WINDOWED
+            if spec.scope == "merged":
+                metrics, dt = self._snapshot_for(
+                    collector.merged_window(spec.window), collector.merged,
+                    windowed)
+                status.observed = self._evaluate_metrics(spec, metrics, dt)
+            else:
+                for name in sorted(collector.sources):
+                    record = collector.sources[name]
+                    if record.state == "dead":
+                        continue
+                    metrics, dt = self._snapshot_for(
+                        record.window(spec.window), record.latest, windowed)
+                    value = self._evaluate_metrics(spec, metrics, dt)
+                    if value is None:
+                        continue
+                    status.per_source[name] = value
+                    if (status.observed is None
+                            or spec.worse(status.observed, value) == value):
+                        status.observed = value
+                        status.worst_source = name
+            if status.observed is not None:
+                status.healthy = spec.healthy(status.observed)
+            self._publish(spec, status, t)
+            self.statuses[spec.name] = status
+        return self.statuses
+
+    def _publish(self, spec: SloSpec, status: SloStatus, t: float) -> None:
+        if status.observed is not None:
+            self.metrics.gauge(f"control.slo.{spec.name}").set(
+                status.observed)
+        self.metrics.gauge(f"control.slo.{spec.name}.healthy").set(
+            0.0 if status.breached else 1.0)
+        was_breached = spec.name in self._breached
+        if status.breached:
+            self._f_breach_ticks.labels(spec.name).inc()
+            self._breached.add(spec.name)
+        else:
+            self._breached.discard(spec.name)
+        if status.breached != was_breached:
+            self.events.append({
+                "t": t,
+                "slo": spec.name,
+                "event": "breach" if status.breached else "recovered",
+                "observed": status.observed,
+                "threshold": spec.threshold,
+                "op": spec.op,
+                "worst_source": status.worst_source,
+            })
+
+    def artifact(self) -> dict:
+        """Current status of every SLO + the transition event log."""
+        return {
+            "specs": [
+                {
+                    "name": spec.name, "metric": spec.metric,
+                    "reduce": spec.reduce, "threshold": spec.threshold,
+                    "op": spec.op, "scope": spec.scope,
+                    "description": spec.description,
+                }
+                for spec in self.specs
+            ],
+            "statuses": {
+                name: {
+                    "observed": status.observed,
+                    "healthy": status.healthy,
+                    "worst_source": status.worst_source,
+                    "per_source": dict(sorted(status.per_source.items())),
+                }
+                for name, status in sorted(self.statuses.items())
+            },
+            "events": list(self.events),
+        }

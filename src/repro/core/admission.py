@@ -35,7 +35,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
-from ..obs.registry import NULL_REGISTRY
+from ..obs.registry import NULL_REGISTRY, Gauge
 from ..sim.clock import Clock
 from ..sim.sched import Future, Scheduler, Sleep
 
@@ -87,18 +87,33 @@ class RequestQueue:
         self.service_time = service_time
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.depth = 0
-        #: High-water mark of :attr:`depth`, for reports and assertions.
-        self.peak_depth = 0
         self._fifo: deque[QueuedRequest] = deque()
         #: fair-share state: per-connection queues + round-robin order.
         self._per_conn: dict[object, deque[QueuedRequest]] = {}
         self._rotation: deque[object] = deque()
         self._wakeup: Future | None = None
-        self._g_depth = self.metrics.gauge("server.queue.depth")
+        self._g_depth = self.metrics.gauge("server.queue.depth",
+                                           track_peak=True)
+        #: Private watermark: the registry gauge can be shared by every
+        #: queue in a World (same dotted name), so its peak is the
+        #: *world-wide* depth watermark; this one is exactly this
+        #: queue's, whatever registry (even a disabled one) is in use.
+        self._watermark = Gauge("server.queue.depth#local", track_peak=True)
+        self._g_max_depth = self.metrics.gauge("server.queue.max_depth")
+        self._g_max_depth.set(max_depth)
         self._m_admitted = self.metrics.counter("server.queue.admitted")
         self._m_rejected = self.metrics.counter("server.queue.rejected")
         self._m_failures = self.metrics.counter("server.queue.job_failures")
         self._m_wait = self.metrics.histogram("server.queue.wait_seconds")
+
+    @property
+    def peak_depth(self) -> int:
+        """High-water mark of :attr:`depth` — the depth gauge's peak."""
+        return int(self._watermark.peak)
+
+    def _set_depth(self, depth: int) -> None:
+        self._g_depth.set(depth)
+        self._watermark.set(depth)
 
     # -- admission ---------------------------------------------------------
 
@@ -118,9 +133,7 @@ class RequestQueue:
         else:
             self._fifo.append(request)
         self.depth += 1
-        if self.depth > self.peak_depth:
-            self.peak_depth = self.depth
-        self._g_depth.set(self.depth)
+        self._set_depth(self.depth)  # the gauges track the peak too
         self._m_admitted.inc()
         if self._wakeup is not None:
             self._wakeup.resolve()
@@ -150,19 +163,25 @@ class RequestQueue:
                 conn_id = self._rotation.popleft()
                 queue = self._per_conn.get(conn_id)
                 if not queue:
+                    # A cleared (or never-refilled) connection: drop its
+                    # per-conn entry so dead conn_ids do not accumulate
+                    # across redials on a long-lived server.
+                    self._per_conn.pop(conn_id, None)
                     continue
                 request = queue.popleft()
                 if queue:
                     self._rotation.append(conn_id)
+                else:
+                    del self._per_conn[conn_id]
                 self.depth -= 1
-                self._g_depth.set(self.depth)
+                self._set_depth(self.depth)
                 return request
             return None
         if not self._fifo:
             return None
         request = self._fifo.popleft()
         self.depth -= 1
-        self._g_depth.set(self.depth)
+        self._set_depth(self.depth)
         return request
 
     def _arrival(self) -> Future:
@@ -197,6 +216,21 @@ class RequestQueue:
             except Exception:  # noqa: BLE001 - a worker must not die
                 self._m_failures.inc()
 
+    # -- dynamic control ---------------------------------------------------
+
+    def set_max_depth(self, max_depth: int) -> int:
+        """Retune the admission bound at runtime; returns the new value.
+
+        Values below 1 clamp to 1.  Shrinking below the current depth is
+        safe by construction: already-admitted requests stay queued and
+        get served, and only *new* admissions see the tighter bound
+        (``submit`` compares against ``max_depth`` at admission time).
+        The control plane's AIMD actuator drives this.
+        """
+        self.max_depth = max(1, int(max_depth))
+        self._g_max_depth.set(self.max_depth)
+        return self.max_depth
+
     # -- lifecycle ---------------------------------------------------------
 
     def clear(self) -> int:
@@ -204,12 +238,17 @@ class RequestQueue:
 
         Clients learn the same way they learn about any crash: their
         link closes and their in-flight futures fail with
-        ``RpcTransportDown``, so no busy replies are sent here.
+        ``RpcTransportDown``, so no busy replies are sent here.  All
+        volatile accounting dies with the machine: the depth gauge, its
+        peak watermark, and the fair-share per-connection queues and
+        rotation (whose conn_ids name connections that no longer exist).
         """
         dropped = self.depth
         self._fifo.clear()
         self._per_conn.clear()
         self._rotation.clear()
         self.depth = 0
-        self._g_depth.set(0)
+        self._set_depth(0)
+        self._g_depth.reset_peak()
+        self._watermark.reset_peak()
         return dropped

@@ -122,6 +122,11 @@ class Replica:
         self._fetchers = None
         #: EWMA of observed fetch latency; None until first probe.
         self.latency: float | None = None
+        #: Additive rank penalty (simulated seconds) steered in by the
+        #: control plane: a positive bias makes this mirror look slower
+        #: than measured, shifting selection toward its peers without
+        #: touching health state (a ban still trumps any bias).
+        self.steering_bias = 0.0
         self.fetches = 0
         self.failures = 0
         self.banned = False
@@ -132,7 +137,8 @@ class Replica:
 
     def rank(self) -> float:
         """Selection score: lower is better; unprobed ranks first."""
-        return -1.0 if self.latency is None else self.latency
+        base = -1.0 if self.latency is None else self.latency
+        return base + self.steering_bias
 
     def _connected(self):
         if self._fetchers is None:
@@ -179,6 +185,7 @@ class Replica:
         return {
             "name": self.name,
             "latency_ewma": self.latency,
+            "steering_bias": self.steering_bias,
             "fetches": self.fetches,
             "failures": self.failures,
             "banned": self.banned,
@@ -214,6 +221,31 @@ class ReplicaSet:
         self._m_backoff_waits = metrics.counter(
             "fleet.replica.backoff_waits"
         )
+        self._m_steering = metrics.counter("fleet.replica.steering_updates")
+
+    # -- steering ------------------------------------------------------------
+
+    def set_steering_bias(self, name: str, bias: float) -> None:
+        """Steer selection away from (bias > 0) or back toward (0) the
+        named replica.  The bias composes with, never overrides, health
+        state: a banned mirror stays banned and a sidelined one stays
+        sidelined no matter the bias — steering is a *preference*, the
+        demotion rules are *policy* (PROTOCOLS.md §13/§14).
+        """
+        for replica in self.replicas:
+            if replica.name == name:
+                if replica.steering_bias != bias:
+                    replica.steering_bias = bias
+                    self._m_steering.inc()
+                return
+        raise KeyError(f"no replica named {name!r} in this set")
+
+    def clear_steering(self) -> None:
+        """Drop every steering bias (rankings return to raw EWMA)."""
+        for replica in self.replicas:
+            if replica.steering_bias:
+                replica.steering_bias = 0.0
+                self._m_steering.inc()
 
     # -- selection ----------------------------------------------------------
 

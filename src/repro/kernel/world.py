@@ -57,11 +57,18 @@ class ServerMachine:
     """One server host: an SfsServerMaster plus its exports."""
 
     def __init__(self, world: "World", location: str,
-                 with_disk: bool = True) -> None:
+                 with_disk: bool = True, metrics=None) -> None:
         self.world = world
         self.location = location
+        #: With a control plane, *metrics* is a TeeRegistry writing
+        #: through to both the world registry and this machine's own
+        #: (``self.registry``, set by World.add_server) — the
+        #: collector's per-source view.  Without one it is simply the
+        #: world registry, as it always was.
+        self.metrics = metrics if metrics is not None else world.metrics
+        self.registry = None
         self.master = SfsServerMaster(location, world.clock, world.rng,
-                                      metrics=world.metrics)
+                                      metrics=self.metrics)
         self.with_disk = with_disk
         self.exports: dict[str, tuple[SelfCertifyingPath, MemFs, AuthServer]] = {}
         #: This machine's network interface, one shared medium per
@@ -72,7 +79,7 @@ class ServerMachine:
 
     def _new_fs(self, fsid: int) -> MemFs:
         disk = Disk(self.world.clock, DiskParameters.ibm_18es(),
-                    metrics=self.world.metrics) \
+                    metrics=self.metrics) \
             if self.with_disk else None
         return MemFs(fsid=fsid, disk=disk)
 
@@ -187,14 +194,18 @@ class ClientMachine:
 
     def __init__(self, world: "World", hostname: str,
                  encrypt: bool = True, caching: bool = True,
-                 with_disk: bool = True) -> None:
+                 with_disk: bool = True, metrics=None) -> None:
         self.world = world
         self.hostname = hostname
-        self.kernel = Kernel(world.clock, hostname, metrics=world.metrics)
+        #: See ServerMachine: a TeeRegistry under a control plane,
+        #: otherwise the world registry.
+        self.metrics = metrics if metrics is not None else world.metrics
+        self.registry = None
+        self.kernel = Kernel(world.clock, hostname, metrics=self.metrics)
         disk = Disk(world.clock, DiskParameters.ibm_18es(),
-                    metrics=world.metrics) if with_disk else None
+                    metrics=self.metrics) if with_disk else None
         self.local_fs = MemFs(fsid=0x100, disk=disk)
-        self.local_server = Nfs3Server(self.local_fs, metrics=world.metrics,
+        self.local_server = Nfs3Server(self.local_fs, metrics=self.metrics,
                                        clock=world.clock)
         self.kernel.mount_root(self.local_server.program,
                                self.local_server.root_handle())
@@ -203,7 +214,7 @@ class ClientMachine:
         root.mkdir("/sfs")
         self.sfscd = SfsClientDaemon(
             world.clock, world.rng, world.connector, self.mounter,
-            encrypt=encrypt, caching=caching, metrics=world.metrics,
+            encrypt=encrypt, caching=caching, metrics=self.metrics,
         )
         self.mounter.mount("/sfs", self.sfscd.program,
                            self.sfscd.root_handle())
@@ -304,6 +315,9 @@ class World:
         #: Set by :meth:`enable_contention`: new links to a server share
         #: its NIC media, so concurrent clients queue for bandwidth.
         self.contention = False
+        #: Created by :meth:`enable_control`; once present, every new
+        #: machine gets a per-source registry and a collector heartbeat.
+        self.control = None
 
     # -- concurrency --
 
@@ -321,20 +335,67 @@ class World:
         independent per-record charges bit-for-bit."""
         self.contention = True
 
+    def enable_control(self, period: float = 0.010, ring_size: int = 64,
+                       stale_after: int = 2, dead_after: int = 5,
+                       start: bool = True):
+        """Create (once) this world's fleet control plane.
+
+        Machines added *after* this call get per-source tee registries
+        and collector heartbeats; machines that already exist are
+        adopted for liveness tracking only (their instruments are
+        already bound to the world registry).  With ``start=True`` the
+        control loop runs as a scheduler daemon every *period* virtual
+        seconds; pass ``start=False`` to drive :meth:`ControlPlane.tick`
+        by hand (tests).  See :mod:`repro.control`.
+        """
+        if self.control is None:
+            from ..control.plane import ControlPlane  # control builds on world
+
+            self.control = ControlPlane(
+                self, period=period, ring_size=ring_size,
+                stale_after=stale_after, dead_after=dead_after,
+            )
+            for server in self.servers.values():
+                self.control.adopt_server(server)
+            for client in self.clients.values():
+                self.control.adopt_client(client)
+            if start:
+                self.control.start()
+        return self.control
+
     # -- topology --
+
+    def _machine_metrics(self):
+        """(tee, per-source registry) for a new machine, or (None, None)."""
+        if self.control is None:
+            return None, None
+        from ..obs.registry import TeeRegistry
+
+        registry = self.control.new_registry()
+        return TeeRegistry(self.metrics, registry), registry
 
     def add_server(self, location: str, with_disk: bool = True
                    ) -> ServerMachine:
-        server = ServerMachine(self, location, with_disk=with_disk)
+        metrics, registry = self._machine_metrics()
+        server = ServerMachine(self, location, with_disk=with_disk,
+                               metrics=metrics)
         self.servers[location] = server
+        if registry is not None:
+            server.registry = registry
+            self.control.adopt_server(server)
         return server
 
     def add_client(self, hostname: str, encrypt: bool = True,
                    caching: bool = True, with_disk: bool = True
                    ) -> ClientMachine:
+        metrics, registry = self._machine_metrics()
         client = ClientMachine(self, hostname, encrypt=encrypt,
-                               caching=caching, with_disk=with_disk)
+                               caching=caching, with_disk=with_disk,
+                               metrics=metrics)
         self.clients[hostname] = client
+        if registry is not None:
+            client.registry = registry
+            self.control.adopt_client(client)
         return client
 
     def set_link_params(self, location: str,
@@ -381,7 +442,7 @@ class World:
                  if self.contention else None)
         client_side, server_side = link_pair(
             self.clock, self.link_params.get(location, self.lan_params),
-            adversary, metrics=self.metrics, media=media,
+            adversary, metrics=server.metrics, media=media,
         )
         if self.scheduler is not None:
             # Synchronous callers (handshakes, reconnects) wait out a

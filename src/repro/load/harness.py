@@ -132,7 +132,13 @@ class LoadHarness:
         )
         self.sessions: list[ServerSession] = []
         self.handles: list[bytes] = []
+        #: Load-shedding hook (control plane): closed-loop clients
+        #: multiply every think-time draw by this factor, so raising it
+        #: lowers the offered rate without disturbing the rng sequence.
+        self.think_scale = 1.0
         self._m_op_seconds = self.world.metrics.histogram("load.op_seconds")
+        self._m_shed = self.world.metrics.gauge("load.think_scale")
+        self._m_shed.set(1.0)
         self._connect_sessions()
         self._resolve_handles()
 
@@ -238,6 +244,18 @@ class LoadHarness:
         self._m_op_seconds.observe(latency)
         return True
 
+    def set_think_scale(self, scale: float) -> float:
+        """Shed (scale > 1) or restore (1.0) closed-loop offered load.
+
+        The control plane's load-shedding actuator calls this when a
+        fleet SLO breaches; clients pick the new factor up on their next
+        think-time draw.  Never drops below 1.0 — shedding can only
+        slow clients down, not speed them past the configured load.
+        """
+        self.think_scale = max(1.0, float(scale))
+        self._m_shed.set(self.think_scale)
+        return self.think_scale
+
     def _closed_loop_client(self, index: int, report: LoadReport):
         config = self.config
         session = self.sessions[index]
@@ -246,7 +264,8 @@ class LoadHarness:
         think_rng = random.Random((config.seed << 16) ^ index)
         for _op in range(config.ops_per_client):
             if config.think_time > 0:
-                yield Sleep(think_rng.expovariate(1.0 / config.think_time))
+                yield Sleep(think_rng.expovariate(1.0 / config.think_time)
+                            * self.think_scale)
             yield from self._run_op(session, stream, report)
 
     # -- run loops ---------------------------------------------------------

@@ -1,26 +1,56 @@
-"""Pretty-print an exported metrics snapshot.
+"""Inspect, merge, and diff exported metrics snapshots.
 
-    python -m repro.obs snapshot.json
+    python -m repro.obs snapshot.json                  # pretty-print
+    python -m repro.obs show snapshot.json             # same, explicit
+    python -m repro.obs merge a.json b.json -o out.json
+    python -m repro.obs diff before.json after.json
 
-Accepts both single snapshots (``write_snapshot``) and collections
-(``SnapshotCollector`` / ``python -m repro.bench --metrics-out``).
+``show`` accepts both single snapshots (``write_snapshot``) and
+collections (``SnapshotCollector`` / ``python -m repro.bench
+--metrics-out``).  ``merge`` combines any number of snapshot files into
+one fleet-level snapshot using the registry-merge rules (counters and
+families sum, gauges last-write with peaks maxed, histograms merge
+bucket-wise so the merged p99 is computable); a collection file
+contributes every snapshot it contains.  ``diff`` subtracts the
+monotonic instruments of two snapshots of the same source — the
+before/after view multi-World bench artifacts previously needed ad-hoc
+scripts for.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .export import format_snapshot, load_snapshot
+from .merge import diff_snapshots, merge_snapshots
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.obs",
-        description="Pretty-print an observability snapshot file.",
-    )
-    parser.add_argument("snapshot", help="path to a snapshot JSON file")
-    args = parser.parse_args(argv)
+def _flatten(paths: list[str]) -> dict[str, dict]:
+    """Load files into {name: snapshot}, expanding collections."""
+    named: dict[str, dict] = {}
+    for path in paths:
+        data = load_snapshot(path)
+        if "snapshots" in data:
+            for name in sorted(data["snapshots"]):
+                named[f"{path}:{name}"] = data["snapshots"][name]
+        else:
+            named[path] = data
+    return named
+
+
+def _single(path: str) -> dict:
+    data = load_snapshot(path)
+    if "snapshots" in data:
+        raise SystemExit(
+            f"{path} is a snapshot collection; diff wants single "
+            "snapshots (merge it first)"
+        )
+    return data
+
+
+def _cmd_show(args) -> int:
     data = load_snapshot(args.snapshot)
     if "snapshots" in data:
         for index, name in enumerate(sorted(data["snapshots"])):
@@ -30,6 +60,67 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print(format_snapshot(data))
     return 0
+
+
+def _cmd_merge(args) -> int:
+    merged = merge_snapshots(_flatten(args.snapshots))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(merged, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"merged {merged['meta']['merged_from']} snapshot(s) "
+              f"into {args.output}")
+    else:
+        print(format_snapshot(merged, heading="merged"))
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    delta = diff_snapshots(_single(args.before), _single(args.after))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(delta, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"diff written to {args.output}")
+    else:
+        print(format_snapshot(
+            delta, heading=f"{args.before} -> {args.after}"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Back-compat: `python -m repro.obs snapshot.json` still works.
+    if argv and argv[0] not in ("show", "merge", "diff", "-h", "--help"):
+        argv.insert(0, "show")
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect, merge, and diff observability snapshots.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    show = commands.add_parser("show", help="pretty-print a snapshot file")
+    show.add_argument("snapshot", help="path to a snapshot JSON file")
+    show.set_defaults(func=_cmd_show)
+
+    merge = commands.add_parser(
+        "merge", help="merge snapshot files into one fleet-level snapshot")
+    merge.add_argument("snapshots", nargs="+",
+                       help="snapshot or collection JSON files")
+    merge.add_argument("-o", "--output", default=None,
+                       help="write merged JSON here (default: print table)")
+    merge.set_defaults(func=_cmd_merge)
+
+    diff = commands.add_parser(
+        "diff", help="subtract two snapshots of the same source")
+    diff.add_argument("before", help="earlier snapshot JSON file")
+    diff.add_argument("after", help="later snapshot JSON file")
+    diff.add_argument("-o", "--output", default=None,
+                      help="write diff JSON here (default: print table)")
+    diff.set_defaults(func=_cmd_diff)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
 
 
 if __name__ == "__main__":

@@ -126,6 +126,8 @@ def format_metrics(snapshot: dict, title: str = "Metrics") -> str:
         elif isinstance(value, dict) and value.get("type") == "family":
             for label, count in value["values"].items():
                 rows.append((f"{name}{{{label}}}", count))
+        elif isinstance(value, dict) and value.get("type") == "gauge":
+            rows.append((name, f"{value['value']:g} (peak {value['peak']:g})"))
         else:
             rows.append((name, value))
     return _format_table(title, ["metric", "value"], rows)

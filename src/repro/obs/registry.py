@@ -46,25 +46,51 @@ class Counter:
 
 
 class Gauge:
-    """A value that can move both ways (queue depths, cache sizes)."""
+    """A value that can move both ways (queue depths, cache sizes).
 
-    __slots__ = ("name", "value")
+    With ``track_peak`` the gauge also keeps a high-watermark: the
+    largest value it has held since creation (or the last
+    :meth:`reset_peak`).  Peaked gauges snapshot as a dict carrying
+    both numbers, so exported artifacts answer "how deep did the queue
+    get" without ad-hoc side counters.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "value", "track_peak", "peak")
+
+    def __init__(self, name: str, track_peak: bool = False) -> None:
         self.name = name
         self.value = 0.0
+        self.track_peak = track_peak
+        self.peak = 0.0
+
+    def enable_peak(self) -> None:
+        """Upgrade an existing gauge to watermark tracking in place."""
+        self.track_peak = True
+        if self.peak < self.value:
+            self.peak = self.value
 
     def set(self, value: float) -> None:
         self.value = value
+        if value > self.peak:
+            self.peak = value
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        self.set(self.value + amount)
 
     def dec(self, amount: float = 1.0) -> None:
         self.value -= amount
 
-    def snapshot(self) -> float:
-        return self.value
+    def reset_peak(self) -> None:
+        """Restart the watermark from the current value (e.g. after a
+        crash wipes the state the old peak described)."""
+        self.peak = self.value
+
+    def snapshot(self):
+        if self.track_peak:
+            return {"type": "gauge", "value": self.value, "peak": self.peak}
+        # Always a float, so snapshot JSON distinguishes gauges from
+        # counters (ints) — the merge helper's dispatch relies on it.
+        return float(self.value)
 
 
 class Histogram:
@@ -195,8 +221,11 @@ class MetricsRegistry:
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter, Counter)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge, Gauge)
+    def gauge(self, name: str, track_peak: bool = False) -> Gauge:
+        gauge = self._get(name, Gauge, Gauge)
+        if track_peak:
+            gauge.enable_peak()
+        return gauge
 
     def histogram(self, name: str,
                   bounds: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
@@ -248,8 +277,9 @@ class ScopedRegistry:
     def counter(self, name: str) -> Counter:
         return self._parent.counter(f"{self.prefix}.{name}")
 
-    def gauge(self, name: str) -> Gauge:
-        return self._parent.gauge(f"{self.prefix}.{name}")
+    def gauge(self, name: str, track_peak: bool = False) -> Gauge:
+        return self._parent.gauge(f"{self.prefix}.{name}",
+                                  track_peak=track_peak)
 
     def histogram(self, name: str,
                   bounds: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
@@ -271,6 +301,8 @@ class _NullInstrument:
     count = 0
     sum = 0.0
     mean = 0.0
+    peak = 0
+    track_peak = False
 
     def inc(self, amount=1) -> None:
         pass
@@ -279,6 +311,12 @@ class _NullInstrument:
         pass
 
     def set(self, value) -> None:
+        pass
+
+    def enable_peak(self) -> None:
+        pass
+
+    def reset_peak(self) -> None:
         pass
 
     def observe(self, value) -> None:
@@ -318,7 +356,7 @@ class NullRegistry:
     def counter(self, name: str) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def gauge(self, name: str) -> _NullInstrument:
+    def gauge(self, name: str, track_peak: bool = False) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
     def histogram(self, name: str,
@@ -337,3 +375,97 @@ class NullRegistry:
 
 #: The shared disabled registry; safe to hand to any number of components.
 NULL_REGISTRY = NullRegistry()
+
+
+class _TeeInstrument:
+    """One instrument writing through to two underlying instruments.
+
+    Reads (``value``, ``peak``, ``snapshot`` ...) come from the
+    *primary*; writes go to both.  That keeps the primary the source of
+    truth for existing consumers while the secondary accumulates the
+    same series under another registry.
+    """
+
+    __slots__ = ("_primary", "_secondary")
+
+    def __init__(self, primary, secondary) -> None:
+        self._primary = primary
+        self._secondary = secondary
+
+    def __getattr__(self, name):
+        return getattr(self._primary, name)
+
+    def inc(self, amount=1) -> None:
+        self._primary.inc(amount)
+        self._secondary.inc(amount)
+
+    def dec(self, amount=1) -> None:
+        self._primary.dec(amount)
+        self._secondary.dec(amount)
+
+    def set(self, value) -> None:
+        self._primary.set(value)
+        self._secondary.set(value)
+
+    def observe(self, value) -> None:
+        self._primary.observe(value)
+        self._secondary.observe(value)
+
+    def reset_peak(self) -> None:
+        self._primary.reset_peak()
+        self._secondary.reset_peak()
+
+    def labels(self, key) -> "_TeeInstrument":
+        return _TeeInstrument(self._primary.labels(key),
+                              self._secondary.labels(key))
+
+
+class TeeRegistry:
+    """A registry view fanning every write into two registries.
+
+    The fleet control plane uses this to give each simulated machine a
+    *per-source* registry (what its heartbeat reports to the collector)
+    without breaking the world-wide registry every existing test and
+    bench reads: instruments created through the tee update both.
+    ``layers`` and ``scope`` delegate to the primary only — layer
+    attribution is a per-World concern, not a per-source one.
+    """
+
+    __slots__ = ("_primary", "_secondary")
+
+    def __init__(self, primary, secondary) -> None:
+        self._primary = primary
+        self._secondary = secondary
+
+    @property
+    def enabled(self) -> bool:
+        return self._primary.enabled or self._secondary.enabled
+
+    @property
+    def layers(self):
+        return self._primary.layers
+
+    def counter(self, name: str) -> _TeeInstrument:
+        return _TeeInstrument(self._primary.counter(name),
+                              self._secondary.counter(name))
+
+    def gauge(self, name: str, track_peak: bool = False) -> _TeeInstrument:
+        return _TeeInstrument(
+            self._primary.gauge(name, track_peak=track_peak),
+            self._secondary.gauge(name, track_peak=track_peak),
+        )
+
+    def histogram(self, name: str,
+                  bounds: Iterable[float] = DEFAULT_BUCKETS) -> _TeeInstrument:
+        return _TeeInstrument(self._primary.histogram(name, bounds),
+                              self._secondary.histogram(name, bounds))
+
+    def family(self, name: str) -> _TeeInstrument:
+        return _TeeInstrument(self._primary.family(name),
+                              self._secondary.family(name))
+
+    def scope(self, prefix: str):
+        return self._primary.scope(prefix)
+
+    def snapshot(self) -> dict:
+        return self._primary.snapshot()

@@ -170,3 +170,66 @@ def test_fair_share_clear_resets_rotation():
     queue.submit("c", lambda: served.append("c"))
     pump_all(sched)
     assert served == ["c"]
+
+
+def test_crash_with_deep_fair_share_queue_leaves_no_stale_state():
+    """Regression: a server crash (clear) mid-rotation must drop every
+    piece of volatile accounting — per-connection queues, the rotation,
+    the depth gauge AND its peak — or a restarted server inherits
+    phantom connections and a watermark from its previous life."""
+    _clock, sched, registry, queue = make(max_depth=16, policy=FAIR_SHARE)
+    for conn in ("a", "b", "c"):
+        for index in range(3):
+            queue.submit(conn, lambda: None)
+    # Serve a couple so the rotation is mid-cycle when the crash hits.
+    assert queue._pop() is not None
+    assert queue._pop() is not None
+    assert queue.peak_depth == 9
+    assert queue.clear() == 7
+    assert queue.depth == 0
+    assert queue._per_conn == {}
+    assert len(queue._rotation) == 0
+    assert queue.peak_depth == 0              # watermark died with the box
+    snapshot = registry.gauge("server.queue.depth").snapshot()
+    assert snapshot == {"type": "gauge", "value": 0.0, "peak": 0.0}
+    # The reborn server serves fresh connections and re-tracks its peak
+    # from scratch.
+    queue.start(sched, name="q")
+    served = []
+    queue.submit("d", lambda: served.append("d"))
+    assert queue.peak_depth == 1
+    pump_all(sched)
+    assert served == ["d"]
+
+
+def test_fair_share_drain_drops_empty_connection_queues():
+    """Serving a connection dry removes its per-conn entry, so conn_ids
+    from long-gone dials do not accumulate on a long-lived server."""
+    _clock, sched, _registry, queue = make(max_depth=16, policy=FAIR_SHARE)
+    queue.start(sched, name="q")
+    queue.submit("a", lambda: None)
+    queue.submit("a", lambda: None)
+    queue.submit("b", lambda: None)
+    pump_all(sched)
+    assert queue.depth == 0
+    assert queue._per_conn == {}
+    assert len(queue._rotation) == 0
+
+
+def test_set_max_depth_retunes_admission_at_runtime():
+    _clock, _sched, registry, queue = make(max_depth=2)
+    assert queue.submit("c", lambda: None)
+    assert queue.submit("c", lambda: None)
+    assert not queue.submit("c", lambda: None)
+    # Raise the bound: the very next submit is admitted.
+    assert queue.set_max_depth(4) == 4
+    assert registry.gauge("server.queue.max_depth").value == 4
+    assert queue.submit("c", lambda: None)
+    # Shrink below the current depth: existing requests stay queued,
+    # new ones are rejected until the queue drains under the bound.
+    assert queue.set_max_depth(1) == 1
+    assert queue.depth == 3
+    assert not queue.submit("c", lambda: None)
+    # Values below 1 clamp (an admission bound of 0 would deadlock).
+    assert queue.set_max_depth(0) == 1
+    assert queue.set_max_depth(-7) == 1

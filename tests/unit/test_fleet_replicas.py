@@ -185,6 +185,87 @@ def test_fetch_root_fails_over_past_dead_mirror():
     assert metrics.counter("fleet.replica.fetches").value == 1
 
 
+def test_cooldown_expiry_reprobes_a_sidelined_mirror():
+    clock = Clock()
+    flaky = FakeMirror(clock, latency=0.001, dial_errors=1)
+    steady = FakeMirror(clock, latency=0.050)
+    replica_set, _metrics = make_set([flaky, steady])
+    # m0 is probed first, fails its dial, and is sidelined; the fetch
+    # fails over to m1.
+    assert replica_set.fetch_data(DIGEST) == BLOB
+    assert flaky.dials == 1
+    assert not replica_set.replicas[0].usable()
+    # Inside the cooldown the set leaves the sidelined mirror alone.
+    assert replica_set.fetch_data(DIGEST) == BLOB
+    assert flaky.dials == 1
+    # Cooldown elapses: the mirror is re-probed with a *fresh* dial —
+    # and, being fast, wins the ranking back.
+    clock.advance(1.5)
+    assert replica_set.replicas[0].usable()
+    assert replica_set.fetch_data(DIGEST) == BLOB
+    assert flaky.dials == 2
+    assert replica_set.select().name == "m0"
+
+
+def test_ewma_reranks_when_the_fast_mirror_degrades():
+    clock = Clock()
+    fickle = FakeMirror(clock, latency=0.001)
+    steady = FakeMirror(clock, latency=0.050)
+    replica_set, _ = make_set([fickle, steady])
+    for _ in range(2):                        # probe both once
+        assert replica_set.fetch_data(DIGEST) == BLOB
+    assert replica_set.select().name == "m0"
+    # The fast mirror turns slow; its EWMA absorbs the new latency and
+    # selection flips to the mirror whose old measurement now wins.
+    fickle.latency = 0.500
+    assert replica_set.fetch_data(DIGEST) == BLOB
+    assert replica_set.select().name == "m1"
+    # ...and recovery is symmetric: once it is fast again, fetches it
+    # does serve (none right now) would pull its EWMA back down.  The
+    # demoted rank persists until re-measured — ranking uses memory,
+    # not wishes.
+    fickle.latency = 0.001
+    assert replica_set.select().name == "m1"
+
+
+def test_steering_bias_flips_selection_between_healthy_mirrors():
+    clock = Clock()
+    fast = FakeMirror(clock, latency=0.001)
+    slow = FakeMirror(clock, latency=0.050)
+    replica_set, metrics = make_set([fast, slow])
+    for _ in range(2):
+        assert replica_set.fetch_data(DIGEST) == BLOB
+    assert replica_set.select().name == "m0"
+    # Bias the fast mirror away (control plane saw its shard breaching).
+    replica_set.set_steering_bias("m0", 1.0)
+    assert replica_set.select().name == "m1"
+    assert metrics.counter("fleet.replica.steering_updates").value == 1
+    # Same bias again is a no-op, not another update.
+    replica_set.set_steering_bias("m0", 1.0)
+    assert metrics.counter("fleet.replica.steering_updates").value == 1
+    replica_set.clear_steering()
+    assert replica_set.select().name == "m0"
+    with pytest.raises(KeyError):
+        replica_set.set_steering_bias("nonesuch", 0.5)
+
+
+def test_steering_bias_composes_with_permanent_ban():
+    clock = Clock()
+    evil = FakeMirror(clock, latency=0.001,
+                      blob=bytes([BLOB[0] ^ 1]) + BLOB[1:])
+    honest = FakeMirror(clock, latency=0.050)
+    replica_set, _ = make_set([evil, honest])
+    assert replica_set.fetch_data(DIGEST) == BLOB   # bans m0
+    assert replica_set.replicas[0].banned
+    # No amount of bias in the banned mirror's favor (or against the
+    # honest one) re-admits it: bias tunes ranking among usable
+    # replicas, it never overrides the health machinery.
+    replica_set.set_steering_bias("m1", 100.0)
+    assert replica_set.select().name == "m1"
+    assert replica_set.fetch_data(DIGEST) == BLOB
+    assert evil.dials == 1                    # never dialed again
+
+
 def test_backoff_policy_is_shared_and_jittered():
     """Two sets with different seeds do not advance in lockstep while
     waiting out the same outage — the thundering-herd satellite, seen

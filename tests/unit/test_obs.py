@@ -429,3 +429,266 @@ def test_format_metrics_tolerates_pre_percentile_snapshots():
             for key in ("p50", "p95", "p99"):
                 value.pop(key, None)
     assert "old.hist" in format_metrics(snapshot)
+
+
+# --- gauge high-watermarks -----------------------------------------------
+
+from repro.obs.registry import Gauge, TeeRegistry  # noqa: E402
+
+
+def test_plain_gauge_snapshots_as_float():
+    gauge = Gauge("g")
+    gauge.set(3.5)
+    assert gauge.snapshot() == 3.5
+
+
+def test_peaked_gauge_tracks_high_watermark():
+    gauge = Gauge("g", track_peak=True)
+    gauge.set(2.0)
+    gauge.set(9.0)
+    gauge.set(4.0)
+    assert gauge.value == 4.0
+    assert gauge.peak == 9.0
+    assert gauge.snapshot() == {"type": "gauge", "value": 4.0, "peak": 9.0}
+    gauge.reset_peak()
+    # The peak restarts from the *current* value, not zero: the level
+    # that exists right now was certainly reached.
+    assert gauge.peak == 4.0
+    gauge.set(0.0)
+    gauge.reset_peak()
+    assert gauge.snapshot() == {"type": "gauge", "value": 0.0, "peak": 0.0}
+
+
+def test_enable_peak_upgrades_in_place():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("depth")
+    gauge.set(5.0)
+    assert registry.gauge("depth", track_peak=True) is gauge
+    assert gauge.track_peak
+    gauge.set(7.0)
+    gauge.set(1.0)
+    assert gauge.snapshot()["peak"] == 7.0
+
+
+def test_inc_dec_respect_the_peak():
+    gauge = Gauge("g", track_peak=True)
+    gauge.inc(3.0)
+    gauge.dec(2.0)
+    assert gauge.value == 1.0 and gauge.peak == 3.0
+
+
+# --- snapshot merge / diff -----------------------------------------------
+
+from repro.obs.merge import (  # noqa: E402
+    diff_snapshots,
+    merge_metric,
+    merge_snapshots,
+)
+
+
+def registry_with(counter=0, wait=(), depth=None):
+    registry = MetricsRegistry()
+    if counter:
+        registry.counter("ops").inc(counter)
+    for value in wait:
+        registry.histogram("wait").observe(value)
+    if depth is not None:
+        registry.gauge("depth", track_peak=True).set(depth)
+    return registry
+
+
+def test_merge_sums_counters_and_maxes_gauge_peaks():
+    a = registry_with(counter=3, depth=2.0).snapshot()
+    b = registry_with(counter=4, depth=7.0).snapshot()
+    merged = merge_snapshots([a, b])
+    assert merged["metrics"]["ops"] == 7
+    assert merged["metrics"]["depth"] == {
+        "type": "gauge", "value": 7.0, "peak": 7.0}
+    assert merged["meta"]["merged_from"] == 2
+
+
+def test_merge_combines_histograms_bucket_wise():
+    a = registry_with(wait=[0.001] * 50).snapshot()
+    b = registry_with(wait=[0.5] * 50).snapshot()
+    merged = merge_snapshots([a, b])
+    hist = merged["metrics"]["wait"]
+    assert hist["count"] == 100
+    assert hist["sum"] == pytest.approx(0.001 * 50 + 0.5 * 50)
+    # The merged p99 sees both populations: it lands in the slow half.
+    assert hist["p99"] > 0.1
+    assert hist["p50"] <= 0.5
+
+
+def test_merge_rejects_mismatched_histogram_bounds():
+    a = MetricsRegistry()
+    a.histogram("h", bounds=(1.0, 2.0)).observe(1.5)
+    b = MetricsRegistry()
+    b.histogram("h", bounds=(1.0, 4.0)).observe(1.5)
+    with pytest.raises(ValueError):
+        merge_snapshots([a.snapshot(), b.snapshot()])
+
+
+def test_merge_sums_families_per_label():
+    a = MetricsRegistry()
+    a.family("errs").labels("busy").inc(2)
+    b = MetricsRegistry()
+    b.family("errs").labels("busy").inc(3)
+    b.family("errs").labels("gone").inc(1)
+    merged = merge_snapshots([a.snapshot(), b.snapshot()])
+    assert merged["metrics"]["errs"]["values"] == {"busy": 5, "gone": 1}
+
+
+def test_merge_named_snapshots_records_sources():
+    merged = merge_snapshots({
+        "alpha": registry_with(counter=1).snapshot(),
+        "beta": registry_with(counter=1).snapshot(),
+    })
+    assert merged["meta"]["sources"] == ["alpha", "beta"]
+
+
+def test_merge_metric_rejects_incompatible_shapes():
+    with pytest.raises(ValueError):
+        merge_metric(3, {"type": "family", "values": {}}, "x")
+
+
+def test_merge_sums_layers():
+    from repro.obs.export import registry_snapshot
+
+    clock_a, clock_b = Clock(), Clock()
+    a = MetricsRegistry(clock_a)
+    with a.layers.layer("crypto"):
+        clock_a.advance(0.25)
+    b = MetricsRegistry(clock_b)
+    with b.layers.layer("crypto"):
+        clock_b.advance(0.50)
+    merged = merge_snapshots([registry_snapshot(a), registry_snapshot(b)])
+    assert merged["layers"]["crypto"]["sim"] == pytest.approx(0.75)
+
+
+def test_diff_subtracts_monotonic_instruments():
+    registry = MetricsRegistry()
+    registry.counter("ops").inc(10)
+    registry.histogram("wait").observe(0.001)
+    before = registry.snapshot()
+    registry.counter("ops").inc(5)
+    registry.histogram("wait").observe(0.5)
+    registry.gauge("depth").set(3.0)
+    after = registry.snapshot()
+    delta = diff_snapshots(before, after)
+    assert delta["metrics"]["ops"] == 5
+    assert delta["metrics"]["wait"]["count"] == 1
+    # The windowed histogram's quantiles describe only the new sample.
+    assert delta["metrics"]["wait"]["p99"] > 0.1
+    # Metrics that appeared between snapshots pass through unchanged.
+    assert delta["metrics"]["depth"] == 3.0
+
+
+# --- tee registries ------------------------------------------------------
+
+
+def test_tee_registry_writes_both_reads_primary():
+    primary = MetricsRegistry()
+    secondary = MetricsRegistry()
+    tee = TeeRegistry(primary, secondary)
+    tee.counter("ops").inc(3)
+    tee.histogram("wait").observe(0.1)
+    tee.gauge("depth", track_peak=True).set(4.0)
+    tee.family("errs").labels("busy").inc()
+    for registry in (primary, secondary):
+        assert registry.counter("ops").value == 3
+        assert registry.histogram("wait").count == 1
+        assert registry.gauge("depth").peak == 4.0
+        assert registry.family("errs").labels("busy").value == 1
+    # Reads delegate to the primary.
+    assert tee.counter("ops").value == 3
+    primary.counter("solo").inc()             # write around the tee
+    assert tee.counter("solo").value == 1
+
+
+def test_tee_reset_peak_clears_both_watermarks():
+    primary = MetricsRegistry()
+    secondary = MetricsRegistry()
+    tee = TeeRegistry(primary, secondary)
+    gauge = tee.gauge("depth", track_peak=True)
+    gauge.set(9.0)
+    gauge.set(1.0)
+    gauge.reset_peak()
+    assert primary.gauge("depth").peak == 1.0
+    assert secondary.gauge("depth").peak == 1.0
+
+
+# --- obs CLI merge / diff ------------------------------------------------
+
+
+def test_obs_cli_merge_writes_fleet_snapshot(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    paths = []
+    for index in (1, 2):
+        registry = MetricsRegistry()
+        registry.counter("ops").inc(index)
+        path = tmp_path / f"s{index}.json"
+        write_snapshot(str(path), registry)
+        paths.append(str(path))
+    out = tmp_path / "merged.json"
+    assert main(["merge", *paths, "-o", str(out)]) == 0
+    merged = load_snapshot(str(out))
+    assert merged["metrics"]["ops"] == 3
+    assert merged["meta"]["merged_from"] == 2
+    # Without -o it prints the table instead.
+    assert main(["merge", *paths]) == 0
+    assert "ops" in capsys.readouterr().out
+
+
+def test_obs_cli_merge_expands_collections(tmp_path):
+    from repro.obs.__main__ import main
+
+    collector = SnapshotCollector()
+    for name in ("run-a", "run-b"):
+        registry = MetricsRegistry()
+        registry.counter("ops").inc()
+        collector.add(name, registry)
+    collection = tmp_path / "collection.json"
+    collector.write(str(collection))
+    out = tmp_path / "merged.json"
+    assert main(["merge", str(collection), "-o", str(out)]) == 0
+    assert load_snapshot(str(out))["metrics"]["ops"] == 2
+
+
+def test_obs_cli_diff_subtracts_snapshots(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    registry = MetricsRegistry()
+    registry.counter("ops").inc(2)
+    before = tmp_path / "before.json"
+    write_snapshot(str(before), registry)
+    registry.counter("ops").inc(5)
+    after = tmp_path / "after.json"
+    write_snapshot(str(after), registry)
+    out = tmp_path / "delta.json"
+    assert main(["diff", str(before), str(after), "-o", str(out)]) == 0
+    assert load_snapshot(str(out))["metrics"]["ops"] == 5
+    assert main(["diff", str(before), str(after)]) == 0
+    assert "ops" in capsys.readouterr().out
+
+
+def test_obs_cli_diff_refuses_collections(tmp_path):
+    from repro.obs.__main__ import main
+
+    collector = SnapshotCollector()
+    collector.add("run", MetricsRegistry())
+    collection = tmp_path / "collection.json"
+    collector.write(str(collection))
+    single = tmp_path / "single.json"
+    write_snapshot(str(single), MetricsRegistry())
+    with pytest.raises(SystemExit):
+        main(["diff", str(collection), str(single)])
+
+
+def test_format_metrics_renders_gauge_peaks():
+    from repro.obs.export import format_metrics
+
+    registry = MetricsRegistry()
+    registry.gauge("depth", track_peak=True).set(3.0)
+    text = format_metrics(registry.snapshot())
+    assert "depth" in text and "peak" in text
