@@ -53,7 +53,7 @@ class SourceRecord:
     """One registered source: its reporter, ring, and liveness state."""
 
     __slots__ = ("name", "kind", "report", "ring", "last_seen", "missed",
-                 "state")
+                 "state", "boots", "flaps")
 
     def __init__(self, name: str, kind: str,
                  report: Callable[[], dict | None], ring_size: int) -> None:
@@ -65,6 +65,11 @@ class SourceRecord:
         self.last_seen: float | None = None
         self.missed = 0
         self.state = LIVE
+        #: Boot notifications received (see :meth:`Collector.notify_boot`).
+        self.boots = 0
+        #: Boots that cleared pending missed-heartbeat debt — the
+        #: machine was down at pull instants but provably came back.
+        self.flaps = 0
 
     @property
     def latest(self) -> dict | None:
@@ -110,6 +115,8 @@ class Collector:
         self._g_sources = metrics.gauge("control.collector.sources")
         self._g_stale = metrics.gauge("control.collector.stale")
         self._g_dead = metrics.gauge("control.collector.dead")
+        self._m_boots = metrics.counter("control.collector.boots")
+        self._m_flaps = metrics.counter("control.collector.flaps")
 
     # -- registration ------------------------------------------------------
 
@@ -126,6 +133,31 @@ class Collector:
     def unregister(self, name: str) -> None:
         self.sources.pop(name, None)
         self._g_sources.set(len(self.sources))
+
+    def notify_boot(self, name: str) -> None:
+        """A machine restarted: clear its missed-heartbeat debt.
+
+        The heartbeat pull samples liveness at tick instants, so a
+        machine that crashes and restarts *between* pulls — or is
+        unluckily down at several consecutive pull instants while
+        flapping — would accumulate misses and be declared dead despite
+        being up most of the time.  A restart is positive proof of life;
+        wiring the machine's boot beacon here makes such a source
+        **alive-with-reset**: state back to live, missed debt forgiven,
+        the episode counted as a flap instead of a death.  The next
+        successful pull repopulates its ring.
+        """
+        record = self.sources.get(name)
+        if record is None:
+            return
+        record.boots += 1
+        self._m_boots.inc()
+        if record.missed or record.state != LIVE:
+            record.flaps += 1
+            self._m_flaps.inc()
+        record.missed = 0
+        record.state = LIVE
+        record.last_seen = self.clock.now
 
     # -- the heartbeat pull ------------------------------------------------
 
@@ -200,6 +232,8 @@ class Collector:
                     "state": record.state,
                     "last_seen": record.last_seen,
                     "missed": record.missed,
+                    "boots": record.boots,
+                    "flaps": record.flaps,
                     "snapshot": record.latest,
                 }
                 for name, record in sorted(self.sources.items())

@@ -78,6 +78,13 @@ class ControlPlane:
             return registry_snapshot(registry, meta=meta)
 
         self.collector.register(machine.location, report, kind="server")
+        # The boot beacon: a restart between (or straddling) heartbeat
+        # pulls clears missed-beat debt instead of marching the source
+        # toward dead — a flapping machine is alive-with-reset.
+        name = machine.location
+        machine.master.restart_hooks.append(
+            lambda: self.collector.notify_boot(name)
+        )
 
     def adopt_client(self, machine) -> None:
         """Heartbeat a ClientMachine (no crash model: always live)."""

@@ -139,14 +139,27 @@ class RequestQueue:
             self._wakeup.resolve()
         return True
 
-    def bind(self, peer, conn_id: object) -> None:
+    def bind(self, peer, conn_id: object,
+             inline_calls: frozenset = frozenset()) -> None:
         """Route *peer*'s inbound calls through this queue.
 
         Installs the peer's ``dispatcher`` hook: admitted calls run
         later via ``serve_queued``; rejected ones get a busy reply
         immediately (never cached — the retry must execute for real).
+
+        ``(prog, proc)`` pairs in *inline_calls* bypass the queue and
+        execute during record delivery, like the classic model.  The
+        REKEY that completes a channel resync must go here: it has to
+        stay ordered with the channel state machine, and a queued REKEY
+        can deadlock against a worker that is itself blocked waiting on
+        a reply from the desynchronized client — the client cannot
+        answer until its REKEY is served, and the REKEY waits behind
+        the blocked worker.
         """
         def dispatch(header, body, request) -> None:
+            if (header.prog, header.proc) in inline_calls:
+                peer.serve_queued(header, body, request)
+                return
             admitted = self.submit(
                 conn_id,
                 lambda: peer.serve_queued(header, body, request),

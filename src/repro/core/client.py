@@ -67,8 +67,10 @@ from .keyneg import (
     rekey_auth,
 )
 from .pathnames import (
+    PathnameError,
     SelfCertifyingPath,
     parse_mount_name,
+    parse_path,
 )
 from .readonly import ReadOnlyClient, ReadOnlyError, RO_DIR, RO_LNK, RO_REG
 from .revocation import (
@@ -99,6 +101,11 @@ class SecurityError(MountError):
 #: How many reset-and-rekey rounds one resync() attempt makes before
 #: giving up (each round's own records can be lost too).
 _RESYNC_ROUNDS = 3
+
+#: How many forwarding pointers one reconnect() will chase before
+#: declaring a redirect loop.  Rollover chains longer than this are
+#: indistinguishable from a server bouncing us around forever.
+_RETARGET_HOPS = 4
 
 
 class ServerSession:
@@ -151,13 +158,22 @@ class ServerSession:
         # keys — after the server crashed or restarted.
         self.service = proto.SERVICE_FILESERVER
         self.on_reconnect: Callable[[], None] | None = None
+        #: Called with (old_path, new_path) when a reconnect followed a
+        #: forwarding pointer to a *new* HostID — a server key rollover
+        #: caught mid-session.  Fires before on_reconnect so the daemon
+        #: can re-home the mount under the new name first.
+        self.on_retarget: Callable[
+            [SelfCertifyingPath, SelfCertifyingPath], None
+        ] | None = None
         self.reconnects = 0
+        self.retargets = 0
         self.backoff_sleeps = 0
         self._connector: Connector | None = None
         self._clock: Clock | None = None
         self._reconnect_policy: BackoffPolicy | None = None
         self._reconnecting = False
         self._m_reconnects = self.metrics.counter("session.reconnects")
+        self._m_retargets = self.metrics.counter("session.retargets")
         self._m_backoff_sleeps = self.metrics.counter("session.backoff_sleeps")
         self._m_reconnects_failed = self.metrics.counter(
             "session.reconnects_failed"
@@ -390,6 +406,7 @@ class ServerSession:
                 or self.session_keys is None or self.ephemeral_keys is None
                 or self._reconnecting):
             return False
+        old_path = self.path
         self._reconnecting = True
         try:
             fresh = self._redial()
@@ -401,6 +418,18 @@ class ServerSession:
         self._adopt(fresh)
         self.reconnects += 1
         self._m_reconnects.inc()
+        if self.path.hostid != old_path.hostid:
+            # The redial chased a forwarding pointer: the server rolled
+            # its key and this session now speaks to the new HostID.
+            # Tell the daemon *before* on_reconnect so the mount is
+            # re-homed under the new name before caches are flushed.
+            self.retargets += 1
+            self._m_retargets.inc()
+            if self.on_retarget is not None:
+                try:
+                    self.on_retarget(old_path, self.path)
+                except Exception:  # noqa: BLE001 - advisory
+                    pass
         if self.on_reconnect is not None:
             try:
                 self.on_reconnect()
@@ -410,6 +439,7 @@ class ServerSession:
 
     def _redial(self) -> "ServerSession | None":
         assert self._reconnect_policy is not None
+        hops = 0
         for delay in self._reconnect_policy.delays(self.rng):
             if delay:
                 self.backoff_sleeps += 1
@@ -435,16 +465,64 @@ class ServerSession:
                 if close is not None:
                     close()
                 continue
-            if (not isinstance(outcome, ServerSession)
-                    or outcome.session_keys is None):
-                # A revocation certificate, forwarding pointer, or a
-                # dialect downgrade is not the read-write server we had.
+            if not isinstance(outcome, ServerSession):
+                # A revocation certificate or forwarding pointer: the
+                # name we crashed with is gone.  A verified pointer
+                # means the server rolled its key — retarget and keep
+                # redialing under the *new* self-certifying pathname
+                # (whose HostID connect() will verify as usual).  A
+                # revocation — or anything unverifiable — is terminal.
+                if hops >= _RETARGET_HOPS:
+                    raise SecurityError(
+                        f"redirect loop redialing {self.path.mount_name}: "
+                        f"{hops} forwarding pointers and still no server"
+                    )
+                self.path = self._follow_pointer(outcome)
+                hops += 1
+                continue
+            if outcome.session_keys is None:
+                # A dialect downgrade (read-only answer to a read-write
+                # redial) is not the session we crashed with.
                 raise SecurityError(
                     f"server at {self.path.location} no longer offers the "
                     f"read-write session it crashed with"
                 )
             return outcome
         return None
+
+    def _follow_pointer(self, cert: Record) -> SelfCertifyingPath:
+        """Verify a redial-time certificate; returns the new path.
+
+        Self-authenticating, like everything else in SFS: the embedded
+        key must verify the signature *and* hash to the HostID we were
+        dialing — otherwise anyone could redirect our mount.  Raises
+        SecurityError for forgeries, revocations, and unparseable
+        redirect targets.
+        """
+        try:
+            verified = verify_certificate(cert)
+        except CertificateError as exc:
+            raise SecurityError(
+                f"unverifiable certificate redialing "
+                f"{self.path.mount_name}: {exc}"
+            ) from None
+        if verified.hostid != self.path.hostid:
+            raise SecurityError(
+                f"certificate for the wrong HostID redialing "
+                f"{self.path.mount_name}"
+            )
+        if verified.is_revocation:
+            raise SecurityError(
+                f"{self.path.mount_name} has been revoked"
+            )
+        try:
+            new_path = parse_path(verified.redirect)
+        except PathnameError as exc:
+            raise SecurityError(
+                f"forwarding pointer for {self.path.mount_name} has an "
+                f"unusable target: {exc}"
+            ) from None
+        return SelfCertifyingPath(new_path.location, new_path.hostid)
 
     def _adopt(self, fresh: "ServerSession") -> None:
         """Take over *fresh*'s connection in place.
@@ -453,7 +531,13 @@ class ServerSession:
         mounts hold references to *self*, so the new peer/pipe/channel
         move here and all supervision hooks are rebound to this object.
         """
-        assert fresh.servinfo.public_key == self.servinfo.public_key, \
+        # After a plain reconnect the server must present the key we
+        # crashed with; after a retarget, the key behind the *new*
+        # HostID.  Both collapse to the one SFS check: the presented
+        # key hashes to the path we are now bound to (connect() already
+        # verified this; the assert guards the binding staying intact).
+        assert fresh.server_public_key is not None \
+            and self.path.matches_key(fresh.server_public_key), \
             "HostID verification let a different key through"
         # The retransmission schedule is session configuration, not
         # transport state: a tuned policy (e.g. widened for a queued
@@ -1065,6 +1149,8 @@ class SfsClientDaemon:
         #: jitter-free policy for deterministic tests.
         self.backoff = backoff if backoff is not None else BackoffPolicy()
         self._m_mount_backoff = self.metrics.counter("client.backoff_sleeps")
+        self._m_retargeted = self.metrics.counter("client.mounts_retargeted")
+        self._m_certs = self.metrics.counter("client.certificates_accepted")
         self.agents: dict[int, Agent] = {}
         self.ephemeral_keys = EphemeralKeyCache(rng)
         #: hostid -> dial locations for a read-only path served by an
@@ -1228,6 +1314,10 @@ class SfsClientDaemon:
         else:
             mount = MountedRemoteFs(self, session, fsid)
             session.enable_reconnect(self.connector, self.clock, self.backoff)
+            session.on_retarget = (
+                lambda old, new, _mount=mount:
+                self._retarget_mount(_mount, old, new)
+            )
             root_handle = self._fetch_remote_root(session)
         self._mounts[path.hostid] = mount
         self._mount_roots[path.hostid] = root_handle
@@ -1283,7 +1373,63 @@ class SfsClientDaemon:
         parsed = parse_mount_name(mount_name)
         if parsed is not None and parsed.hostid in self._mounts:
             del self._mounts[parsed.hostid]
+            self._mount_roots.pop(parsed.hostid, None)
             self.mounter.unmount(f"/sfs/{mount_name}")
+
+    def submit_certificate(self, cert: Record) -> bool:
+        """Deliver a revocation / forwarding certificate out of band.
+
+        This is the propagation entry for revocation storms: anything —
+        a certification authority sweep, a peer daemon, an
+        administrator — can hand sfscd a SignedCertificate, and because
+        the certificate is self-authenticating the daemon needs no
+        trust in the bearer.  Returns True if it verified and was acted
+        on (installed a revoked link or forwarding symlink, evicting
+        any cached mount), False if it failed verification.
+        """
+        try:
+            verified = verify_certificate(cert)
+        except CertificateError:
+            return False
+        path = SelfCertifyingPath(verified.location, verified.hostid)
+        self._handle_certificate(path, cert)
+        self._m_certs.inc()
+        return True
+
+    def _retarget_mount(self, mount: "MountedRemoteFs",
+                        old: SelfCertifyingPath,
+                        new: SelfCertifyingPath) -> None:
+        """Re-home a mount whose session followed a forwarding pointer.
+
+        The server rolled its key: same export, new HostID.  Ordering
+        matters — the stale HostID is evicted *first*, so nothing can
+        resolve the old name onto the re-keyed server while we rebuild,
+        and only then is the new name installed.  The old name lives on
+        as a forwarding symlink (unless a revocation already overrules
+        it), exactly what the server itself would serve a fresh dial.
+        """
+        if self._mounts.get(old.hostid) is mount:
+            del self._mounts[old.hostid]
+        self._mount_roots.pop(old.hostid, None)
+        self.mounter.unmount(f"/sfs/{old.mount_name}")
+        key = (None, old.mount_name)
+        node = self._symlinks.get(key)
+        if node is None or node.target != REVOKED_LINK_TARGET:
+            self._symlinks[key] = _SymlinkNode(
+                old.mount_name, f"/sfs/{new.mount_name}", None
+            )
+        # A new key means a new handle map: the cached root handle is
+        # undecipherable to the reborn server and must be re-fetched
+        # before the new name is allowed to resolve.
+        root_handle = self._fetch_remote_root(mount.session)
+        self._mounts[new.hostid] = mount
+        self._mount_roots[new.hostid] = root_handle
+        for names in self._references.values():
+            if old.mount_name in names:
+                names.add(new.mount_name)
+        self.mounter.mount(f"/sfs/{new.mount_name}", mount.program,
+                           root_handle)
+        self._m_retargeted.inc()
 
     # -- the /sfs synthetic file system --
 

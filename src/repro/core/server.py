@@ -71,6 +71,12 @@ from .readonly import ReadOnlyImage, ReadOnlyStore
 ANONYMOUS_AUTHNO = 0
 _SEQNO_WINDOW = 64
 
+#: Calls the admission queue must never hold back: the REKEY that
+#: completes a channel resync is transport-layer work that has to stay
+#: ordered with the channel state machine (CONNECT and ENCRYPT happen
+#: on a fresh dial and queue like any other work).
+CHANNEL_CALLS = frozenset({(proto.SFS_CONNECT_PROGRAM, proto.PROC_REKEY)})
+
 #: LOOKUP of "." on this handle names an export's root (mount convention).
 ZERO_HANDLE = bytes(24)
 
@@ -303,6 +309,12 @@ class SfsServerMaster:
         #: Set by :meth:`enable_concurrency`: inbound calls queue here
         #: instead of executing inline during record delivery.
         self.request_queue: RequestQueue | None = None
+        #: Zero-argument callables fired at the end of every
+        #: :meth:`restart` — the machine's boot beacon.  The control
+        #: plane hangs its alive-with-reset notification here so a
+        #: crash+restart inside one heartbeat reads as a flap, not a
+        #: death (see :meth:`repro.control.collector.Collector.notify_boot`).
+        self.restart_hooks: list = []
         self.crashes = 0
         self.restarts = 0
         self.dead_connections_pruned = 0
@@ -467,6 +479,8 @@ class SfsServerMaster:
         self.down = False
         self.restarts += 1
         self._m_restarts.inc()
+        for hook in list(self.restart_hooks):
+            hook()
 
     # --- revocation state --------------------------------------------------
 
@@ -514,7 +528,8 @@ class SfsServerMaster:
         queue.start(scheduler, name=f"{self.location}")
         self.request_queue = queue
         for connection in self.connections:
-            queue.bind(connection.peer, connection)
+            queue.bind(connection.peer, connection,
+                       inline_calls=CHANNEL_CALLS)
         return queue
 
     # --- accepting connections ------------------------------------------------
@@ -532,7 +547,8 @@ class SfsServerMaster:
         connection = ServerConnection(self, link)
         self.connections.append(connection)
         if self.request_queue is not None:
-            self.request_queue.bind(connection.peer, connection)
+            self.request_queue.bind(connection.peer, connection,
+                                    inline_calls=CHANNEL_CALLS)
         return connection
 
 
@@ -883,11 +899,14 @@ class ServerConnection:
         self._m_invalidations.inc()
         self.leased_handles.discard(plain_handle)
         try:
-            self.peer.call(
+            # One-way on purpose ("without waiting for acknowledgment"):
+            # waiting would let one unreachable lease holder — crashed,
+            # partitioned, or mid-resync — stall the worker serving the
+            # write that triggered the fan-out.
+            self.peer.call_oneway(
                 proto.SFS_CB_PROGRAM, proto.SFS_VERSION, proto.PROC_INVALIDATE,
                 proto.InvalidateArgs,
                 proto.InvalidateArgs.make(handle=encrypted_handle),
-                VOID,
             )
         except Exception:  # noqa: BLE001 - invalidations are best-effort
             if not self.alive and self.export is not None:

@@ -407,6 +407,47 @@ class World:
         """
         self.link_params[location] = params
 
+    def apply_link_profile(self, location: str, params: NetworkParameters,
+                           existing: bool = True) -> int:
+        """Re-time *location*: future dials and (optionally) open links.
+
+        Unlike :meth:`set_link_params` this also walks the live links
+        dialed to *location* and swaps their timing in place — a WAN
+        route change landing mid-connection.  Returns how many open
+        links were re-timed.
+        """
+        self.set_link_params(location, params)
+        changed = 0
+        if existing:
+            for side in self.links:
+                if side.link.is_open and side.link.location == location:
+                    side.link.set_params(params)
+                    changed += 1
+        return changed
+
+    def set_wire_adversary(self, factory, existing: bool = True,
+                           location: str | None = None) -> int:
+        """Put an adversary on the wire: future dials and open links.
+
+        *factory* is ``() -> Adversary`` (one instance per link, so
+        fault counters stay per-link) or ``None`` to lift the faults
+        again.  With *location* the hostile window covers only links to
+        that host; otherwise the whole world's wire misbehaves.
+        Returns how many open links were touched.
+        """
+        if location is None:
+            self.adversary_factory = factory
+        changed = 0
+        if existing:
+            for side in self.links:
+                if not side.link.is_open:
+                    continue
+                if location is not None and side.link.location != location:
+                    continue
+                side.link.set_adversary(factory() if factory else None)
+                changed += 1
+        return changed
+
     def add_fleet(self, count: int, name: str = "fleet", **kwargs):
         """Spin up *count* shard servers behind one CA-served namespace.
 
@@ -444,6 +485,7 @@ class World:
             self.clock, self.link_params.get(location, self.lan_params),
             adversary, metrics=server.metrics, media=media,
         )
+        client_side.link.location = location
         if self.scheduler is not None:
             # Synchronous callers (handshakes, reconnects) wait out a
             # queued server by pumping the scheduler, not by timing out.

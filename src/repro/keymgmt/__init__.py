@@ -7,7 +7,7 @@ authorities (read-only link farms), certification paths, password
 authentication via sfskey/SRP, and external-PKI bridges.
 """
 
-from . import bookmarks, ca, certpaths, extpki, manual
+from . import bookmarks, ca, certpaths, extpki, manual, rollover
 from .bookmarks import BookmarkError, bookmark, cd_bookmark, secure_pwd
 from .ca import CertificationAuthority
 from .certpaths import (
@@ -17,10 +17,21 @@ from .certpaths import (
 )
 from .extpki import SslBridgeResolver, SslDirectory
 from .manual import install_link, make_secure_link, resolve_secure_link
+from .rollover import (
+    RolloverResult,
+    fan_out_revocations,
+    revoke_export,
+    rollover_export,
+)
 
 __all__ = [
     "BookmarkError",
     "CertificationAuthority",
+    "RolloverResult",
+    "fan_out_revocations",
+    "revoke_export",
+    "rollover_export",
+    "rollover",
     "SslBridgeResolver",
     "SslDirectory",
     "bookmark",

@@ -10,7 +10,7 @@ scheduler's seeded rng, and no wall-clock value enters a report.
 """
 
 from .workload import OpMix, OpStream
-from .harness import LoadConfig, LoadHarness, LoadReport
+from .harness import LoadConfig, LoadHarness, LoadReport, WorkloadPhase
 
 __all__ = [
     "LoadConfig",
@@ -18,4 +18,5 @@ __all__ = [
     "LoadReport",
     "OpMix",
     "OpStream",
+    "WorkloadPhase",
 ]

@@ -110,26 +110,56 @@ def _percentile(ordered: list[float], q: float) -> float:
     return ordered[rank - 1]
 
 
+@dataclass
+class WorkloadPhase:
+    """One segment of a phased closed-loop run.
+
+    Fields left ``None`` inherit the harness config, so a phase list
+    like ``[warm-up, storm]`` only states what changes — e.g. a
+    write-heavy mix with zero think time for a lease-invalidation
+    storm.  Each phase accumulates into its own :class:`LoadReport`.
+    """
+
+    name: str
+    ops_per_client: int
+    think_time: float | None = None
+    io_size: int | None = None
+    mix: OpMix | None = None
+
+
 class LoadHarness:
     """Owns the world, the sessions, and the client task generators."""
 
-    def __init__(self, config: LoadConfig, location: str = "load.sfs.test"
-                 ) -> None:
+    def __init__(self, config: LoadConfig, location: str = "load.sfs.test",
+                 world: World | None = None, server=None) -> None:
         self.config = config
-        self.location = location
-        self.world = World(seed=config.seed)
+        #: Scenario composition: pass an existing *world* (and
+        #: optionally a *server* in it) to drive load against machinery
+        #: someone else built — shared clock, scheduler, control plane
+        #: and all.  Default: a self-contained world, as always.
+        self.world = world if world is not None else World(seed=config.seed)
         self.scheduler = self.world.enable_concurrency(seed=config.seed)
         if config.contention:
             self.world.enable_contention()
-        self.server = self.world.add_server(location)
-        self.path = self.server.export_fs()
+        if server is not None:
+            self.server = server
+            self.location = server.location
+        else:
+            self.server = self.world.add_server(location)
+            self.location = location
+        self.path = (self.server.path if "default" in self.server.exports
+                     else self.server.export_fs())
         self._seed_files()
         depth = (config.max_depth if config.max_depth is not None
                  else NO_ADMISSION_LIMIT)
-        self.queue = self.server.enable_queueing(
-            max_depth=depth, workers=config.workers,
-            policy=config.queue_policy, service_time=config.service_time,
-        )
+        if self.server.master.request_queue is not None:
+            self.queue = self.server.master.request_queue
+        else:
+            self.queue = self.server.enable_queueing(
+                max_depth=depth, workers=config.workers,
+                policy=config.queue_policy,
+                service_time=config.service_time,
+            )
         self.sessions: list[ServerSession] = []
         self.handles: list[bytes] = []
         #: Load-shedding hook (control plane): closed-loop clients
@@ -267,6 +297,53 @@ class LoadHarness:
                 yield Sleep(think_rng.expovariate(1.0 / config.think_time)
                             * self.think_scale)
             yield from self._run_op(session, stream, report)
+
+    def _phased_client(self, index: int, phases: "list[WorkloadPhase]",
+                       reports: "dict[str, LoadReport]"):
+        """One client running every phase in order, no barrier between
+        clients: a fast client may be two phases ahead of a slow one,
+        like real traffic shifting shape rather than stopping."""
+        config = self.config
+        session = self.sessions[index]
+        think_rng = random.Random((config.seed << 16) ^ index)
+        for number, phase in enumerate(phases):
+            stream = OpStream(
+                self.handles,
+                phase.mix if phase.mix is not None else config.mix,
+                phase.io_size if phase.io_size is not None
+                else config.io_size,
+                seed=((config.seed << 8) ^ index) + 0x51C0 * number,
+            )
+            report = reports[phase.name]
+            think = (config.think_time if phase.think_time is None
+                     else phase.think_time)
+            for _op in range(phase.ops_per_client):
+                if think > 0:
+                    yield Sleep(think_rng.expovariate(1.0 / think)
+                                * self.think_scale)
+                yield from self._run_op(session, stream, report)
+
+    def spawn_phased_clients(self, phases: "list[WorkloadPhase]",
+                             reports: "dict[str, LoadReport] | None" = None
+                             ) -> "dict[str, LoadReport]":
+        """Spawn (without running) one phased task per configured client.
+
+        The caller owns the scheduler run — that is the point: a
+        scenario engine runs these tasks alongside its own event
+        timeline and other harnesses, then reads the per-phase reports
+        back.  Pass *reports* to share accumulators across harnesses.
+        """
+        if reports is None:
+            reports = {}
+        for phase in phases:
+            if phase.name not in reports:
+                reports[phase.name] = LoadReport(clients=self.config.clients)
+        for index in range(self.config.clients):
+            self.scheduler.spawn(
+                self._phased_client(index, phases, reports),
+                name=f"{self.location}-client-{index}",
+            )
+        return reports
 
     # -- run loops ---------------------------------------------------------
 

@@ -430,6 +430,43 @@ class RpcPeer:
 
     # --- calling ----------------------------------------------------------
 
+    def call_oneway(
+        self,
+        prog: int,
+        vers: int,
+        proc: int,
+        arg_codec: Codec,
+        args: Any,
+        cred: OpaqueAuth = NULL_AUTH,
+    ) -> None:
+        """Send a call without waiting for (or tracking) its reply.
+
+        For genuinely fire-and-forget notifications such as lease
+        invalidations: the reply, when it eventually arrives, is
+        dropped as an unknown xid.  Never retransmits, never pumps the
+        transport — a peer that cannot answer (crashed, mid-resync)
+        costs the caller nothing but the send.  Raises
+        :class:`RpcTransportDown` if the link is already closed.
+        """
+        self._xid += 1
+        xid = self._xid
+        header = CallHeader(xid, prog, vers, proc, cred=cred)
+        record = rpcmsg.pack_call(header, arg_codec.pack(args))
+        self.calls_sent += 1
+        self._m_calls.inc()
+        self._calls_by_proc.labels((prog, proc)).inc()
+        if self.trace:
+            self.trace(
+                f"{self.name}: oneway prog={prog} proc={proc} args={args!r}"
+            )
+        try:
+            self._pipe.send(record)
+        except ConnectionError as exc:
+            raise RpcTransportDown(
+                f"transport down for xid {xid} "
+                f"(prog={prog} proc={proc}): {exc}"
+            ) from exc
+
     def call(
         self,
         prog: int,

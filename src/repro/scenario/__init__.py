@@ -1,0 +1,34 @@
+"""Declarative scenario engine: the chaos matrix as data.
+
+A scenario is a spec — topology, link profiles, an event timeline, a
+phased workload, and an assertion set — that compiles into one seeded
+:class:`~repro.kernel.world.World` run.  The event vocabulary covers
+the failure modes the paper's key-management separation has to survive
+together: server crashes at named protocol windows, adversary windows
+on the wire, WAN route churn, server key rollover under live clients,
+revocation-certificate storms against populated HostID caches, and
+lease-invalidation bursts.  The assertion vocabulary states what must
+still hold afterwards: every task drained, every operation accounted
+for, zero wrong links, revoked HostIDs unreachable, data bit-for-bit
+intact, and the observability counters telling the same story.
+
+Run one with :func:`run_scenario`; the shipped deck lives under the
+repository's ``scenarios/`` directory and behind
+``python -m repro.scenario``.  See PROTOCOLS.md §15 for the schema.
+"""
+
+from .engine import ScenarioResult, run_scenario
+from .library import get_scenario, load_library, scenario_dir
+from .spec import ScenarioSpec, ScenarioSpecError, load_spec, spec_from_dict
+
+__all__ = [
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ScenarioSpecError",
+    "get_scenario",
+    "load_library",
+    "load_spec",
+    "run_scenario",
+    "scenario_dir",
+    "spec_from_dict",
+]

@@ -1,0 +1,124 @@
+"""CLI for the scenario engine.
+
+    python -m repro.scenario list
+    python -m repro.scenario run revocation-storm
+    python -m repro.scenario run --all --seeds 2026,31337 --out-dir out/
+    python -m repro.scenario run path/to/spec.json --seed 7
+
+``run`` exits non-zero if any (scenario, seed) pair fails an assertion
+or crashes, and names the offender loudly — the CI matrix greps for
+``SCENARIO FAILED``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .engine import run_scenario
+from .library import get_scenario, load_library
+from .spec import ScenarioSpecError, load_spec
+
+
+def _cmd_list(args) -> int:
+    library = load_library()
+    if not library:
+        print("no scenarios found (is scenarios/ present, or is "
+              "REPRO_SCENARIO_DIR set wrong?)")
+        return 1
+    width = max(len(name) for name in library)
+    for name, spec in sorted(library.items()):
+        print(f"{name:<{width}}  seed={spec.seed}  {spec.description}")
+    return 0
+
+
+def _resolve_specs(args) -> list:
+    if args.all:
+        library = load_library()
+        if not library:
+            raise ScenarioSpecError("no scenarios shipped to run")
+        return [spec for _name, spec in sorted(library.items())]
+    if not args.scenario:
+        raise ScenarioSpecError("name a scenario, a spec file, or --all")
+    specs = []
+    for ref in args.scenario:
+        if ref.endswith((".json", ".yaml", ".yml")):
+            specs.append(load_spec(ref))
+        else:
+            specs.append(get_scenario(ref))
+    return specs
+
+
+def _seeds(args) -> list[int | None]:
+    if args.seeds:
+        return [int(part) for part in args.seeds.split(",") if part]
+    if args.seed is not None:
+        return [args.seed]
+    return [None]       # each spec's own seed
+
+
+def _cmd_run(args) -> int:
+    try:
+        specs = _resolve_specs(args)
+    except ScenarioSpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    failures = 0
+    for spec in specs:
+        for seed in _seeds(args):
+            try:
+                result = run_scenario(spec, seed=seed,
+                                      out_dir=args.out_dir)
+            except Exception as error:  # noqa: BLE001 - report, keep going
+                failures += 1
+                shown = seed if seed is not None else spec.seed
+                print(f"SCENARIO FAILED: {spec.name} seed={shown} "
+                      f"(crashed: {error!r})")
+                continue
+            status = "ok" if result.passed else "FAILED"
+            print(f"[{status}] {result.name} seed={result.seed} "
+                  f"ops={result.totals['completed']}/"
+                  f"{result.totals['offered']} "
+                  f"errors={result.totals['errors']} "
+                  f"events={result.totals['events_fired']} "
+                  f"t={result.duration:.3f}s "
+                  f"digest={result.digest[:12]}")
+            if result.artifact_path:
+                print(f"       artifact: {result.artifact_path}")
+            if not result.passed:
+                failures += 1
+                print(f"SCENARIO FAILED: {result.name} seed={result.seed}")
+                for failure in result.failures:
+                    print(f"       - {failure}")
+    if failures:
+        print(f"{failures} scenario run(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenario",
+        description="Run declarative chaos scenarios.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list shipped scenarios")
+    run = sub.add_parser("run", help="run scenarios")
+    run.add_argument("scenario", nargs="*",
+                     help="scenario names or spec file paths")
+    run.add_argument("--all", action="store_true",
+                     help="run every shipped scenario")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the spec seed")
+    run.add_argument("--seeds", default=None,
+                     help="comma-separated seed list (the CI matrix)")
+    run.add_argument("--out-dir", default=None,
+                     help="write one artifact JSON per (scenario, seed)")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -419,8 +419,22 @@ class Link:
     def metrics(self):
         return self._metrics
 
+    #: Location name this link was dialed to, tagged by World.connector;
+    #: lets scenario events re-profile "every open link to host X".
+    location: str | None = None
+
     def set_adversary(self, adversary: Adversary | None) -> None:
         self._adversary = adversary
+
+    def set_params(self, params: NetworkParameters) -> None:
+        """Re-time this link in place (a route change mid-connection).
+
+        Records already delivered keep their original charges; every
+        later record pays the new latency/bandwidth.  This is how a
+        scenario turns a LAN link into a lossy WAN link mid-run without
+        tearing the connection down.
+        """
+        self._params = params
 
     def on_receive_a(self, handler: Handler) -> None:
         """Install the handler for records arriving at endpoint a."""

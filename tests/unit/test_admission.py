@@ -233,3 +233,60 @@ def test_set_max_depth_retunes_admission_at_runtime():
     # Values below 1 clamp (an admission bound of 0 would deadlock).
     assert queue.set_max_depth(0) == 1
     assert queue.set_max_depth(-7) == 1
+
+
+# -- bind: the peer dispatcher hook -----------------------------------------
+
+
+class FakeHeader:
+    def __init__(self, prog, proc, xid=1):
+        self.prog = prog
+        self.proc = proc
+        self.xid = xid
+
+
+class FakePeer:
+    """Records what bind()'s dispatcher did with each call."""
+
+    def __init__(self):
+        self.dispatcher = None
+        self.served = []
+        self.busied = []
+
+    def serve_queued(self, header, body, request):
+        self.served.append((header.prog, header.proc))
+
+    def send_busy(self, xid):
+        self.busied.append(xid)
+
+
+def test_bind_queues_calls_and_busies_overflow():
+    _clock, sched, _registry, queue = make(max_depth=1)
+    queue.start(sched)
+    peer = FakePeer()
+    queue.bind(peer, "conn")
+    peer.dispatcher(FakeHeader(100, 1, xid=1), b"", None)
+    peer.dispatcher(FakeHeader(100, 2, xid=2), b"", None)   # over depth
+    assert peer.served == []                # nothing ran inline
+    assert peer.busied == [2]
+    pump_all(sched)
+    assert peer.served == [(100, 1)]
+
+
+def test_bind_inline_calls_bypass_the_queue():
+    """The REKEY deadlock regression: a channel-state call listed in
+    inline_calls must execute during record delivery — even with the
+    queue full and every worker wedged — because the worker may itself
+    be blocked on the desynchronized client that sent it."""
+    _clock, _sched, registry, queue = make(max_depth=1)
+    # No workers pumping: the queue is wedged on purpose.
+    peer = FakePeer()
+    queue.bind(peer, "conn", inline_calls=frozenset({(344440, 3)}))
+    assert queue.submit("other", lambda: None)      # fill the queue
+    peer.dispatcher(FakeHeader(344440, 3, xid=7), b"", None)
+    assert peer.served == [(344440, 3)]             # served immediately
+    assert peer.busied == []
+    assert registry.counter("server.queue.admitted").value == 1
+    # A non-listed call still goes through admission (and is rejected).
+    peer.dispatcher(FakeHeader(100, 1, xid=8), b"", None)
+    assert peer.busied == [8]

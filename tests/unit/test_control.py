@@ -138,6 +138,95 @@ def test_duplicate_registration_rejected():
         collector.register("s1", ScriptedSource(snapshot_of()))
 
 
+def test_boot_during_outage_is_a_flap_not_a_death():
+    """A crash+restart between heartbeat pulls is alive-with-reset:
+    the boot beacon forgives the missed debt and counts a flap, and the
+    collector never marches the source toward dead."""
+    clock = Clock()
+    collector = Collector(clock, stale_after=2, dead_after=4)
+    source = ScriptedSource(snapshot_of(ops=1), None)
+    collector.register("s1", source)
+    clock.advance(0.01)
+    collector.tick()                      # one good pull
+    for _ in range(2):                    # down at two pull instants
+        clock.advance(0.01)
+        collector.tick()
+    record = collector.sources["s1"]
+    assert record.state == "stale"
+    assert record.missed == 2
+    collector.notify_boot("s1")           # the machine came back
+    assert record.state == "live"
+    assert record.missed == 0
+    assert record.boots == 1
+    assert record.flaps == 1
+    # The next good pull keeps it live; no further flap is invented.
+    source.snapshots[-1] = snapshot_of(ops=2)
+    clock.advance(0.01)
+    collector.tick()
+    assert record.state == "live"
+    assert record.flaps == 1
+
+
+def test_boot_revives_a_source_already_declared_dead():
+    clock = Clock()
+    collector = Collector(clock, stale_after=1, dead_after=2)
+    source = ScriptedSource(snapshot_of(ops=1), None)
+    collector.register("s1", source)
+    clock.advance(0.01)
+    collector.tick()
+    for _ in range(3):
+        clock.advance(0.01)
+        collector.tick()
+    record = collector.sources["s1"]
+    assert record.state == "dead"
+    collector.notify_boot("s1")
+    assert record.state == "live"
+    assert record.flaps == 1
+
+
+def test_boot_with_no_missed_debt_is_not_a_flap():
+    """A restart the pull schedule never even noticed — boot arrives
+    while the source is live with zero misses — counts as a boot but
+    not a flap: there was no outage episode to report."""
+    clock = Clock()
+    collector = Collector(clock)
+    collector.register("s1", ScriptedSource(snapshot_of(ops=1)))
+    clock.advance(0.01)
+    collector.tick()
+    collector.notify_boot("s1")
+    record = collector.sources["s1"]
+    assert record.boots == 1
+    assert record.flaps == 0
+    assert record.state == "live"
+
+
+def test_repeated_flaps_accumulate():
+    clock = Clock()
+    registry = MetricsRegistry()
+    collector = Collector(clock, metrics=registry,
+                          stale_after=2, dead_after=4)
+    source = ScriptedSource(snapshot_of(ops=1), None)
+    collector.register("s1", source)
+    clock.advance(0.01)
+    collector.tick()
+    for _ in range(3):                    # flap / flap / flap
+        clock.advance(0.01)
+        collector.tick()                  # a missed pull each episode
+        collector.notify_boot("s1")
+    record = collector.sources["s1"]
+    assert record.boots == 3
+    assert record.flaps == 3
+    assert record.state == "live"
+    assert registry.counter("control.collector.boots").value == 3
+    assert registry.counter("control.collector.flaps").value == 3
+
+
+def test_boot_for_unknown_source_is_ignored():
+    collector = Collector(Clock())
+    collector.notify_boot("never-registered")   # must not raise
+    assert "never-registered" not in collector.sources
+
+
 def test_window_spans_multiple_ticks():
     clock = Clock()
     collector = Collector(clock)

@@ -321,3 +321,40 @@ def test_no_waiter_distinguished_from_timeout():
     assert not issubclass(RpcNoWaiter, RpcTimeout)
     from repro.rpc.peer import RpcError
     assert issubclass(RpcNoWaiter, RpcError)
+
+
+# -- one-way calls ----------------------------------------------------------
+
+
+def test_call_oneway_executes_and_drops_the_reply():
+    """Fire-and-forget: the handler runs, the reply comes back to an
+    xid nobody is waiting for, and the peer drops it silently."""
+    client, server, _clock = make_pair()
+    server.register(demo_program())
+    client.call_oneway(400000, 2, 1, ADD_ARGS, {"x": 2, "y": 3})
+    assert client.calls_sent == 1
+    assert server.calls_served == 1
+    # The stray reply poisoned nothing: a real call still works.
+    assert client.call(400000, 2, 1, ADD_ARGS, {"x": 4, "y": 4},
+                       UInt32) == 8
+
+
+def test_call_oneway_never_blocks_on_an_unresponsive_peer():
+    """The lease-fanout regression: a peer that swallows the call (an
+    adversary drops it) must cost the sender nothing — no pumping, no
+    retransmission, no timeout to sit through."""
+    client, server, _clock = make_pair(DropAdversary(target_index=0))
+    server.register(demo_program())
+    client.call_oneway(400000, 2, 1, ADD_ARGS, {"x": 1, "y": 1})
+    assert client.calls_sent == 1
+    assert server.calls_served == 0      # dropped on the wire, so be it
+    assert client.retransmissions == 0
+
+
+def test_call_oneway_dead_link_raises_transport_down():
+    from repro.rpc.peer import RpcTransportDown
+
+    client, _server, _clock = make_pair()
+    client._pipe.close()
+    with pytest.raises(RpcTransportDown):
+        client.call_oneway(400000, 2, 1, ADD_ARGS, {"x": 1, "y": 1})
