@@ -1,0 +1,37 @@
+"""The scaled auth plane: sharded authservers behind signed user images.
+
+Lazy exports (PEP 562): :mod:`repro.core.authserv` imports
+:mod:`repro.auth.cache` for the decision cache, while
+:mod:`repro.auth.fleet` imports :mod:`repro.core.authserv` for the
+authserver itself.  Resolving attributes on demand keeps that pair of
+dependencies acyclic at import time.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "DecisionCache": ("cache", "DecisionCache"),
+    "CachedDecision": ("cache", "CachedDecision"),
+    "ParseCache": ("cache", "ParseCache"),
+    "AuthFleet": ("fleet", "AuthFleet"),
+    "AuthShard": ("fleet", "AuthShard"),
+    "AuthAccount": ("fleet", "AuthAccount"),
+    "synthetic_key_bytes": ("fleet", "synthetic_key_bytes"),
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    return getattr(module, attribute)
+
+
+def __dir__() -> list[str]:
+    return __all__

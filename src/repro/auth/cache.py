@@ -1,0 +1,152 @@
+"""The fileserver auth-decision cache: authid -> verified credentials.
+
+The paper's authserver split (section 2.5) keeps user knowledge out of
+the file server, but it also puts a Rabin signature verification on
+every login.  At fleet scale that verification dominates the login hot
+path, so file servers remember the *decision*: once an authid (the
+SHA-1 of the session's AuthInfo) has been proven to belong to a signing
+key, later logins on the same session skip the public-key verify.
+
+A cached decision is only safe while the signing key is still live, so
+the cache supports two invalidation paths, both ordered strictly before
+the next ``validate`` call can observe stale state:
+
+* **Targeted eviction** (``evict_key_hash``): key rotation or user
+  revocation names the dead key hash; every decision proved by that key
+  dies synchronously.  :class:`~repro.core.authserv.KeyDatabase` fires
+  these through its eviction hooks the moment a key stops resolving.
+* **Epoch bump** (``bump_epoch``): revocation fan-out
+  (:func:`repro.keymgmt.rollover.fan_out_revocations`) does not know
+  which cached authids a revoked server key may have influenced, so it
+  advances the cache epoch instead; entries stamped with an older epoch
+  lazily miss on their next lookup.
+
+The cache is a bounded LRU — a login storm across many sessions cannot
+grow fileserver state without limit.  Eviction statistics are plain
+ints here; the owning :class:`~repro.core.authserv.AuthServer` mirrors
+them into its metrics registry as ``auth.cache.*``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass
+class CachedDecision:
+    """One proven login: this key hash authenticated this authid."""
+
+    key_hash: bytes
+    record: Any
+    epoch: int
+
+
+class DecisionCache:
+    """Bounded authid -> :class:`CachedDecision` map with invalidation."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("decision cache capacity must be positive")
+        self.capacity = capacity
+        self.epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[bytes, CachedDecision] = OrderedDict()
+        self._by_key_hash: dict[bytes, set[bytes]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, authid: bytes) -> CachedDecision | None:
+        """The live decision for *authid*, or None.
+
+        An entry stamped with an older epoch is dead (some revocation
+        happened since it was stored); it is dropped here so the caller
+        re-verifies from scratch.
+        """
+        entry = self._entries.get(authid)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.epoch != self.epoch:
+            self._drop(authid)
+            self.evictions += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(authid)
+        self.hits += 1
+        return entry
+
+    def store(self, authid: bytes, key_hash: bytes, record: Any) -> None:
+        if authid in self._entries:
+            self._drop(authid)
+        self._entries[authid] = CachedDecision(key_hash, record, self.epoch)
+        self._by_key_hash.setdefault(key_hash, set()).add(authid)
+        while len(self._entries) > self.capacity:
+            oldest, _ = next(iter(self._entries.items()))
+            self._drop(oldest)
+            self.evictions += 1
+
+    def evict_key_hash(self, key_hash: bytes) -> int:
+        """Kill every decision proved by *key_hash*; returns the count."""
+        authids = self._by_key_hash.pop(key_hash, None)
+        if not authids:
+            return 0
+        count = 0
+        for authid in list(authids):
+            if authid in self._entries:
+                del self._entries[authid]
+                count += 1
+        self.evictions += count
+        return count
+
+    def bump_epoch(self) -> None:
+        """Invalidate everything, lazily: old-epoch entries miss."""
+        self.epoch += 1
+
+    def _drop(self, authid: bytes) -> None:
+        entry = self._entries.pop(authid)
+        peers = self._by_key_hash.get(entry.key_hash)
+        if peers is not None:
+            peers.discard(authid)
+            if not peers:
+                del self._by_key_hash[entry.key_hash]
+
+
+class ParseCache:
+    """Bounded LRU memo for a deterministic parse function.
+
+    Used to amortize ``PublicKey.from_bytes`` across a connection burst:
+    the same agent key arrives in every AuthMsg of the burst, but only
+    the first occurrence pays the parse.  Failures are not cached (a
+    malformed key must keep failing loudly, and garbage keys must not
+    occupy slots).
+    """
+
+    def __init__(self, parse: Callable[[bytes], Any],
+                 capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("parse cache capacity must be positive")
+        self._parse = parse
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[bytes, Any] = OrderedDict()
+
+    def get(self, raw: bytes) -> Any:
+        cached = self._entries.get(raw)
+        if cached is not None:
+            self._entries.move_to_end(raw)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        value = self._parse(raw)
+        self._entries[raw] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return value

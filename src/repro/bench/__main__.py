@@ -422,6 +422,116 @@ def run_control(quick: bool, collector=None) -> tuple[str, dict]:
     return table, data
 
 
+def run_auth(quick: bool, collector=None) -> tuple[str, dict]:
+    """Not a paper figure: the scaled auth plane under login storms.
+
+    Four panels: (a) Poisson login storms against 1 vs 4 authserver
+    shards at the same arrival rate — sharding the user database must
+    raise aggregate login throughput; (b) a user-table size sweep at a
+    gentle rate — login latency must not grow with table size; (c) the
+    fileserver decision cache — steady-state hit rate above 90% and
+    *zero* successful logins after a revocation; (d) the eksblowfish
+    cost sweep of section 2.5.2 — per-layer login-latency attribution
+    as the password-hardening cost parameter climbs.
+    """
+    from ..auth.bench import (
+        AuthHarness,
+        AuthLoadConfig,
+        run_cache_phase,
+        run_cost_sweep,
+    )
+
+    users = 10_000 if quick else 100_000
+    duration = 0.25 if quick else 0.5
+    rows, data_rows = [], []
+    previous_throughput = 0.0
+    for shards in (1, 4):
+        config = AuthLoadConfig(shards=shards, users=users,
+                                duration=duration, seed=2026)
+        harness = AuthHarness(config)
+        report = harness.run_storm()
+        assert report.errors == 0 and report.unfinished_tasks == 0
+        assert report.logins_ok > 0 and report.denied == 0
+        assert report.throughput > previous_throughput, \
+            (f"{shards} auth shards did not beat "
+             f"{previous_throughput:.0f} logins/s")
+        previous_throughput = report.throughput
+        rows.append((str(shards), report.throughput,
+                     report.p50 * 1000, report.p95 * 1000,
+                     str(report.logins_ok), str(report.shed),
+                     str(report.queue_rejected)))
+        data_rows.append(report.row())
+        if collector is not None:
+            collector.add(f"auth/{shards}-shards", harness.world.metrics,
+                          meta={"figure": "auth", "shards": shards,
+                                "users": users})
+    # Panel (b): table size must not show up in login latency (hash
+    # ring + dict lookups, not scans).  The issue asks for 10^3..10^6;
+    # the in-memory table is capped at 10^5 users to keep the bench
+    # resident set modest — the cap is recorded in the artifact.
+    sizes = [1_000, 10_000] if quick else [1_000, 10_000, 100_000]
+    sweep_rows, sweep_data = [], []
+    for size in sizes:
+        config = AuthLoadConfig(shards=2, users=size, login_users=8,
+                                arrival_rate=400.0, duration=duration,
+                                seed=2026)
+        harness = AuthHarness(config)
+        report = harness.run_storm()
+        assert report.errors == 0 and report.denied == 0
+        sweep_rows.append((f"{size:,}", report.throughput,
+                           report.p50 * 1000, report.p95 * 1000,
+                           str(report.logins_ok)))
+        sweep_data.append(report.row())
+    # Panel (c): the decision cache, then a revocation mid-stream.
+    cache = run_cache_phase(users=500 if quick else 2000,
+                            logins_per_session=20 if quick else 40,
+                            seed=2026)
+    assert cache.hit_rate > 0.9, f"cache hit rate {cache.hit_rate:.2%}"
+    assert cache.post_revocation_ok == 0, \
+        f"{cache.post_revocation_ok} logins succeeded after revocation"
+    assert cache.other_user_ok
+    # Panel (d): eksblowfish cost vs login latency, attributed by layer.
+    costs = (2, 4, 6)
+    cost_rows = run_cost_sweep(costs, seed=2026)
+    assert len(cost_rows) >= 3
+    totals = [row["total_ms"] for row in cost_rows]
+    assert all(a < b for a, b in zip(totals, totals[1:])), \
+        f"login latency not monotone in eksblowfish cost: {totals}"
+    table = format_table(
+        f"Auth storms: Poisson logins at 1,600/s vs authserver shards "
+        f"({users:,} users, 2 workers x 4 ms service, depth 16)",
+        ["Shards", "logins/s", "p50 ms", "p95 ms", "ok", "shed",
+         "rejected"],
+        rows,
+    )
+    table += "\n\n" + format_table(
+        "Auth table-size sweep (2 shards, 400 logins/s offered)",
+        ["Users", "logins/s", "p50 ms", "p95 ms", "ok"],
+        sweep_rows,
+    )
+    table += (
+        f"\n\ndecision cache: {cache.hit_rate:.1%} hit rate over "
+        f"{cache.logins_ok} logins; {cache.revoked_user} revoked -> "
+        f"{cache.post_revocation_ok}/{cache.post_revocation_attempts} "
+        f"post-revocation logins succeeded"
+    )
+    table += "\n\n" + format_table(
+        "eksblowfish cost vs login latency (per-layer attribution)",
+        ["Cost", "harden ms", "service ms", "network ms", "total ms"],
+        [(str(row["cost"]), row["harden_ms"], row["service_ms"],
+          row["network_ms"], row["total_ms"]) for row in cost_rows],
+    )
+    data = {
+        "storm": {"users": users, "arrival_rate": 1600.0,
+                  "duration_s": duration, "rows": data_rows},
+        "table_sweep": {"sizes": sizes, "size_cap": 100_000,
+                        "rows": sweep_data},
+        "cache": cache.data(),
+        "cost_sweep": {"harden_unit_seconds": 0.0008, "rows": cost_rows},
+    }
+    return table, data
+
+
 FIGURES = {
     "fig5": run_fig5,
     "fig6": run_fig6,
@@ -431,6 +541,7 @@ FIGURES = {
     "scale": run_scale,
     "fleet": run_fleet,
     "control": run_control,
+    "auth": run_auth,
 }
 
 

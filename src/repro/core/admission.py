@@ -91,6 +91,9 @@ class RequestQueue:
         #: fair-share state: per-connection queues + round-robin order.
         self._per_conn: dict[object, deque[QueuedRequest]] = {}
         self._rotation: deque[object] = deque()
+        #: (conn_id, xid) pairs admitted but not yet executed — the
+        #: window the peer's duplicate-reply cache cannot cover.
+        self._queued_xids: set[tuple[object, int]] = set()
         self._wakeup: Future | None = None
         self._g_depth = self.metrics.gauge("server.queue.depth",
                                            track_peak=True)
@@ -103,6 +106,8 @@ class RequestQueue:
         self._g_max_depth.set(max_depth)
         self._m_admitted = self.metrics.counter("server.queue.admitted")
         self._m_rejected = self.metrics.counter("server.queue.rejected")
+        self._m_absorbed = self.metrics.counter(
+            "server.queue.retransmits_absorbed")
         self._m_failures = self.metrics.counter("server.queue.job_failures")
         self._m_wait = self.metrics.histogram("server.queue.wait_seconds")
 
@@ -155,16 +160,31 @@ class RequestQueue:
         a reply from the desynchronized client — the client cannot
         answer until its REKEY is served, and the REKEY waits behind
         the blocked worker.
+
+        Retransmissions of a call that is *still waiting* in the queue
+        are absorbed (dropped, counted in
+        ``server.queue.retransmits_absorbed``): the peer's
+        duplicate-reply cache only covers calls that already executed,
+        so without this a client whose retransmit timer is shorter than
+        the queue wait would get the same call admitted — and executed
+        — twice, breaking at-most-once exactly when the server is
+        congested.  The original's eventual reply resolves the client's
+        future for that xid.
         """
         def dispatch(header, body, request) -> None:
             if (header.prog, header.proc) in inline_calls:
                 peer.serve_queued(header, body, request)
                 return
-            admitted = self.submit(
-                conn_id,
-                lambda: peer.serve_queued(header, body, request),
-            )
-            if not admitted:
+            key = (conn_id, header.xid)
+            if key in self._queued_xids:
+                self._m_absorbed.inc()
+                return
+            def execute() -> None:
+                self._queued_xids.discard(key)
+                peer.serve_queued(header, body, request)
+            if self.submit(conn_id, execute):
+                self._queued_xids.add(key)
+            else:
                 peer.send_busy(header.xid)
         peer.dispatcher = dispatch
 
@@ -260,6 +280,7 @@ class RequestQueue:
         self._fifo.clear()
         self._per_conn.clear()
         self._rotation.clear()
+        self._queued_xids.clear()
         self.depth = 0
         self._set_depth(0)
         self._g_depth.reset_peak()

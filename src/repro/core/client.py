@@ -621,6 +621,78 @@ class ServerSession:
                 authmsg = continue_auth(body, info, seqno)
         return 0
 
+    def login_task(self, agent: Agent, max_attempts: int = 3,
+                   max_rounds: int = 8):
+        """Task variant of :meth:`login` (``yield from`` it).
+
+        Login storms run thousands of these concurrently; each suspends
+        while its reply is in flight, and SERVER_BUSY replies from the
+        admission queue are retried through the session's backoff policy
+        as cooperative sleeps.  Each busy retry signs a *fresh* sequence
+        number: sibling logins on the same session keep advancing the
+        server's replay window while this one backs off, so resending
+        the original seqno after a long wait would be self-inflicted
+        replay (denied as stale).  A backoff that exhausts raises
+        :class:`RpcBusy` to the caller — the login was shed.
+        """
+        info = self.authinfo_bytes()
+        for key_index in range(min(max_attempts, max(1, agent.key_count))):
+            try:
+                seqno, authmsg = self._sign_login(agent, info, key_index)
+            except AgentRefused:
+                break
+            resign = lambda: self._sign_login(agent, info, key_index)  # noqa: E731
+            for _round in range(max_rounds):
+                disc, body = yield from self._login_call_task(
+                    seqno, authmsg, resign
+                )
+                if disc == proto.LOGIN_OK:
+                    return body.authno
+                if disc != proto.LOGIN_MORE:
+                    break
+                continue_auth = getattr(agent, "continue_auth", None)
+                if continue_auth is None:
+                    break
+                self.auth_seqno += 1
+                seqno = self.auth_seqno
+                authmsg = continue_auth(body, info, seqno)
+                # Multi-round protocol messages are not re-signable from
+                # here; a busy retry resends the round verbatim.
+                resign = None
+        return 0
+
+    def _sign_login(self, agent: Agent, info: bytes,
+                    key_index: int) -> tuple[int, bytes]:
+        self.auth_seqno += 1
+        return self.auth_seqno, agent.sign_request(
+            info, self.auth_seqno, key_index
+        )
+
+    def _login_call_task(self, seqno: int, authmsg: bytes, resign=None):
+        delays = None
+        while True:
+            try:
+                result = yield from self.peer.call_task(
+                    proto.SFS_RW_PROGRAM, proto.SFS_VERSION, proto.PROC_LOGIN,
+                    proto.LoginArgs,
+                    proto.LoginArgs.make(seqno=seqno, authmsg=authmsg),
+                    proto.LoginRes,
+                )
+                return result
+            except RpcBusy:
+                if delays is None:
+                    delays = self.busy_policy.delays(self.rng)
+                    next(delays)  # discard the "first attempt" zero
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                self.busy_retries += 1
+                self._m_busy_retries.inc()
+                if delay:
+                    yield Sleep(delay)
+                if resign is not None:
+                    seqno, authmsg = resign()
+
     # -- relaying --
 
     def call_nfs(self, proc: int, args: Record, authno: int):

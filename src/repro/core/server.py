@@ -587,6 +587,8 @@ class ServerConnection:
         self._m_rekeys = self.metrics.counter("server.rekeys")
         self._m_rekeys_denied = self.metrics.counter("server.rekeys_denied")
         self._m_resyncs_served = self.metrics.counter("server.resyncs_served")
+        self._m_logins_ok = self.metrics.counter("auth.logins_ok")
+        self._m_logins_denied = self.metrics.counter("auth.logins_denied")
         self.pipe.control_handler = self._on_control
         self.peer.register(self._connect_program())
 
@@ -930,6 +932,7 @@ class ServerConnection:
         export = self.export
         assert export is not None and self.session_keys is not None
         if not self._seqno_fresh(args.seqno):
+            self._m_logins_denied.inc()
             return proto.LOGIN_FAILED, None
         authinfo_bytes = proto.AuthInfo.pack(self.authinfo())
         from ..crypto.sha1 import sha1
@@ -941,12 +944,14 @@ class ServerConnection:
             protocol_name, body = envelope
             plugin = export.authserver.protocols.get(protocol_name)
             if plugin is None:
+                self._m_logins_denied.inc()
                 return proto.LOGIN_FAILED, None
             state = self._auth_protocol_states.setdefault(protocol_name, {})
             outcome, value = plugin.step(body, authid, args.seqno, state)
             if outcome == MORE:
                 return proto.LOGIN_MORE, value
             if outcome != OK:
+                self._m_logins_denied.inc()
                 return proto.LOGIN_FAILED, None
             record = value
         else:
@@ -954,12 +959,14 @@ class ServerConnection:
                 authid, args.seqno, args.authmsg
             )
         if record is None:
+            self._m_logins_denied.inc()
             return proto.LOGIN_FAILED, None
         authno = self._next_authno
         self._next_authno += 1
         self._authnos[authno] = Cred(
             uid=record.uid, gid=record.gid, groups=tuple(record.groups)
         )
+        self._m_logins_ok.inc()
         return proto.LOGIN_OK, proto.LoginOk.make(authno=authno)
 
     def _logout(self, args: Record, ctx: CallContext):
@@ -1013,7 +1020,7 @@ class ServerConnection:
         authserver = self._authserver_for_service()
         if authserver is None:
             return proto.SRP_FAILED, None
-        self._srp_session = SrpSession(authserver)
+        self._srp_session = authserver.srp_sessions().new_session()
         challenge = self._srp_session.init(
             args.user, int.from_bytes(args.A, "big")
         )

@@ -89,7 +89,8 @@ class ServerMachine:
         """Create and export a read-write file system; returns its path."""
         key = generate_key(key_bits, self.world.rng)
         fs = fs or self._new_fs(fsid=len(self.exports) + 1)
-        authserver = AuthServer(self.world.rng)
+        authserver = AuthServer(self.world.rng, metrics=self.metrics,
+                                clock=self.world.clock)
         path = self.master.add_rw_export(
             key, fs, authserver, lease_duration=lease_duration, name=name
         )
@@ -461,6 +462,19 @@ class World:
         from ..fleet import Fleet  # runtime import: fleet builds on world
 
         return Fleet(self, count, name=name, **kwargs)
+
+    def add_auth_fleet(self, count: int, name: str = "auth", **kwargs):
+        """Spin up *count* sharded authservers (the scaled auth plane).
+
+        Returns a :class:`repro.auth.AuthFleet`: N authserver machines
+        whose user database is sharded by consistent hashing over user
+        names, each shard's public half publishable as a signed
+        read-only image that file servers import over SFS.  See
+        PROTOCOLS.md section 16; this is just the front door.
+        """
+        from ..auth import AuthFleet  # runtime import: auth builds on world
+
+        return AuthFleet(self, count, name=name, **kwargs)
 
     def route(self, location: str, server: ServerMachine) -> None:
         """Point *location* at *server* (DNS-style aliasing).

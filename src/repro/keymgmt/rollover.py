@@ -127,7 +127,7 @@ def revoke_export(server, name: str = "default") -> Record:
 
 
 def fan_out_revocations(certificates, daemons=(), masters=(), ca=None,
-                        metrics=None) -> int:
+                        authservers=(), metrics=None) -> int:
     """Push certificates everywhere at once; returns deliveries made.
 
     For each certificate: every server master in *masters* starts
@@ -136,16 +136,23 @@ def fan_out_revocations(certificates, daemons=(), masters=(), ca=None,
     out of band (evicting any cached mount — the storm hitting a
     populated HostID cache), and *ca*, if given, files revocations
     under ``/revocations`` for agents that poll revocation directories.
+    Every :class:`~repro.core.authserv.AuthServer` in *authservers* gets
+    its decision-cache epoch bumped once per sweep that delivered at
+    least one verified certificate: a revoked server key may have
+    influenced who authenticated, so cached login decisions are not
+    allowed to outlive the sweep (they lazily re-verify instead).
     Forged certificates are skipped, not raised: a storm is exactly the
     place hostile junk shows up, and one bad certificate must not stop
     the sweep.
     """
     delivered = 0
+    verified_any = False
     for cert in certificates:
         try:
             verified = verify_certificate(cert)
         except CertificateError:
             continue
+        verified_any = True
         for master in masters:
             if verified.is_revocation:
                 master.set_revocation(verified.hostid, cert)
@@ -157,6 +164,10 @@ def fan_out_revocations(certificates, daemons=(), masters=(), ca=None,
                 delivered += 1
         if ca is not None and verified.is_revocation:
             ca.publish_revocation(cert)
+            delivered += 1
+    if verified_any:
+        for authserver in authservers:
+            authserver.bump_epoch()
             delivered += 1
     if metrics is not None:
         metrics.counter("keymgmt.revocations_fanned_out").inc(delivered)

@@ -100,6 +100,21 @@ def _chk_counter(rt, params: dict) -> list[str]:
     return []
 
 
+def _chk_auth_denied(rt, params: dict) -> list[str]:
+    """The server-side denial count — a revoked or rotated-away user
+    whose agent kept signing must show up here, cached decision or not.
+    Defaults to ``>= 1``; any ``counter``-style op/value pair works."""
+    op = str(params.get("op", ">="))
+    compare = _OPS.get(op)
+    if compare is None:
+        return [f"auth_denied check: unknown operator {op!r}"]
+    bound = params.get("value", 1)
+    value = rt.world.metrics.counter("auth.logins_denied").value
+    if not compare(value, bound):
+        return [f"auth.logins_denied = {value}, wanted {op} {bound}"]
+    return []
+
+
 def _chk_no_wrong_links(rt, params: dict) -> list[str]:
     wrong = rt.world.metrics.counter("scenario.wrong_links").value
     failures = []
@@ -198,6 +213,7 @@ CHECKS: dict[str, CheckHandler] = {
     "min_ops_completed": CheckHandler(_chk_min_ops_completed, ("value",)),
     "max_op_errors": CheckHandler(_chk_max_op_errors, ("value",)),
     "counter": CheckHandler(_chk_counter, ("name", "op", "value")),
+    "auth_denied": CheckHandler(_chk_auth_denied, ("op", "value")),
     "no_wrong_links": CheckHandler(_chk_no_wrong_links, ()),
     "revoked_unreachable": CheckHandler(_chk_revoked_unreachable, ()),
     "integrity": CheckHandler(_chk_integrity, ()),

@@ -104,6 +104,10 @@ class _Runtime:
         self.kernel_procs: list = []
         self.harnesses: list[LoadHarness] = []
         self.fleet = None
+        #: (session, agent) pairs for the auth accounts auth0..authN-1,
+        #: dialed to the primary — login_storm events draw from these.
+        self.login_sessions: list[tuple] = []
+        self.login_accounts: list[str] = []
         self.name_targets: dict[str, str] = {}
         self.reports: dict[str, LoadReport] = {}
         self.storm_report = LoadReport(clients=0)
@@ -116,6 +120,7 @@ class _Runtime:
         self.marker_content = _marker_content(spec.seed)
         self.duration = 0.0
         self._adversary_index = 0
+        self._storm_index = 0
 
     # -- services for event handlers and checks ----------------------------
 
@@ -143,6 +148,10 @@ class _Runtime:
     def next_adversary(self) -> int:
         self._adversary_index += 1
         return self._adversary_index
+
+    def next_storm(self) -> int:
+        self._storm_index += 1
+        return self._storm_index
 
     # -- build -------------------------------------------------------------
 
@@ -179,6 +188,10 @@ class _Runtime:
             self.extra_servers.append(machine)
         self._build_fleet()
         self._build_kernel_clients()
+        # Login accounts connect before the harnesses enable queueing:
+        # the session handshakes run synchronously, and the established
+        # connections then share the admission queue with the workload.
+        self._build_login_accounts()
         self._build_harnesses()
 
     def _arm_crash_points(self) -> None:
@@ -243,6 +256,43 @@ class _Runtime:
                     == b"certified data"
             self.kernel_clients.append(machine)
             self.kernel_procs.append(proc)
+
+    def _build_login_accounts(self) -> None:
+        """Provision ``topology.login_users`` accounts on the primary's
+        authserver and pre-dial one session + agent per account — the
+        steady-state population a login_storm event then drives."""
+        count = self.spec.topology.login_users
+        if not count:
+            return
+        from ..core import proto
+        from ..core.agent import Agent
+        from ..core.client import ServerSession
+        from ..core.keyneg import EphemeralKeyCache
+        from ..crypto.rabin import generate_key
+        from ..rpc.peer import RetryPolicy
+
+        primary = self.load_servers[0]
+        authserver = primary.exports["default"][2]
+        shared_keys = EphemeralKeyCache(self.world.rng)
+        for index in range(count):
+            name = f"auth{index}"
+            key = generate_key(768, self.world.rng)
+            authserver.add_account(name, 2000 + index, 100,
+                                   public_key_bytes=key.public_key.to_bytes())
+            link = self.world.connector(primary.location,
+                                        proto.SERVICE_FILESERVER)
+            session = ServerSession.connect(
+                link, primary.path, shared_keys, self.world.rng,
+                encrypt=self.spec.workload.encrypt,
+            )
+            # Storm-queue waits dwarf the default retransmit timer, and a
+            # spurious retransmit escalates to a channel rekey that would
+            # invalidate in-flight signed AuthIDs (see repro.auth.bench).
+            session.peer.retry_policy = RetryPolicy(base_delay=0.25)
+            agent = Agent(name, self.world.rng)
+            agent.add_key(key)
+            self.login_accounts.append(name)
+            self.login_sessions.append((session, agent))
 
     def _build_harnesses(self) -> None:
         spec = self.spec

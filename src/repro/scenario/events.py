@@ -25,7 +25,9 @@ from typing import Callable
 from ..keymgmt.rollover import fan_out_revocations, revoke_export, \
     rollover_export
 from ..load.workload import OpMix, OpStream
+from ..rpc.peer import RpcBusy, RpcError
 from ..sim.network import ChaosAdversary, NetworkParameters
+from ..sim.sched import Sleep
 
 
 @dataclass(frozen=True)
@@ -163,6 +165,97 @@ def _ev_control_tick(rt, params: dict) -> None:
     rt.count("scenario.control_ticks")
 
 
+def _ev_login_storm(rt, params: dict) -> None:
+    """Poisson login arrivals over the pre-built auth accounts.
+
+    Each arrival is one ``login_task`` on the next account's session
+    (round-robin), sharing the primary's admission queue with the
+    workload.  Outcomes land in counters: ``scenario.logins_ok``,
+    ``scenario.logins_denied`` (the server said no — e.g. the user was
+    revoked mid-storm), ``scenario.logins_shed`` (admission backoff
+    exhausted), ``scenario.login_errors`` (anything else, which a
+    healthy scenario asserts to be zero).
+    """
+    if not rt.login_sessions:
+        raise RuntimeError("login_storm without topology.login_users")
+    rate = float(params.get("rate", 200.0))
+    duration = float(params.get("duration", 0.1))
+    rng = random.Random((rt.spec.seed << 16) ^ 0xA07 ^ rt.next_storm())
+
+    def login_once(session, agent):
+        try:
+            authno = yield from session.login_task(agent)
+        except RpcBusy:
+            rt.count("scenario.logins_shed")
+            return
+        except RpcError:
+            rt.count("scenario.login_errors")
+            return
+        rt.count("scenario.logins_ok" if authno > 0
+                 else "scenario.logins_denied")
+
+    def arrivals():
+        deadline = rt.clock.now + duration
+        index = 0
+        while rt.clock.now < deadline:
+            yield Sleep(rng.expovariate(rate))
+            session, agent = rt.login_sessions[
+                index % len(rt.login_sessions)
+            ]
+            rt.scheduler.spawn(login_once(session, agent),
+                               name=f"login-storm-{index}")
+            index += 1
+        rt.count("scenario.login_arrivals", index)
+
+    rt.scheduler.spawn(arrivals(), name="login-storm-arrivals")
+    rt.count("scenario.login_storms")
+
+
+def _ev_user_key_change(rt, params: dict) -> None:
+    """Revoke or rotate one auth account's key on the live authserver.
+
+    Either way the eviction hooks fire synchronously, so any cached
+    login decision for the old key dies *before* the next validate — a
+    storm running across this event must see the change immediately.
+    ``mode="rotate"`` with ``update_agent`` also re-arms the account's
+    agent with the new key (the user who rotated on purpose);
+    without it the agent keeps signing with the dead key and is locked
+    out, exactly like a revocation.
+    """
+    user = str(params["user"])
+    mode = str(params.get("mode", "revoke"))
+    machine = rt.machine(params.get("server", "primary"))
+    authserver = machine.exports["default"][2]
+    if mode == "revoke":
+        if not authserver.revoke_user(user):
+            raise RuntimeError(f"user_key_change: unknown user {user!r}")
+        rt.count("scenario.users_revoked")
+    elif mode == "rotate":
+        from ..core.authserv import UserRecord
+        from ..crypto.rabin import generate_key
+
+        record = authserver.local_db.lookup_user(user)
+        if record is None:
+            raise RuntimeError(f"user_key_change: unknown user {user!r}")
+        new_key = generate_key(768, rt.world.rng)
+        authserver.local_db.add_user(UserRecord(
+            user, record.uid, record.gid, record.groups,
+            new_key.public_key.to_bytes(),
+        ))
+        if params.get("update_agent"):
+            from ..core.agent import Agent
+
+            index = rt.login_accounts.index(user)
+            session, _old_agent = rt.login_sessions[index]
+            agent = Agent(user, rt.world.rng)
+            agent.add_key(new_key)
+            rt.login_sessions[index] = (session, agent)
+        rt.count("scenario.users_rotated")
+    else:
+        raise RuntimeError(f"user_key_change: unknown mode {mode!r}")
+    rt.count("scenario.user_key_changes")
+
+
 EVENT_TYPES: dict[str, EventHandler] = {
     "crash": EventHandler(_ev_crash, ("server", "restart_after")),
     "restart": EventHandler(_ev_restart, ("server",)),
@@ -179,4 +272,8 @@ EVENT_TYPES: dict[str, EventHandler] = {
     "lease_storm": EventHandler(_ev_lease_storm,
                                 ("server", "writes", "io_size")),
     "control_tick": EventHandler(_ev_control_tick, ()),
+    "login_storm": EventHandler(_ev_login_storm, ("rate", "duration")),
+    "user_key_change": EventHandler(
+        _ev_user_key_change, ("user", "mode", "server", "update_agent"),
+    ),
 }

@@ -77,6 +77,7 @@ class TopologySpec:
     kernel_clients: int = 0     # full client machines kc0.. with agents
     names: int = 0              # names provisioned on the fleet CA
     mirrors: int = 0            # untrusted namespace mirrors
+    login_users: int = 0        # auth accounts auth0.. on the primary
     contention: bool = True
     control: bool = False
     control_period: float = 0.010
@@ -157,8 +158,8 @@ def _parse_mix(data, context: str) -> OpMix:
 def _parse_topology(data: dict) -> TopologySpec:
     _take(data, "topology", {
         "servers", "extra_servers", "kernel_clients", "names", "mirrors",
-        "contention", "control", "control_period", "control_start",
-        "lease_duration", "crash_points",
+        "login_users", "contention", "control", "control_period",
+        "control_start", "lease_duration", "crash_points",
     })
     points = []
     for index, raw in enumerate(data.get("crash_points", [])):
@@ -183,6 +184,8 @@ def _parse_topology(data: dict) -> TopologySpec:
                                    minimum=0)),
         names=int(_number(data, "names", "topology", 0, minimum=0)),
         mirrors=int(_number(data, "mirrors", "topology", 0, minimum=0)),
+        login_users=int(_number(data, "login_users", "topology", 0,
+                                minimum=0)),
         contention=bool(data.get("contention", True)),
         control=bool(data.get("control", False)),
         control_period=float(_number(data, "control_period", "topology",
@@ -373,6 +376,15 @@ def _check_references(spec: ScenarioSpec) -> None:
         if event.type == "revoke" and not spec.topology.extra_servers:
             raise ScenarioSpecError(
                 "revoke event without topology.extra_servers targets"
+            )
+        if (event.type in ("login_storm", "user_key_change")
+                and not spec.topology.login_users):
+            raise ScenarioSpecError(
+                f"{event.type} event without topology.login_users accounts"
+            )
+        if event.type == "user_key_change" and "user" not in event.params:
+            raise ScenarioSpecError(
+                f"user_key_change event at {event.at} needs a 'user'"
             )
     for point in spec.topology.crash_points:
         if point.server not in aliases:

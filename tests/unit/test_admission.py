@@ -273,6 +273,46 @@ def test_bind_queues_calls_and_busies_overflow():
     assert peer.served == [(100, 1)]
 
 
+def test_bind_absorbs_retransmits_of_queued_calls():
+    """Regression: a client whose retransmit timer is shorter than the
+    queue wait re-sends a call that is still *waiting*.  The peer's
+    duplicate-reply cache only covers completed calls, so without the
+    dedup set the retransmit would be admitted as a second queue entry
+    and executed twice — breaking at-most-once under load."""
+    _clock, sched, registry, queue = make(max_depth=4)
+    queue.start(sched)
+    peer = FakePeer()
+    queue.bind(peer, "conn")
+    peer.dispatcher(FakeHeader(100, 1, xid=5), b"", None)
+    peer.dispatcher(FakeHeader(100, 1, xid=5), b"", None)   # retransmit
+    peer.dispatcher(FakeHeader(100, 1, xid=5), b"", None)   # and again
+    assert registry.counter(
+        "server.queue.retransmits_absorbed").value == 2
+    assert peer.busied == []                # absorbed, not rejected
+    pump_all(sched)
+    assert peer.served == [(100, 1)]        # executed exactly once
+    # The dedup slot is per *queued* call: once executed, responsibility
+    # passes to the peer's duplicate-reply cache, and a later call
+    # reusing the xid (a new connection epoch) queues normally.
+    peer.dispatcher(FakeHeader(100, 1, xid=5), b"", None)
+    pump_all(sched)
+    assert peer.served == [(100, 1), (100, 1)]
+
+
+def test_clear_also_drops_retransmit_dedup_state():
+    _clock, sched, _registry, queue = make(max_depth=4)
+    queue.start(sched)
+    peer = FakePeer()
+    queue.bind(peer, "conn")
+    peer.dispatcher(FakeHeader(100, 1, xid=9), b"", None)
+    assert queue.clear() == 1
+    assert queue._queued_xids == set()
+    # A post-restart retransmit of the dropped call is a fresh request.
+    peer.dispatcher(FakeHeader(100, 1, xid=9), b"", None)
+    pump_all(sched)
+    assert peer.served == [(100, 1)]
+
+
 def test_bind_inline_calls_bypass_the_queue():
     """The REKEY deadlock regression: a channel-state call listed in
     inline_calls must execute during record delivery — even with the

@@ -1,0 +1,395 @@
+"""Tests for the auth-plane caches (repro.auth.cache) and the bounded
+SRP session factory: decision-cache hit/miss/LRU/epoch semantics, the
+revocation-safety ordering in *both* arrival orders, SRP negative paths
+at scale, and batched validation."""
+
+import random
+
+import pytest
+
+from repro.auth.cache import DecisionCache, ParseCache
+from repro.core import proto
+from repro.core.authserv import (
+    AuthServer,
+    KeyDatabase,
+    PrivateRecord,
+    SrpSessionFactory,
+    UserRecord,
+)
+from repro.crypto.rabin import generate_key
+from repro.crypto.sha1 import sha1
+from repro.crypto.srp import SRPClient, SRPError, Verifier
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def user_key():
+    return generate_key(768, random.Random(80))
+
+
+@pytest.fixture(scope="module")
+def other_key():
+    return generate_key(768, random.Random(81))
+
+
+@pytest.fixture
+def metrics():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def authserver(metrics):
+    return AuthServer(random.Random(82), pathname="/sfs/host:" + "3" * 32,
+                      metrics=metrics)
+
+
+def make_authmsg(key, authid: bytes, seqno: int) -> bytes:
+    signed = proto.SignedAuthReq.pack(proto.SignedAuthReq.make(
+        req_type="SignedAuthReq", authid=authid, seqno=seqno,
+    ))
+    return proto.AuthMsg.pack(proto.AuthMsg.make(
+        signed_req=signed,
+        public_key=key.public_key.to_bytes(),
+        signature=key.sign(signed),
+    ))
+
+
+def register_user(authserver, key, user="alice", uid=1000):
+    record = UserRecord(user, uid, 100, (), key.public_key.to_bytes())
+    authserver.local_db.add_user(record)
+    return record
+
+
+# --- DecisionCache mechanics ----------------------------------------------
+
+
+def test_decision_cache_hit_and_miss():
+    cache = DecisionCache(capacity=4)
+    assert cache.lookup(b"a") is None
+    assert cache.misses == 1
+    cache.store(b"a", b"k1", "record-a")
+    entry = cache.lookup(b"a")
+    assert entry is not None and entry.record == "record-a"
+    assert cache.hits == 1
+
+
+def test_decision_cache_lru_bound():
+    cache = DecisionCache(capacity=2)
+    cache.store(b"a", b"k1", 1)
+    cache.store(b"b", b"k2", 2)
+    assert cache.lookup(b"a") is not None    # "a" is now most recent
+    cache.store(b"c", b"k3", 3)              # evicts "b", the LRU entry
+    assert len(cache) == 2
+    assert cache.evictions == 1
+    assert cache.lookup(b"b") is None
+    assert cache.lookup(b"a") is not None
+    assert cache.lookup(b"c") is not None
+
+
+def test_decision_cache_epoch_bump_lazily_invalidates():
+    cache = DecisionCache(capacity=4)
+    cache.store(b"a", b"k1", 1)
+    cache.bump_epoch()
+    assert cache.lookup(b"a") is None        # old-epoch entry dropped
+    assert cache.evictions == 1
+    cache.store(b"a", b"k1", 1)
+    assert cache.lookup(b"a") is not None    # new-epoch entry lives
+
+
+def test_decision_cache_evict_key_hash_kills_all_decisions():
+    cache = DecisionCache(capacity=8)
+    cache.store(b"a", b"k1", 1)
+    cache.store(b"b", b"k1", 1)
+    cache.store(b"c", b"k2", 2)
+    assert cache.evict_key_hash(b"k1") == 2
+    assert cache.lookup(b"a") is None and cache.lookup(b"b") is None
+    assert cache.lookup(b"c") is not None
+    assert cache.evict_key_hash(b"k1") == 0  # idempotent
+
+
+def test_decision_cache_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        DecisionCache(capacity=0)
+
+
+def test_parse_cache_memoizes_and_keeps_failing_loudly():
+    calls = []
+
+    def parse(raw):
+        calls.append(raw)
+        if raw == b"bad":
+            raise ValueError("malformed")
+        return raw.decode()
+
+    cache = ParseCache(parse, capacity=2)
+    assert cache.get(b"one") == "one"
+    assert cache.get(b"one") == "one"
+    assert len(calls) == 1 and cache.hits == 1
+    with pytest.raises(ValueError):
+        cache.get(b"bad")
+    with pytest.raises(ValueError):
+        cache.get(b"bad")                    # failures are never cached
+    assert calls.count(b"bad") == 2
+
+
+# --- revocation safety, both arrival orders -------------------------------
+
+
+def test_cached_decision_dies_when_user_revoked_after_validate(
+        authserver, user_key, metrics):
+    """Order A: validate (decision cached) -> revoke -> validate again.
+
+    The eviction hook fires synchronously inside ``revoke_user``, so the
+    second validate can never be vouched for by the stale decision."""
+    register_user(authserver, user_key)
+    authid = sha1(b"session-info")
+    msg = make_authmsg(user_key, authid, 1)
+    assert authserver.validate(authid, 1, msg) is not None
+    # Warm: second validate on the same session is a cache hit.
+    msg2 = make_authmsg(user_key, authid, 2)
+    assert authserver.validate(authid, 2, msg2) is not None
+    assert metrics.counter("auth.cache.hits").value == 1
+
+    assert authserver.revoke_user("alice")
+    assert metrics.counter("auth.cache.evictions").value >= 1
+    msg3 = make_authmsg(user_key, authid, 3)
+    assert authserver.validate(authid, 3, msg3) is None
+    assert metrics.counter("auth.users_revoked").value == 1
+
+
+def test_revocation_before_first_validate_denies(authserver, user_key):
+    """Order B: revoke before the key ever authenticated — nothing is
+    cached, nothing sneaks in, and the denial does not pollute the
+    cache either."""
+    register_user(authserver, user_key)
+    assert authserver.revoke_user("alice")
+    authid = sha1(b"late-session")
+    msg = make_authmsg(user_key, authid, 1)
+    assert authserver.validate(authid, 1, msg) is None
+    assert len(authserver.decision_cache) == 0
+
+
+def test_key_rotation_evicts_only_the_replaced_key(
+        authserver, user_key, other_key, metrics):
+    register_user(authserver, user_key, user="alice", uid=1000)
+    register_user(authserver, other_key, user="bob", uid=1001)
+    alice_id, bob_id = sha1(b"alice-sess"), sha1(b"bob-sess")
+    assert authserver.validate(alice_id, 1,
+                               make_authmsg(user_key, alice_id, 1))
+    assert authserver.validate(bob_id, 1, make_authmsg(other_key, bob_id, 1))
+
+    rotated = generate_key(768, random.Random(83))
+    authserver.local_db.add_user(UserRecord(
+        "alice", 1000, 100, (), rotated.public_key.to_bytes()))
+    # The old key must stop authenticating even on the warmed session...
+    assert authserver.validate(alice_id, 2,
+                               make_authmsg(user_key, alice_id, 2)) is None
+    # ...the new key works, and bob's cached decision survived.
+    assert authserver.validate(alice_id, 3,
+                               make_authmsg(rotated, alice_id, 3))
+    hits_before = metrics.counter("auth.cache.hits").value
+    assert authserver.validate(bob_id, 2, make_authmsg(other_key, bob_id, 2))
+    assert metrics.counter("auth.cache.hits").value == hits_before + 1
+
+
+def test_epoch_bump_forces_reverification(authserver, user_key, metrics):
+    register_user(authserver, user_key)
+    authid = sha1(b"info")
+    assert authserver.validate(authid, 1, make_authmsg(user_key, authid, 1))
+    authserver.bump_epoch()
+    assert metrics.counter("auth.cache.epoch_bumps").value == 1
+    # Still a valid user: the login succeeds, but through a full
+    # re-verification (a miss), not the stale pre-bump decision.
+    misses_before = metrics.counter("auth.cache.misses").value
+    assert authserver.validate(authid, 2, make_authmsg(user_key, authid, 2))
+    assert metrics.counter("auth.cache.misses").value == misses_before + 1
+
+
+def test_failed_validate_does_not_pollute_cache(authserver, user_key):
+    register_user(authserver, user_key)
+    authid = sha1(b"info")
+    signed = proto.SignedAuthReq.pack(proto.SignedAuthReq.make(
+        req_type="SignedAuthReq", authid=authid, seqno=1,
+    ))
+    forged = proto.AuthMsg.pack(proto.AuthMsg.make(
+        signed_req=signed,
+        public_key=user_key.public_key.to_bytes(),
+        signature=bytes(user_key.public_key.size + 1),
+    ))
+    assert authserver.validate(authid, 1, forged) is None
+    assert len(authserver.decision_cache) == 0
+    # A cache hit requires the *same* key hash: a different key claiming
+    # a cached authid goes through full verification and fails.
+    assert authserver.validate(authid, 2, make_authmsg(user_key, authid, 2))
+    other = generate_key(768, random.Random(84))
+    assert authserver.validate(authid, 3,
+                               make_authmsg(other, authid, 3)) is None
+
+
+# --- validate_batch -------------------------------------------------------
+
+
+def test_validate_batch_matches_individual_validates(
+        authserver, user_key, other_key, metrics):
+    register_user(authserver, user_key, user="alice", uid=1000)
+    register_user(authserver, other_key, user="bob", uid=1001)
+    alice_id, bob_id = sha1(b"a-sess"), sha1(b"b-sess")
+    alice_msg = make_authmsg(user_key, alice_id, 1)
+    requests = [
+        (alice_id, 1, alice_msg),
+        (bob_id, 1, make_authmsg(other_key, bob_id, 1)),
+        (alice_id, 1, alice_msg),            # verbatim retransmit
+        (sha1(b"ghost"), 1, b"garbage"),
+    ]
+    results = authserver.validate_batch(requests)
+    assert [r.user if r else None for r in results] == \
+        ["alice", "bob", "alice", None]
+    assert metrics.counter("auth.batch.requests").value == 1
+    assert metrics.counter("auth.batch.deduped").value == 1
+    # The dedup fan-out counts one validation, not two.
+    assert authserver.validations == 3
+
+
+# --- SrpSessionFactory bounding -------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def make_srp_user(authserver, user="alice", password=b"pw", cost=2,
+                  rng=None):
+    rng = rng or random.Random(85)
+    verifier = Verifier.from_password(user, password, rng, cost=cost)
+    authserver.local_db.add_user(
+        UserRecord(user, 1000, 100, (), b""),
+        PrivateRecord(verifier.salt, verifier.v, verifier.cost,
+                      b"sealed-blob"),
+    )
+    return verifier
+
+
+def test_srp_factory_bounds_live_sessions(authserver, metrics):
+    factory = SrpSessionFactory(authserver, capacity=3, ttl=None)
+    sessions = [factory.new_session() for _ in range(5)]
+    assert factory.live_sessions == 3
+    assert factory.evicted == 2
+    assert metrics.counter("auth.srp.sessions_evicted").value == 2
+    # The two oldest were closed: any protocol step answers None.
+    make_srp_user(authserver)
+    client = SRPClient("alice", b"pw", random.Random(86))
+    assert sessions[0].closed and sessions[1].closed
+    assert sessions[0].init("alice", client.start()) is None
+    assert not sessions[4].closed
+
+
+def test_srp_factory_ttl_expires_abandoned_handshakes(authserver, metrics):
+    clock = FakeClock()
+    factory = SrpSessionFactory(authserver, capacity=8, ttl=10.0,
+                                clock=clock)
+    stale = factory.new_session()
+    clock.now = 11.0
+    fresh = factory.new_session()            # new_session() sweeps expired
+    assert stale.closed and not fresh.closed
+    assert factory.live_sessions == 1
+    assert metrics.counter("auth.srp.sessions_evicted").value == 1
+
+
+def test_srp_factory_finished_sessions_free_their_slot(authserver):
+    make_srp_user(authserver)
+    factory = SrpSessionFactory(authserver, capacity=2, ttl=None)
+    rng = random.Random(87)
+    for _ in range(4):
+        client = SRPClient("alice", b"pw", rng)
+        session = factory.new_session()
+        salt, B, cost = session.init("alice", client.start())
+        assert session.confirm(client.process_challenge(salt, B, cost))
+    # Completed handshakes discarded themselves; nothing was evicted.
+    assert factory.live_sessions == 0
+    assert factory.evicted == 0
+
+
+def test_srp_factory_rejects_bad_capacity(authserver):
+    with pytest.raises(ValueError):
+        SrpSessionFactory(authserver, capacity=0)
+
+
+# --- SRP negative paths ---------------------------------------------------
+
+
+def test_srp_wrong_password_fails_without_credential(authserver):
+    make_srp_user(authserver, password=b"right")
+    client = SRPClient("alice", b"wrong", random.Random(88))
+    session = authserver.srp_sessions().new_session()
+    salt, B, cost = session.init("alice", client.start())
+    m1 = client.process_challenge(salt, B, cost)
+    assert session.confirm(m1) is None
+    assert any("alice" in line for line in authserver.security_log)
+    assert len(authserver.decision_cache) == 0
+
+
+def test_srp_replayed_confirm_on_stale_session_fails(authserver):
+    make_srp_user(authserver)
+    client = SRPClient("alice", b"pw", random.Random(89))
+    session = authserver.srp_sessions().new_session()
+    salt, B, cost = session.init("alice", client.start())
+    m1 = client.process_challenge(salt, B, cost)
+    assert session.confirm(m1) is not None
+    # Single-shot: replaying the (correct!) proof on the used session
+    # must answer None — the handshake state is gone.
+    assert session.confirm(m1) is None
+
+
+def test_srp_tampered_verifier_breaks_the_proof(authserver):
+    verifier = make_srp_user(authserver, password=b"pw")
+    # An attacker who corrupted the private database flips bits in v:
+    # the honest client's proof can no longer verify.
+    authserver.local_db.add_user(
+        UserRecord("alice", 1000, 100, (), b""),
+        PrivateRecord(verifier.salt, verifier.v ^ 0b1010, verifier.cost,
+                      b"sealed-blob"),
+    )
+    client = SRPClient("alice", b"pw", random.Random(90))
+    session = authserver.srp_sessions().new_session()
+    salt, B, cost = session.init("alice", client.start())
+    m1 = client.process_challenge(salt, B, cost)
+    assert session.confirm(m1) is None
+    assert any("alice" in line for line in authserver.security_log)
+
+
+def test_srp_client_rejects_illegal_challenge():
+    client = SRPClient("alice", b"pw", random.Random(91))
+    client.start()
+    with pytest.raises(SRPError):
+        client.process_challenge(b"salt", 0, 2)   # B == 0 mod N
+
+
+def test_srp_client_rejects_tampered_server_proof(authserver):
+    make_srp_user(authserver)
+    client = SRPClient("alice", b"pw", random.Random(92))
+    session = authserver.srp_sessions().new_session()
+    salt, B, cost = session.init("alice", client.start())
+    m2, _sealed = session.confirm(client.process_challenge(salt, B, cost))
+    with pytest.raises(SRPError):
+        client.verify_server(bytes(20))
+    client.verify_server(m2)                 # the real proof still passes
+
+
+def test_srp_storm_of_abandoned_inits_is_bounded(authserver, metrics):
+    """The abandoned-login storm the factory exists for: hundreds of
+    SRP_INITs, no confirms.  State stays at the cap, the overflow is
+    counted, and a genuine login still succeeds afterwards."""
+    make_srp_user(authserver)
+    factory = SrpSessionFactory(authserver, capacity=16, ttl=None)
+    rng = random.Random(93)
+    for _ in range(200):
+        session = factory.new_session()
+        client = SRPClient("alice", b"pw", rng)
+        session.init("alice", client.start())
+    assert factory.live_sessions == 16
+    assert factory.evicted == 200 - 16
+    client = SRPClient("alice", b"pw", rng)
+    session = factory.new_session()
+    salt, B, cost = session.init("alice", client.start())
+    assert session.confirm(client.process_challenge(salt, B, cost))
