@@ -1,11 +1,21 @@
 """The fileserver auth-decision cache: authid -> verified credentials.
 
 The paper's authserver split (section 2.5) keeps user knowledge out of
-the file server, but it also puts a Rabin signature verification on
-every login.  At fleet scale that verification dominates the login hot
-path, so file servers remember the *decision*: once an authid (the
-SHA-1 of the session's AuthInfo) has been proven to belong to a signing
-key, later logins on the same session skip the public-key verify.
+the file server, but it also puts a full key→credentials resolution —
+parse the key, walk every attached database — on every login.  At
+fleet scale (a file server importing many shards' user databases) that
+resolution dominates the login hot path, so file servers remember the
+*decision*: once an authid (the SHA-1 of the session's AuthInfo) has
+been proven to belong to a signing key, later logins on the same
+session map straight to the proven credentials.
+
+What a hit does **not** skip is the signature verification itself:
+public keys are public, so a cached decision keyed on key bytes alone
+would hand out credentials to anyone able to send on the session.
+:meth:`AuthServer.validate` verifies the Rabin signature (a modular
+squaring — cheap by construction, which is why the paper chose Rabin)
+on every request, cached or not; only then may the cache substitute
+for the database walk.
 
 A cached decision is only safe while the signing key is still live, so
 the cache supports two invalidation paths, both ordered strictly before

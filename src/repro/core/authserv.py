@@ -21,9 +21,10 @@ The authserver:
   guessing attack — paced by eksblowfish).
 
 At fleet scale (PROTOCOLS.md section 16) two more concerns live here:
-the signature-skipping :class:`~repro.auth.cache.DecisionCache` on the
-login hot path, with eviction ordered strictly before the next validate
-whenever a key stops resolving, and a bounded
+the :class:`~repro.auth.cache.DecisionCache` on the login hot path
+(amortizing the key→credentials database resolution — the signature is
+still verified on every request), with eviction ordered strictly
+before the next validate whenever a key stops resolving, and a bounded
 :class:`SrpSessionFactory` so abandoned-login storms cannot grow
 handshake state without limit.
 """
@@ -128,7 +129,11 @@ class KeyDatabase:
             self._by_key_hash.pop(
                 self._key_hash(existing.public_key_bytes), None
             )
-            if existing.public_key_bytes != record.public_key_bytes:
+            if existing != record:
+                # Any change — new key, or same key with different
+                # credentials (uid/gid/groups) — invalidates decisions
+                # proved by the old record, so a cache hit can never
+                # serve stale credentials until LRU happens to evict.
                 self._fire_eviction(existing.public_key_bytes)
         self._by_key_hash[self._key_hash(record.public_key_bytes)] = record
         self._by_user[record.user] = record
@@ -231,9 +236,19 @@ class AuthServer:
             self._m_cache_evictions.inc(evicted)
 
     def revoke_user(self, user: str) -> bool:
-        """Remove *user* from every writable database; evictions fire."""
+        """Remove *user* from every writable database; evictions fire.
+
+        Read-only databases are skipped: they mirror a signed published
+        image shared by every importer, so mutating one here would both
+        diverge from the image (the user silently resurrects on the
+        next refresh) and side-effect unrelated file servers.  Fleet-
+        wide revocation goes through ``AuthFleet.revoke_user``, which
+        mutates the owning shard and refreshes every import.
+        """
         removed = False
         for db in self.databases:
+            if not db.writable:
+                continue
             if db.lookup_user(user) is not None and db.remove_user(user):
                 removed = True
         if removed:
@@ -257,13 +272,20 @@ class AuthServer:
         over the marshaled SignedAuthReq; and the public key maps to a
         user in some database.
 
-        The decision cache short-circuits only the signature check: a hit
-        requires that this exact (authid, key) pair was fully verified
-        before on this authserver, that the signed request still binds
-        the session's authid and fresh seqno, and that the key has not
-        been rotated or revoked since (eviction hooks and the cache epoch
-        guarantee the latter).  The authid is the SHA-1 of the session's
-        AuthInfo, so a decision can never leak across sessions.
+        The signature is verified on EVERY request, cached decision or
+        not: public keys are public, so skipping the verify on a cache
+        hit would let anyone who can send on the session (another user's
+        agent on a shared client, or the client itself after the agent
+        forgot its keys at logout) replay a key it does not hold.  Rabin
+        verification is a modular squaring — cheap by construction,
+        which is why the paper picked Rabin — so the hot-path win lives
+        in what the decision cache *does* skip: the multi-database
+        key→credentials resolution.  A hit additionally requires that
+        the same key hash is claiming the authid and that the key has
+        not been rotated or revoked since (eviction hooks and the cache
+        epoch guarantee the latter).  The authid is the SHA-1 of the
+        session's AuthInfo, so a decision can never leak across
+        sessions.
         """
         self.validations += 1
         self._m_validations.inc()
@@ -276,18 +298,18 @@ class AuthServer:
             return self._deny()
         if signed.authid != authid or signed.seqno != seqno:
             return self._deny()
-        key_hash = KeyDatabase._key_hash(authmsg.public_key)
-        cached = self.decision_cache.lookup(authid)
-        if cached is not None and cached.key_hash == key_hash:
-            self._m_cache_hits.inc()
-            return cached.record
-        self._m_cache_misses.inc()
         try:
             public_key = self._pubkeys.get(authmsg.public_key)
             if not public_key.verify(authmsg.signed_req, authmsg.signature):
                 raise SRPError("bad signature")
         except (XdrError, RabinError, SRPError):
             return self._deny()
+        key_hash = KeyDatabase._key_hash(authmsg.public_key)
+        cached = self.decision_cache.lookup(authid)
+        if cached is not None and cached.key_hash == key_hash:
+            self._m_cache_hits.inc()
+            return cached.record
+        self._m_cache_misses.inc()
         for db in self.databases:
             record = db.lookup_key(authmsg.public_key)
             if record is not None:

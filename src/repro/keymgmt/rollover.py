@@ -137,10 +137,14 @@ def fan_out_revocations(certificates, daemons=(), masters=(), ca=None,
     populated HostID cache), and *ca*, if given, files revocations
     under ``/revocations`` for agents that poll revocation directories.
     Every :class:`~repro.core.authserv.AuthServer` in *authservers* gets
-    its decision-cache epoch bumped once per sweep that delivered at
-    least one verified certificate: a revoked server key may have
-    influenced who authenticated, so cached login decisions are not
-    allowed to outlive the sweep (they lazily re-verify instead).
+    its decision-cache epoch bumped once per sweep that verified at
+    least one certificate (revocation or forwarding — a retired server
+    key may have influenced who authenticated either way), so cached
+    login decisions are not allowed to outlive the sweep; they lazily
+    re-verify instead.  Bumps are cache bookkeeping, not certificate
+    deliveries: they count as ``auth.cache.epoch_bumps`` on each
+    authserver and never inflate the returned delivery total or
+    ``keymgmt.revocations_fanned_out``.
     Forged certificates are skipped, not raised: a storm is exactly the
     place hostile junk shows up, and one bad certificate must not stop
     the sweep.
@@ -168,7 +172,6 @@ def fan_out_revocations(certificates, daemons=(), masters=(), ca=None,
     if verified_any:
         for authserver in authservers:
             authserver.bump_epoch()
-            delivered += 1
     if metrics is not None:
         metrics.counter("keymgmt.revocations_fanned_out").inc(delivered)
     return delivered

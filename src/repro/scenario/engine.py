@@ -128,6 +128,20 @@ class _Runtime:
     def daemons(self) -> list:
         return [machine.sfscd for machine in self.kernel_clients]
 
+    @property
+    def authservers(self) -> list:
+        """Every live authserver in the world, deduplicated — the
+        decision-cache epoch-bump targets for revocation fan-out (a
+        retired server key may have influenced who authenticated on any
+        of them, so none may keep serving pre-sweep cached decisions)."""
+        servers: list = []
+        for machine in self.world.servers.values():
+            for export in machine.exports.values():
+                authserver = export[2]
+                if authserver is not None and authserver not in servers:
+                    servers.append(authserver)
+        return servers
+
     def machine(self, alias: str) -> ServerMachine:
         try:
             return self.aliases[alias]

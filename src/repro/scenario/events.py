@@ -119,6 +119,7 @@ def _ev_rollover(rt, params: dict) -> None:
     rt.count("scenario.rollovers")
     if params.get("fan_out"):
         fan_out_revocations([result.certificate], daemons=rt.daemons,
+                            authservers=rt.authservers,
                             metrics=rt.world.metrics)
 
 
@@ -136,6 +137,7 @@ def _ev_revoke(rt, params: dict) -> None:
     if params.get("fan_out", True) or ca is not None:
         daemons = rt.daemons if params.get("fan_out", True) else ()
         fan_out_revocations(certificates, daemons=daemons, ca=ca,
+                            authservers=rt.authservers,
                             metrics=rt.world.metrics)
 
 

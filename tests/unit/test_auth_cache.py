@@ -205,6 +205,80 @@ def test_epoch_bump_forces_reverification(authserver, user_key, metrics):
     assert metrics.counter("auth.cache.misses").value == misses_before + 1
 
 
+def test_cache_hit_still_requires_a_valid_signature(
+        authserver, user_key, metrics):
+    """A warmed decision must not stand in for proof of possession.
+
+    Public keys are public: after alice logs in on a session, anyone
+    able to send on that session can embed her key bytes in an AuthMsg
+    with a garbage signature.  The cached decision may only shortcut
+    the database resolution — the signature check runs every time, so
+    the forgery is denied and alice's own next login still hits."""
+    register_user(authserver, user_key)
+    authid = sha1(b"shared-client-session")
+    assert authserver.validate(authid, 1, make_authmsg(user_key, authid, 1))
+
+    signed = proto.SignedAuthReq.pack(proto.SignedAuthReq.make(
+        req_type="SignedAuthReq", authid=authid, seqno=2,
+    ))
+    forged = proto.AuthMsg.pack(proto.AuthMsg.make(
+        signed_req=signed,
+        public_key=user_key.public_key.to_bytes(),   # alice's PUBLIC key
+        signature=bytes(user_key.public_key.size + 1),
+    ))
+    hits_before = metrics.counter("auth.cache.hits").value
+    assert authserver.validate(authid, 2, forged) is None
+    assert metrics.counter("auth.cache.hits").value == hits_before
+    assert metrics.counter("auth.failed_validations").value == 1
+    # The honest agent, holding the private key, still gets the hit.
+    assert authserver.validate(authid, 3, make_authmsg(user_key, authid, 3))
+    assert metrics.counter("auth.cache.hits").value == hits_before + 1
+
+
+def test_credential_change_without_key_change_evicts_decision(
+        authserver, user_key, metrics):
+    """Replacing a record with the same key but different credentials
+    (uid/gid/groups) must kill the cached decision: a hit may never
+    serve the stale credentials until LRU happens to evict."""
+    register_user(authserver, user_key, user="alice", uid=1000)
+    authid = sha1(b"promotion-session")
+    record = authserver.validate(authid, 1, make_authmsg(user_key, authid, 1))
+    assert record is not None and record.uid == 1000
+
+    authserver.local_db.add_user(UserRecord(
+        "alice", 1000, 100, (0,), user_key.public_key.to_bytes()))
+    assert metrics.counter("auth.cache.evictions").value >= 1
+    fresh = authserver.validate(authid, 2, make_authmsg(user_key, authid, 2))
+    assert fresh is not None and fresh.groups == (0,)
+
+
+def test_identical_record_rewrite_does_not_evict(authserver, user_key):
+    """Re-adding a byte-identical record (an import refresh that found
+    nothing changed) is not a mutation and must not shed decisions."""
+    record = register_user(authserver, user_key)
+    authid = sha1(b"steady-session")
+    assert authserver.validate(authid, 1, make_authmsg(user_key, authid, 1))
+    authserver.local_db.add_user(UserRecord(
+        record.user, record.uid, record.gid, record.groups,
+        record.public_key_bytes))
+    assert len(authserver.decision_cache) == 1
+
+
+def test_revoke_user_skips_read_only_databases(authserver, user_key):
+    """revoke_user only mutates writable databases: a read-only import
+    mirrors a signed published image shared by every importer, so
+    removing the user locally would silently diverge from the image."""
+    shared = KeyDatabase("fleet-import", writable=False)
+    shared.add_user(UserRecord(
+        "carol", 1002, 100, (), user_key.public_key.to_bytes()))
+    authserver.attach_database(shared)
+    assert not authserver.revoke_user("carol")
+    assert shared.lookup_user("carol") is not None
+    carol_id = sha1(b"carol-session")
+    assert authserver.validate(carol_id, 1,
+                               make_authmsg(user_key, carol_id, 1))
+
+
 def test_failed_validate_does_not_pollute_cache(authserver, user_key):
     register_user(authserver, user_key)
     authid = sha1(b"info")
