@@ -61,9 +61,22 @@ def _prepare_export(server, uid: int) -> None:
     server.fs.setattr(work.ino, Cred(0, 0), uid=uid, gid=100)
 
 
-def make_setup(name: str, seed: int = 7, caching: bool = True) -> BenchSetup:
-    """Build one of the five configurations by display name."""
+def make_setup(name: str, seed: int = 7, caching: bool = True,
+               pipeline_depth: int = 0,
+               params: NetworkParameters | None = None) -> BenchSetup:
+    """Build one of the five configurations by display name.
+
+    ``pipeline_depth > 0`` flips the world to the task-native async
+    core (PROTOCOLS.md §17) before any machine exists: pipelined
+    links, a send window of that many in-flight RPCs, and client-side
+    readahead / write-gathering.  ``params`` overrides the default LAN
+    profile for every link (e.g. :meth:`NetworkParameters.wan`).
+    """
     world = World(seed=seed)
+    if params is not None:
+        world.lan_params = params
+    if pipeline_depth:
+        world.enable_pipelining(depth=pipeline_depth, seed=seed)
     if name == LOCAL:
         client = world.add_client("bench-client")
         proc = client.process(uid=_BENCH_UID)

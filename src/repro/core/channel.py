@@ -108,6 +108,10 @@ class SecureChannel:
         )
         self.suggested_clock = getattr(pipe, "suggested_clock", None)
         self.suggested_metrics = getattr(pipe, "suggested_metrics", None)
+        self.suggested_window_depth = getattr(
+            pipe, "suggested_window_depth", None
+        )
+        self.suggested_rtt = getattr(pipe, "suggested_rtt", 0.0)
         self.synchronous_delivery = getattr(
             pipe, "synchronous_delivery", False
         )

@@ -78,7 +78,7 @@ from .revocation import (
     REVOKED_LINK_TARGET,
     verify_certificate,
 )
-from .server import SwitchablePipe, make_sfs_cred
+from .server import SwitchablePipe, make_sfs_cred, nfs_failure_shape
 
 #: Dials (location, service) -> LinkSide.  Provided by the world model
 #: (or a real TCP dialer); raises ConnectionError if unreachable.
@@ -775,6 +775,17 @@ def _rewrite_fsids(value: Any, fsid: int) -> None:
             _rewrite_fsids(item, fsid)
 
 
+#: Procedures whose success changes file/directory contents as seen by
+#: this client — a readahead buffer crossing one of these is stale.
+_MUTATING_PROCS = frozenset({
+    nfs_const.NFSPROC3_SETATTR, nfs_const.NFSPROC3_CREATE,
+    nfs_const.NFSPROC3_MKDIR, nfs_const.NFSPROC3_SYMLINK,
+    nfs_const.NFSPROC3_REMOVE, nfs_const.NFSPROC3_RMDIR,
+    nfs_const.NFSPROC3_RENAME, nfs_const.NFSPROC3_LINK,
+    nfs_const.NFSPROC3_WRITEV,
+})
+
+
 class MountedRemoteFs:
     """One remote read-write file system, served to the kernel as NFS.
 
@@ -800,9 +811,38 @@ class MountedRemoteFs:
         self._m_relayed = daemon.metrics.counter("client.rpcs_relayed")
         self._m_replayed = daemon.metrics.counter("client.replayed_calls")
         self._m_stale = daemon.metrics.counter("client.stale_handles")
-        session.invalidate_handler = self.caches.invalidate
+        # Readahead state (active when daemon.pipeline_depth > 1):
+        # handle -> {offset: (data, eof)} chunks prefetched via READV,
+        # plus the sequential-access detector (next expected offset and
+        # current streak length per handle).
+        self._ra_buf: dict[bytes, dict[int, tuple[bytes, bool]]] = {}
+        self._ra_attrs: dict[bytes, Record | None] = {}
+        self._seq_next: dict[bytes, int] = {}
+        self._seq_streak: dict[bytes, int] = {}
+        # Write-gathering state: handle -> [[offset, bytearray], ...]
+        # coalesced dirty ranges not yet sent to the server.
+        self._gather_segs: dict[bytes, list[list]] = {}
+        m = daemon.metrics
+        self._m_ra_batches = m.counter("client.readahead.batches")
+        self._m_ra_chunks = m.counter("client.readahead.chunks")
+        self._m_ra_hits = m.counter("client.readahead.hits")
+        self._m_ra_misses = m.counter("client.readahead.misses")
+        self._m_ra_discarded = m.counter("client.readahead.discarded")
+        self._m_gather_writes = m.counter("client.gather.writes")
+        self._m_gather_flushes = m.counter("client.gather.flushes")
+        self._m_gather_segments = m.counter("client.gather.segments")
+        self._m_gather_bytes = m.counter("client.gather.bytes")
+        session.invalidate_handler = self._on_invalidate
         session.on_rekey = self._after_rekey
         session.on_reconnect = self._after_reconnect
+
+    def _on_invalidate(self, handle: bytes) -> None:
+        """Lease invalidation: drop cached state *and* readahead data —
+        another client wrote the file, so prefetched chunks are stale.
+        Gathered (unsent) local writes survive: they are this client's
+        own pending data, flushed at the next barrier."""
+        self.caches.invalidate(handle)
+        self._ra_discard(handle)
 
     def _after_rekey(self) -> None:
         """A rekey means records were lost — possibly including lease
@@ -811,6 +851,8 @@ class MountedRemoteFs:
         self.caches.attrs.clear()
         self.caches.access.clear()
         self.caches.lookups.clear()
+        self._ra_buf.clear()
+        self._ra_attrs.clear()
 
     def _after_reconnect(self) -> None:
         """The server restarted: every piece of its volatile state is
@@ -823,6 +865,8 @@ class MountedRemoteFs:
         self.caches.attrs.clear()
         self.caches.access.clear()
         self.caches.lookups.clear()
+        self._ra_buf.clear()
+        self._ra_attrs.clear()
 
     # -- authentication --
 
@@ -857,9 +901,17 @@ class MountedRemoteFs:
         return handler
 
     def _handle(self, proc: int, args: Record, ctx: CallContext):
+        if self.daemon.pipeline_depth > 1:
+            reply = self._pipeline_intercept(proc, args, ctx,
+                                             self.daemon.pipeline_depth)
+            if reply is not None:
+                return reply
         cached = self._try_cache(proc, args, ctx)
         if cached is not None:
             return cached
+        return self._relay(proc, args, ctx)
+
+    def _relay(self, proc: int, args: Record, ctx: CallContext):
         try:
             authno = self._authno_for(ctx)
             status, body = self.session.call_nfs(proc, args, authno)
@@ -891,6 +943,148 @@ class MountedRemoteFs:
         _rewrite_fsids(body, self.fsid)
         self._absorb(proc, args, ctx, status, body)
         return status, body
+
+    # -- readahead and write-gathering (pipeline_depth > 1) --
+
+    def _pipeline_intercept(self, proc: int, args: Record, ctx: CallContext,
+                            depth: int):
+        """Serve READ from the readahead buffer / absorb UNSTABLE WRITE
+        into the gather buffer; returns a reply, or None to fall through
+        to the normal cache-then-relay path."""
+        if proc == nfs_const.NFSPROC3_READ:
+            if args.file in self._gather_segs:
+                # Read-your-writes: dirty gathered data must reach the
+                # server before we read the file back.
+                status = self._flush_gather(args.file, ctx)
+                if status is not None:
+                    return status, Record(file_attributes=None)
+            return self._read_with_readahead(args, ctx, depth)
+        if proc == nfs_const.NFSPROC3_WRITE:
+            self._ra_discard(args.file)
+            if args.stable == nfs_const.UNSTABLE:
+                return self._gather_write(args, ctx, depth)
+            status = self._flush_gather(args.file, ctx)
+            if status is not None:
+                return status, Record(
+                    file_wcc=nfs_types.WccData.make(before=None, after=None)
+                )
+            return None
+        # Any other procedure touching a handle with gathered dirty data
+        # (COMMIT, SETATTR, GETATTR, ...) is a write-behind barrier:
+        # flush first so the server-side view the reply reflects
+        # includes our writes.  Mutating ops also discard readahead.
+        for handle in _handles_in_args(proc, args):
+            if proc in _MUTATING_PROCS:
+                self._ra_discard(handle)
+            if handle in self._gather_segs:
+                status = self._flush_gather(handle, ctx)
+                if status is not None:
+                    return status, nfs_failure_shape(proc)
+        return None
+
+    def _ra_discard(self, handle: bytes) -> None:
+        if self._ra_buf.pop(handle, None) is not None:
+            self._m_ra_discarded.inc()
+        self._ra_attrs.pop(handle, None)
+        self._seq_next.pop(handle, None)
+        self._seq_streak.pop(handle, None)
+
+    def _read_with_readahead(self, args: Record, ctx: CallContext,
+                             depth: int):
+        handle, offset, count = args.file, args.offset, args.count
+        buf = self._ra_buf.get(handle)
+        if buf is not None:
+            entry = buf.pop(offset, None)
+            if entry is not None:
+                data, eof = entry
+                if len(data) <= count:
+                    self._m_ra_hits.inc()
+                    self._seq_next[handle] = offset + len(data)
+                    return nfs_const.NFS3_OK, Record(
+                        file_attributes=self._ra_attrs.get(handle),
+                        count=len(data), eof=eof, data=data,
+                    )
+                self._m_ra_discarded.inc()
+        # Buffer miss: update the sequential detector, and batch the
+        # next window via READV once a run of two chunks is seen.
+        self._m_ra_misses.inc()
+        sequential = self._seq_next.get(handle) == offset
+        self._seq_next[handle] = offset + count
+        streak = self._seq_streak.get(handle, 0) + 1 if sequential else 0
+        self._seq_streak[handle] = streak
+        if streak < 1 or count <= 0:
+            return None  # plain READ relay
+        segments = [Record(offset=offset + i * count, count=count)
+                    for i in range(depth)]
+        status, body = self._relay(
+            nfs_const.NFSPROC3_READV,
+            Record(file=handle, segments=segments), ctx,
+        )
+        if status != nfs_const.NFS3_OK:
+            # Fall back to a plain READ so the error surfaces with the
+            # reply shape the kernel asked for.
+            return None
+        self._m_ra_batches.inc()
+        self._ra_attrs[handle] = body.file_attributes
+        buf = self._ra_buf.setdefault(handle, {})
+        for seg_args, seg in zip(segments[1:], body.segments[1:]):
+            buf[seg_args.offset] = (seg.data, seg.eof)
+            self._m_ra_chunks.inc()
+            if seg.eof:
+                break
+        first = body.segments[0]
+        self._seq_next[handle] = offset + first.count
+        return nfs_const.NFS3_OK, Record(
+            file_attributes=body.file_attributes,
+            count=first.count, eof=first.eof, data=first.data,
+        )
+
+    def _gather_write(self, args: Record, ctx: CallContext, depth: int):
+        handle = args.file
+        data = args.data[: args.count]
+        segs = self._gather_segs.setdefault(handle, [])
+        if segs and segs[-1][0] + len(segs[-1][1]) == args.offset:
+            segs[-1][1] += data
+        else:
+            segs.append([args.offset, bytearray(data)])
+        self._m_gather_writes.inc()
+        # Local attrs (size, mtime) are stale until the flush lands.
+        self.caches.invalidate(handle)
+        total = sum(len(chunk) for _, chunk in segs)
+        if len(segs) >= depth or total >= depth * 65536:
+            status = self._flush_gather(handle, ctx)
+            if status is not None:
+                return status, Record(
+                    file_wcc=nfs_types.WccData.make(before=None, after=None)
+                )
+        # Synthetic immediate OK: UNSTABLE data is volatile by contract
+        # until COMMIT, which is a flush barrier (PROTOCOLS.md §17).
+        return nfs_const.NFS3_OK, Record(
+            file_wcc=nfs_types.WccData.make(before=None, after=None),
+            count=len(data), committed=nfs_const.UNSTABLE,
+            verf=b"\x00" * 8,
+        )
+
+    def _flush_gather(self, handle: bytes, ctx: CallContext):
+        """Send gathered dirty ranges as one WRITEV.  Returns None on
+        success (or nothing to flush); a non-OK NFS status on failure —
+        the caller shapes the error for whatever op hit the barrier."""
+        segs = self._gather_segs.pop(handle, None)
+        if not segs:
+            return None
+        self._m_gather_flushes.inc()
+        self._m_gather_segments.inc(len(segs))
+        self._m_gather_bytes.inc(sum(len(chunk) for _, chunk in segs))
+        status, _body = self._relay(
+            nfs_const.NFSPROC3_WRITEV,
+            Record(
+                file=handle, stable=nfs_const.UNSTABLE,
+                segments=[Record(offset=offset, data=bytes(chunk))
+                          for offset, chunk in segs],
+            ),
+            ctx,
+        )
+        return None if status == nfs_const.NFS3_OK else status
 
     # -- caching --
 
@@ -943,7 +1137,10 @@ class MountedRemoteFs:
         elif proc == nfs_const.NFSPROC3_READ:
             if body.file_attributes is not None:
                 caches.attrs.put(args.file, body.file_attributes)
-        elif proc == nfs_const.NFSPROC3_WRITE:
+        elif proc == nfs_const.NFSPROC3_READV:
+            if body.file_attributes is not None:
+                caches.attrs.put(args.file, body.file_attributes)
+        elif proc in (nfs_const.NFSPROC3_WRITE, nfs_const.NFSPROC3_WRITEV):
             caches.invalidate(args.file)
             if body.file_wcc.after is not None:
                 caches.attrs.put(args.file, body.file_wcc.after)
@@ -1208,13 +1405,20 @@ class SfsClientDaemon:
 
     def __init__(self, clock: Clock, rng: random.Random, connector: Connector,
                  mounter, encrypt: bool = True, caching: bool = True,
-                 metrics=None, backoff: BackoffPolicy | None = None) -> None:
+                 metrics=None, backoff: BackoffPolicy | None = None,
+                 pipeline_depth: int = 1) -> None:
         self.clock = clock
         self.rng = rng
         self.connector = connector
         self.mounter = mounter
         self.encrypt = encrypt
         self.caching = caching
+        #: Pipeline window depth for the daemon's mounts: 1 = classic
+        #: one-RPC-at-a-time relaying (bit-identical to the pre-pipeline
+        #: stack); >1 turns on sequential readahead (READV batches of up
+        #: to this many chunks) and write-gathering (up to this many
+        #: coalesced UNSTABLE writes per WRITEV flush).
+        self.pipeline_depth = pipeline_depth
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         #: One policy drives both the mount-time handshake redial and
         #: every session's crash-recovery reconnect loop; inject a

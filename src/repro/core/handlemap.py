@@ -42,6 +42,8 @@ _ARG_HANDLES: dict[int, list[tuple[str, ...]]] = {
     const.NFSPROC3_FSINFO: [("fsroot",)],
     const.NFSPROC3_PATHCONF: [("object",)],
     const.NFSPROC3_COMMIT: [("file",)],
+    const.NFSPROC3_READV: [("file",)],
+    const.NFSPROC3_WRITEV: [("file",)],
 }
 
 #: proc -> list of (path, optional?) to handles in the OK result record.

@@ -111,6 +111,8 @@ def nfs_failure_shape(proc: int) -> Record | None:
         nfs_const.NFSPROC3_FSINFO: Record(obj_attributes=None),
         nfs_const.NFSPROC3_PATHCONF: Record(obj_attributes=None),
         nfs_const.NFSPROC3_COMMIT: Record(file_wcc=empty_wcc),
+        nfs_const.NFSPROC3_READV: Record(file_attributes=None),
+        nfs_const.NFSPROC3_WRITEV: Record(file_wcc=empty_wcc),
     }
     return shapes[proc]
 
@@ -153,6 +155,10 @@ class SwitchablePipe:
         )
         self.suggested_clock = getattr(lower, "suggested_clock", None)
         self.suggested_metrics = getattr(lower, "suggested_metrics", None)
+        self.suggested_window_depth = getattr(
+            lower, "suggested_window_depth", None
+        )
+        self.suggested_rtt = getattr(lower, "suggested_rtt", 0.0)
         self.synchronous_delivery = getattr(
             lower, "synchronous_delivery", False
         )
@@ -849,7 +855,7 @@ class ServerConnection:
             )
         finally:
             export.active_connection = None
-        if proc == nfs_const.NFSPROC3_WRITE:
+        if proc in (nfs_const.NFSPROC3_WRITE, nfs_const.NFSPROC3_WRITEV):
             # The write executed but its reply is not out yet; the
             # client must replay it after reconnecting (and the crash
             # itself rolls the un-committed data back).

@@ -216,6 +216,7 @@ class ClientMachine:
         self.sfscd = SfsClientDaemon(
             world.clock, world.rng, world.connector, self.mounter,
             encrypt=encrypt, caching=caching, metrics=self.metrics,
+            pipeline_depth=world.pipeline_depth,
         )
         self.mounter.mount("/sfs", self.sfscd.program,
                            self.sfscd.root_handle())
@@ -276,9 +277,11 @@ class ClientMachine:
         kernel_side, server_side = link_pair(
             self.world.clock, params or self.world.lan_params,
             metrics=self.world.metrics, media=media,
+            pipelined=self.world.pipelining,
         )
-        if self.world.scheduler is not None:
-            kernel_side.link.pump = self.world.scheduler.pump_once
+        if self.world.pipelining:
+            kernel_side.link.window_depth = self.world.pipeline_depth
+        self.world._wire_pump(kernel_side)
         peer = _RpcPeer(server_side, f"nfsd@{server.location}")
         peer.register(nfsd.program)
         peer.register(mountd.program)
@@ -316,6 +319,12 @@ class World:
         #: Set by :meth:`enable_contention`: new links to a server share
         #: its NIC media, so concurrent clients queue for bandwidth.
         self.contention = False
+        #: Set by :meth:`enable_pipelining`: new links deliver records
+        #: via clock timers instead of nested synchronous calls, peers
+        #: built over them get a send window of :attr:`pipeline_depth`,
+        #: and client daemons turn on readahead / write-gathering.
+        self.pipelining = False
+        self.pipeline_depth = 1
         #: Created by :meth:`enable_control`; once present, every new
         #: machine gets a per-source registry and a collector heartbeat.
         self.control = None
@@ -335,6 +344,38 @@ class World:
         Off by default: single-client benchmarks keep their original,
         independent per-record charges bit-for-bit."""
         self.contention = True
+
+    def enable_pipelining(self, depth: int = 8, seed: int = 0) -> Scheduler:
+        """Turn on the task-native async core (PROTOCOLS.md §17).
+
+        Creates the scheduler (if needed) and flips the world to
+        pipelined delivery: every link dialed from now on delivers
+        records via clock timers (propagation overlaps instead of
+        serializing), RPC peers over those links get a send window of
+        *depth* in-flight xids, and client daemons created from now on
+        run sequential readahead and write-gathering at the same depth.
+        Also arms ``strict_pump``: with the hot paths task-native, any
+        legacy scheduler pump reached from *inside* a task step is a
+        bug, and fails loudly naming the task.  Call before creating
+        the machines that should benefit.
+        """
+        if depth < 1:
+            raise ValueError("pipeline depth must be >= 1")
+        scheduler = self.enable_concurrency(seed=seed)
+        scheduler.strict_pump = True
+        self.pipelining = True
+        self.pipeline_depth = depth
+        for client in self.clients.values():
+            client.sfscd.pipeline_depth = depth
+        return scheduler
+
+    def _wire_pump(self, side: "LinkSide") -> None:
+        """Give a new link the scheduler's legacy pump (if any): sync
+        entry points (handshakes, tests) wait out queued servers by
+        pumping; under ``strict_pump`` a pump from inside a task step
+        raises.  The single place link<->scheduler wiring happens."""
+        if self.scheduler is not None:
+            side.link.pump = self.scheduler.legacy_pump
 
     def enable_control(self, period: float = 0.010, ring_size: int = 64,
                        stale_after: int = 2, dead_after: int = 5,
@@ -498,12 +539,12 @@ class World:
         client_side, server_side = link_pair(
             self.clock, self.link_params.get(location, self.lan_params),
             adversary, metrics=server.metrics, media=media,
+            pipelined=self.pipelining,
         )
         client_side.link.location = location
-        if self.scheduler is not None:
-            # Synchronous callers (handshakes, reconnects) wait out a
-            # queued server by pumping the scheduler, not by timing out.
-            client_side.link.pump = self.scheduler.pump_once
+        if self.pipelining:
+            client_side.link.window_depth = self.pipeline_depth
+        self._wire_pump(client_side)
         server.master.accept(server_side)
         self.links.append(client_side)
         return client_side

@@ -66,6 +66,11 @@ class LoadConfig:
     rpc_timeout: float = 1.0
     #: Arm each session's reconnect engine (crash-failover runs).
     failover: bool = False
+    #: Task-native async core (PROTOCOLS.md §17): None = classic
+    #: synchronous delivery; N > 1 = pipelined links with a send window
+    #: of N in-flight RPCs per session.  Scale runs use this to overlap
+    #: wire time across the fleet instead of serializing every record.
+    pipeline_depth: int | None = None
     #: Open loop only: mean arrivals per simulated second and how long
     #: to keep them coming.
     arrival_rate: float = 200.0
@@ -138,7 +143,11 @@ class LoadHarness:
         #: someone else built — shared clock, scheduler, control plane
         #: and all.  Default: a self-contained world, as always.
         self.world = world if world is not None else World(seed=config.seed)
-        self.scheduler = self.world.enable_concurrency(seed=config.seed)
+        if config.pipeline_depth and config.pipeline_depth > 1:
+            self.scheduler = self.world.enable_pipelining(
+                depth=config.pipeline_depth, seed=config.seed)
+        else:
+            self.scheduler = self.world.enable_concurrency(seed=config.seed)
         if config.contention:
             self.world.enable_contention()
         if server is not None:
@@ -252,7 +261,12 @@ class LoadHarness:
         try:
             status, _body = yield from session.call_nfs_task(proc, args, 0)
         except RpcTransportDown:
-            if not config.failover or not session.reconnect():
+            # The reconnect engine is deliberately synchronous (redial,
+            # HostID re-verification, key renegotiation); under
+            # strict_pump this is the one sanctioned in-task pump scope.
+            with self.scheduler.allow_legacy_pump():
+                recovered = config.failover and session.reconnect()
+            if not recovered:
                 report.op_errors += 1
                 return False
             try:

@@ -116,6 +116,38 @@ class Nfs3Client:
             ),
         )
 
+    def readv(self, handle: bytes,
+              segments: list[tuple[int, int]]) -> Record:
+        """Vectored READ (SFS extension): ``segments`` is a list of
+        ``(offset, count)`` pairs fetched in one RPC."""
+        return self._call(
+            const.NFSPROC3_READV,
+            types.ReadvArgs.make(
+                file=handle,
+                segments=[
+                    types.ReadvSeg.make(offset=offset, count=count)
+                    for offset, count in segments
+                ],
+            ),
+        )
+
+    def writev(self, handle: bytes, segments: list[tuple[int, bytes]],
+               stable: int = const.UNSTABLE) -> Record:
+        """Vectored WRITE (SFS extension): ``segments`` is a list of
+        ``(offset, data)`` pairs written in one RPC under one stability
+        level."""
+        return self._call(
+            const.NFSPROC3_WRITEV,
+            types.WritevArgs.make(
+                file=handle,
+                stable=stable,
+                segments=[
+                    types.WritevSeg.make(offset=offset, data=data)
+                    for offset, data in segments
+                ],
+            ),
+        )
+
     def create(self, dir_handle: bytes, name: str, mode: int = 0o644,
                exclusive: bool = False) -> Record:
         if exclusive:

@@ -408,6 +408,134 @@ def _unpack_write_res(data: Any) -> Any:
         return DECLINED
 
 
+# ---------------------------------------------------------------------------
+# READV / WRITEV (SFS extension).  Segment chains use the XDR
+# optional-data encoding: (bool, element)* then a false bool.
+# ---------------------------------------------------------------------------
+
+def _pack_readv_args(value: Any) -> Any:
+    try:
+        out = bytearray()
+        _put_opaque(out, value.file, _FHSIZE)
+        for seg in value.segments:
+            out += _U32.pack(1)
+            out += _QI.pack(seg.offset, seg.count)
+        out += _U32.pack(0)
+        return bytes(out)
+    except Exception:
+        return DECLINED
+
+
+def _unpack_readv_args(data: Any) -> Any:
+    try:
+        fh, off = _get_opaque(data, 0, _FHSIZE)
+        segments = []
+        while True:
+            more, = _U32.unpack_from(data, off)
+            off += 4
+            if more == 0:
+                break
+            if more != 1:
+                return DECLINED
+            offset, count = _QI.unpack_from(data, off)
+            off += 12
+            segments.append(Record(offset=offset, count=count))
+        if off != len(data):
+            return DECLINED
+        return Record(file=fh, segments=segments)
+    except Exception:
+        return DECLINED
+
+
+def _pack_readv_res(value: Any) -> Any:
+    try:
+        disc, body = value
+        out = bytearray(_U32.pack(disc))
+        _put_post_op_attr(out, body.file_attributes)
+        if disc == _OK:
+            for seg in body.segments:
+                out += _U32.pack(1)
+                out += _U32.pack(seg.count)
+                out += _U32.pack(1 if seg.eof else 0)
+                _put_opaque(out, seg.data, 0xFFFFFFFF)
+            out += _U32.pack(0)
+        return bytes(out)
+    except Exception:
+        return DECLINED
+
+
+def _unpack_readv_res(data: Any) -> Any:
+    try:
+        (disc,) = _U32.unpack_from(data, 0)
+        attrs, off = _get_post_op_attr(data, 4)
+        if disc != _OK:
+            if off != len(data):
+                return DECLINED
+            return disc, Record(file_attributes=attrs)
+        segments = []
+        while True:
+            more, = _U32.unpack_from(data, off)
+            off += 4
+            if more == 0:
+                break
+            if more != 1:
+                return DECLINED
+            count, = _U32.unpack_from(data, off)
+            eof_raw, = _U32.unpack_from(data, off + 4)
+            if eof_raw > 1:
+                return DECLINED
+            payload, off = _get_opaque(data, off + 8, 0xFFFFFFFF)
+            segments.append(Record(count=count, eof=bool(eof_raw),
+                                   data=payload))
+        if off != len(data):
+            return DECLINED
+        return _OK, Record(file_attributes=attrs, segments=segments)
+    except Exception:
+        return DECLINED
+
+
+def _pack_writev_args(value: Any) -> Any:
+    try:
+        if value.stable not in _STABLE_VALUES:
+            return DECLINED
+        out = bytearray()
+        _put_opaque(out, value.file, _FHSIZE)
+        out += _U32.pack(value.stable)
+        for seg in value.segments:
+            out += _U32.pack(1)
+            out += struct.pack(">Q", seg.offset)
+            _put_opaque(out, seg.data, 0xFFFFFFFF)
+        out += _U32.pack(0)
+        return bytes(out)
+    except Exception:
+        return DECLINED
+
+
+def _unpack_writev_args(data: Any) -> Any:
+    try:
+        fh, off = _get_opaque(data, 0, _FHSIZE)
+        stable, = _U32.unpack_from(data, off)
+        if stable not in _STABLE_VALUES:
+            return DECLINED
+        off += 4
+        segments = []
+        while True:
+            more, = _U32.unpack_from(data, off)
+            off += 4
+            if more == 0:
+                break
+            if more != 1:
+                return DECLINED
+            offset, = struct.unpack_from(">Q", data, off)
+            payload, off = _get_opaque(data, off + 8, 0xFFFFFFFF)
+            segments.append(Record(offset=offset, data=payload))
+        if off != len(data):
+            return DECLINED
+        return Record(file=fh, stable=stable, segments=segments)
+    except Exception:
+        return DECLINED
+
+
 #: codec singleton -> (fast_pack, fast_unpack); module import installs
 #: these as instance attributes, read by Codec.pack/unpack.
 _INSTALL = (
@@ -419,6 +547,11 @@ _INSTALL = (
     (types.ReadRes, _pack_read_res, _unpack_read_res),
     (types.WriteArgs, _pack_write_args, _unpack_write_args),
     (types.WriteRes, _pack_write_res, _unpack_write_res),
+    (types.ReadvArgs, _pack_readv_args, _unpack_readv_args),
+    (types.ReadvRes, _pack_readv_res, _unpack_readv_res),
+    (types.WritevArgs, _pack_writev_args, _unpack_writev_args),
+    # WRITEV3res is bit-compatible with WRITE3res; reuse those marshals.
+    (types.WritevRes, _pack_write_res, _unpack_write_res),
 )
 
 

@@ -203,6 +203,8 @@ class Nfs3Server:
             const.NFSPROC3_FSINFO: self._fsinfo,
             const.NFSPROC3_PATHCONF: self._pathconf,
             const.NFSPROC3_COMMIT: self._commit,
+            const.NFSPROC3_READV: self._readv,
+            const.NFSPROC3_WRITEV: self._writev,
         }
         for proc, handler in handlers.items():
             arg_codec, res_codec = types.PROC_CODECS[proc]
@@ -266,6 +268,8 @@ class Nfs3Server:
             self._fsinfo: types.Record(obj_attributes=None),
             self._pathconf: types.Record(obj_attributes=None),
             self._commit: types.Record(file_wcc=empty_wcc),
+            self._readv: types.Record(file_attributes=None),
+            self._writev: types.Record(file_wcc=empty_wcc),
         }
         return failure_shapes[handler]
 
@@ -332,6 +336,46 @@ class Nfs3Server:
             file_wcc=self._wcc(before, inode),
             count=written,
             committed=args.stable if args.stable != const.UNSTABLE else const.UNSTABLE,
+            verf=self.write_verf,
+        )
+
+    def _readv(self, args: Record, cred: Cred):
+        """Vectored READ (SFS extension): every segment against one file.
+
+        Segments are independent reads; a failure (bad handle, EACCES)
+        fails the whole call, matching the all-or-nothing semantics the
+        client's readahead machinery expects.
+        """
+        inode = self._decode_handle(args.file)
+        segments = []
+        for seg in args.segments:
+            data, eof = self.fs.read(inode.ino, seg.offset, seg.count, cred)
+            segments.append(
+                types.ReadvSegRes.make(count=len(data), eof=eof, data=data)
+            )
+        return const.NFS3_OK, types.Record(
+            file_attributes=self._fattr(inode), segments=segments
+        )
+
+    def _writev(self, args: Record, cred: Cred):
+        """Vectored WRITE (SFS extension): gathered dirty ranges.
+
+        All segments share one stability level and one wcc/verf result,
+        like a single WRITE covering the gathered bytes.
+        """
+        inode = self._decode_handle(args.file)
+        before = self._wcc_attr(inode)
+        sync = args.stable != const.UNSTABLE
+        total = 0
+        for seg in args.segments:
+            total += self.fs.write(
+                inode.ino, seg.offset, seg.data, cred, sync=sync
+            )
+        self._notify(inode)
+        return const.NFS3_OK, types.Record(
+            file_wcc=self._wcc(before, inode),
+            count=total,
+            committed=args.stable,
             verf=self.write_verf,
         )
 

@@ -418,6 +418,54 @@ PathConfRes = _result(
     Struct("PATHCONF3resfail", [("obj_attributes", PostOpAttr)]),
 )
 
+# READV / WRITEV — SFS extension (procs 22/23): vectored READ/WRITE.
+# One call carries a whole window of segments against one file handle,
+# so the secure channel MACs/encrypts a single record instead of N and
+# the per-RPC latency is paid once per window.  Wire format reuses the
+# XDR optional-data chain (same encoding as READDIR entries), keeping
+# the extension expressible in plain RFC-1813 XDR.
+ReadvSeg = Struct("readv3seg", [("offset", UHyper), ("count", UInt32)])
+ReadvArgs = Struct(
+    "READV3args", [("file", NfsFh), ("segments", LinkedList(ReadvSeg))]
+)
+ReadvSegRes = Struct(
+    "readv3segres", [("count", UInt32), ("eof", Bool), ("data", Opaque())]
+)
+ReadvRes = _result(
+    "READV3res",
+    Struct(
+        "READV3resok",
+        [
+            ("file_attributes", PostOpAttr),
+            ("segments", LinkedList(ReadvSegRes)),
+        ],
+    ),
+    Struct("READV3resfail", [("file_attributes", PostOpAttr)]),
+)
+
+WritevSeg = Struct("writev3seg", [("offset", UHyper), ("data", Opaque())])
+WritevArgs = Struct(
+    "WRITEV3args",
+    [
+        ("file", NfsFh),
+        ("stable", Enum(const.UNSTABLE, const.DATA_SYNC, const.FILE_SYNC)),
+        ("segments", LinkedList(WritevSeg)),
+    ],
+)
+WritevRes = _result(
+    "WRITEV3res",
+    Struct(
+        "WRITEV3resok",
+        [
+            ("file_wcc", WccData),
+            ("count", UInt32),
+            ("committed", UInt32),
+            ("verf", Writeverf),
+        ],
+    ),
+    Struct("WRITEV3resfail", [("file_wcc", WccData)]),
+)
+
 # COMMIT
 CommitArgs = Struct(
     "COMMIT3args", [("file", NfsFh), ("offset", UHyper), ("count", UInt32)]
@@ -451,4 +499,6 @@ PROC_CODECS: dict[int, tuple[Codec, Codec]] = {
     const.NFSPROC3_FSINFO: (FsInfoArgs, FsInfoRes),
     const.NFSPROC3_PATHCONF: (PathConfArgs, PathConfRes),
     const.NFSPROC3_COMMIT: (CommitArgs, CommitRes),
+    const.NFSPROC3_READV: (ReadvArgs, ReadvRes),
+    const.NFSPROC3_WRITEV: (WritevArgs, WritevRes),
 }

@@ -22,12 +22,12 @@ from __future__ import annotations
 
 import hashlib
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol
 
 from ..obs.registry import CounterFamily, NULL_REGISTRY
-from ..sim.sched import Future, SchedulerStalled
+from ..sim.sched import Future, SchedulerStalled, Sleep
 from . import rpcmsg
 from .rpcmsg import (
     AUTH_NONE,
@@ -78,6 +78,17 @@ class RpcNoWaiter(RpcError):
     lost record — deliberately *not* an :class:`RpcTimeout`, so retry
     and redial logic that treats timeouts as packet loss (or an attack)
     can never mask the misconfiguration; it fails fast instead."""
+
+
+#: Minimum first-retransmission timeout on transports that deliver
+#: asynchronously (pipelined links).  Generous on purpose — it must
+#: outlast not just propagation but reply serialization (a 16-segment
+#: READV is ~130 KB on the wire) *and* server-side device time (a
+#: COMMIT can charge tens of milliseconds of disk).  Real NFS clients
+#: start around a second for the same reason.  Retries exist to
+#: recover *lost* records; on a clean link the reply resolves the call
+#: future first and the timer never matters.
+_ASYNC_RTO_FLOOR = 0.4
 
 
 @dataclass
@@ -227,6 +238,31 @@ class RpcPeer:
         #: None (default) = classic single-shot calls.  Assign a
         #: :class:`RetryPolicy` to get retransmission + backoff.
         self.retry_policy: RetryPolicy | None = None
+        #: Send-window depth for pipelined calls: at most this many
+        #: xids in flight per channel.  ``None`` (default) = unlimited,
+        #: the pre-window behavior.  When the window is full a new
+        #: :meth:`call_task` *yields* on a slot future (backpressure by
+        #: parking, never busy-spinning); completions hand their slot
+        #: to the oldest waiter FIFO, so out-of-order replies still
+        #: admit senders in arrival order.
+        self.window_depth: int | None = getattr(
+            pipe, "suggested_window_depth", None
+        )
+        #: Round-trip estimate volunteered by the transport (pipelined
+        #: links surface their propagation delay).  Floors the first
+        #: retransmission timeout at 2x RTT: under synchronous delivery
+        #: a reply is present before the timer is even armed, so the
+        #: floor changes nothing, but once delivery takes real wire
+        #: time a 2ms base delay would expire long before any reply
+        #: could arrive and every call would retransmit itself into a
+        #: channel rekey storm.
+        self.rtt_estimate: float = getattr(pipe, "suggested_rtt", 0.0) or 0.0
+        self._window_in_flight = 0
+        self._window_waiters: deque[Future] = deque()
+        self.window_waits = 0
+        self._m_window_waits = self.metrics.counter("rpc.window.waits")
+        self._m_window_acquired = self.metrics.counter("rpc.window.acquired")
+        self._m_window_in_flight = self.metrics.gauge("rpc.window.in_flight")
         #: When set, inbound CALLs are handed to this callable as
         #: ``dispatcher(header, body, request)`` instead of executing
         #: inline — the server's request queue hangs here.  The queue
@@ -491,109 +527,138 @@ class RpcPeer:
         From the second retry on, :attr:`recovery_hook` runs first so a
         desynchronized secure channel can be re-keyed before the record
         goes out again.
+
+        This is now a thin synchronous shim over :meth:`call_task` —
+        the one task-native call path — kept for tests and true sync
+        entry points: it drives the generator in place, waiting out
+        each yielded future by pumping the transport's
+        :attr:`reply_waiter` (or advancing the backoff clock to the
+        attempt's retransmission timer).
         """
         if not self.metrics.enabled:
-            return self._call_inner(prog, vers, proc, arg_codec, args,
-                                    res_codec, cred)
+            return self._drive(self.call_task(
+                prog, vers, proc, arg_codec, args, res_codec, cred,
+                _observe=False,
+            ))
         layers = self.metrics.layers
         clock = self.backoff_clock
         sim0 = clock.now if clock is not None else 0.0
         cpu0 = time.perf_counter()
         layers.push("rpc")
         try:
-            return self._call_inner(prog, vers, proc, arg_codec, args,
-                                    res_codec, cred)
+            return self._drive(self.call_task(
+                prog, vers, proc, arg_codec, args, res_codec, cred,
+                _observe=False,
+            ))
         finally:
             layers.pop()
             sim = (clock.now - sim0) if clock is not None else 0.0
             self._m_call_seconds.observe(time.perf_counter() - cpu0 + sim)
 
-    def _call_inner(
-        self,
-        prog: int,
-        vers: int,
-        proc: int,
-        arg_codec: Codec,
-        args: Any,
-        res_codec: Codec,
-        cred: OpaqueAuth,
-    ) -> Any:
-        self._xid += 1
-        xid = self._xid
-        header = CallHeader(xid, prog, vers, proc, cred=cred)
-        payload = arg_codec.pack(args)
-        record = rpcmsg.pack_call(header, payload)
-        self._pending[xid] = None
-        self.calls_sent += 1
-        self._m_calls.inc()
-        self._calls_by_proc.labels((prog, proc)).inc()
-        if self.trace:
-            self.trace(f"{self.name}: call prog={prog} proc={proc} args={args!r}")
-        policy = self.retry_policy
-        attempts = policy.max_attempts if policy is not None else 1
+    def _drive(self, gen) -> Any:
+        """Run a :meth:`call_task` generator to completion, synchronously.
+
+        Mirrors the scheduler's step protocol — resolve/fail whatever
+        the generator yields, send the outcome back in — so the task
+        path and the sync path are one implementation.
+        """
         try:
-            delay = policy.base_delay if policy is not None else 0.0
-            reply = None
-            for attempt in range(attempts):
-                if attempt:
-                    self._backoff(delay)
-                    delay = min(delay * policy.multiplier, policy.max_delay)
-                    if attempt >= 2 and self.recovery_hook is not None:
-                        # A bare retransmission already failed once:
-                        # assume the channel, not the record, is broken.
-                        try:
-                            if self.recovery_hook():
-                                self.recoveries += 1
-                                self._m_recoveries.inc()
-                        except Exception:  # noqa: BLE001 - keep retrying
-                            pass
-                    self.retransmissions += 1
-                    self._m_retransmissions.inc()
-                    if self.trace:
-                        self.trace(
-                            f"{self.name}: retransmit xid={xid} "
-                            f"(attempt {attempt + 1}/{attempts})"
-                        )
+            waited = next(gen)
+            while True:
+                if isinstance(waited, Future):
+                    self._wait_sync(waited)
+                    if waited.exception is not None:
+                        waited = gen.throw(waited.exception)
+                    else:
+                        waited = gen.send(waited.value)
+                elif isinstance(waited, Sleep):
+                    self._backoff(waited.seconds)
+                    waited = gen.send(None)
+                else:
+                    self._backoff(float(waited))
+                    waited = gen.send(None)
+        except StopIteration as stop:
+            return stop.value
+        except BaseException:
+            # A transport error surfaced outside the generator (e.g. a
+            # TCP pump raising mid-wait): run its finally blocks so the
+            # pending tables and window slot are reclaimed.
+            gen.close()
+            raise
+
+    def _wait_sync(self, future: Future) -> None:
+        """Block (in simulation terms) until *future* completes.
+
+        Three ways forward, tried in order each iteration: pump the
+        transport's reply waiter; advance the backoff clock to the next
+        timer (the attempt's retransmission deadline, when a retry
+        policy armed one); or fail the future — with
+        :class:`RpcTimeout` when delivery is synchronous (the record
+        was dropped inside ``send``), with :class:`RpcNoWaiter` when
+        the transport is asynchronous and nothing can ever pump it.
+        """
+        while not future.done:
+            if self.reply_waiter is not None:
                 try:
-                    self._pipe.send(record)
-                except ConnectionError as exc:
-                    # The link died under us (server crash closes it from
-                    # the other side, possibly during this very send's
-                    # nested delivery).  No reply can ever arrive.
-                    self._m_timeouts.inc()
-                    raise RpcTransportDown(
-                        f"transport down for xid {xid} "
-                        f"(prog={prog} proc={proc}): {exc}"
-                    ) from exc
-                reply = self._pending[xid]
-                while reply is None and self.reply_waiter is not None:
-                    try:
-                        self.reply_waiter()
-                    except SchedulerStalled:
-                        # The cooperative scheduler has nothing runnable
-                        # and no timer: the record (or its reply) was
-                        # lost.  Same situation as an elapsed
-                        # retransmission timeout — fall through to retry.
-                        break
-                    reply = self._pending[xid]
-                if reply is not None:
-                    break
-                if self.reply_waiter is None and not self.synchronous_delivery:
-                    raise RpcNoWaiter(
-                        f"no reply for xid {xid} (prog={prog} proc={proc}): "
-                        "transport delivers asynchronously and no "
-                        "reply_waiter is configured — wire one up "
-                        "(e.g. TcpPipe.pump) before calling"
-                    )
-            if reply is None:
-                self._m_timeouts.inc()
-                raise RpcTimeout(f"no reply for xid {xid} (prog={prog} proc={proc})")
-            if not reply.successful:
-                raise self._rejection(reply)
-            return res_codec.unpack(self._results.pop(xid))
-        finally:
-            self._pending.pop(xid, None)
-            self._results.pop(xid, None)
+                    self.reply_waiter()
+                except SchedulerStalled:
+                    # Nothing runnable and no timer: the record (or its
+                    # reply) was lost.  Same as an elapsed
+                    # retransmission timeout — the task path retries.
+                    future.fail(RpcTimeout(
+                        f"scheduler stalled waiting on {future.name}"
+                    ))
+                continue
+            clock = self.backoff_clock
+            if (clock is not None and self.retry_policy is not None):
+                deadline = clock.next_deadline()
+                if deadline is not None:
+                    # No pump to run, but the retry policy armed a
+                    # retransmission timer: advance to it (charging the
+                    # wait to the virtual clock, exactly like the old
+                    # synchronous backoff did).
+                    clock.advance(max(0.0, deadline - clock.now))
+                    continue
+            if self.synchronous_delivery:
+                future.fail(RpcTimeout(
+                    f"no nested reply for {future.name}"
+                ))
+            else:
+                future.fail(RpcNoWaiter(
+                    f"no reply possible for {future.name}: transport "
+                    "delivers asynchronously and no reply_waiter is "
+                    "configured — wire one up (e.g. TcpPipe.pump) "
+                    "before calling"
+                ))
+
+    # --- the send window --------------------------------------------------
+
+    def _window_acquire(self):
+        """Take (or wait for) an in-flight slot; ``yield from`` it."""
+        depth = self.window_depth
+        if depth is None:
+            return
+        if self._window_in_flight < depth and not self._window_waiters:
+            self._window_in_flight += 1
+        else:
+            slot = Future(name=f"{self.name}:window-slot")
+            self._window_waiters.append(slot)
+            self.window_waits += 1
+            self._m_window_waits.inc()
+            # Backpressure: park until a completion hands this slot
+            # over (the releaser does NOT decrement — ownership moves).
+            yield slot
+        self._m_window_acquired.inc()
+        self._m_window_in_flight.set(self._window_in_flight)
+
+    def _window_release(self) -> None:
+        if self._window_waiters:
+            # Hand the slot to the oldest waiter instead of freeing it:
+            # FIFO admission even when replies complete out of order.
+            self._window_waiters.popleft().resolve(None)
+        else:
+            self._window_in_flight = max(0, self._window_in_flight - 1)
+        self._m_window_in_flight.set(self._window_in_flight)
 
     def _rejection(self, reply: ReplyHeader) -> RpcRejected:
         if (reply.reply_stat == rpcmsg.MSG_ACCEPTED
@@ -619,8 +684,10 @@ class RpcPeer:
         args: Any,
         res_codec: Codec,
         cred: OpaqueAuth = NULL_AUTH,
+        *,
+        _observe: bool = True,
     ):
-        """Task-yielding variant of :meth:`call` (``yield from`` it).
+        """The one task-native call path (``yield from`` it).
 
         Instead of pumping the transport until the reply lands, the
         generator yields a :class:`~repro.sim.sched.Future` per attempt
@@ -631,7 +698,37 @@ class RpcPeer:
         bytes — at-most-once via the remote reply cache).  Raises the
         same exceptions as :meth:`call`, plus :class:`RpcBusy` when the
         server's admission control rejects the call.
+
+        With :attr:`window_depth` set, the call first acquires an
+        in-flight slot (yielding on a slot future when the window is
+        full — backpressure without busy-spinning) and releases it on
+        completion, handing it FIFO to the oldest waiter.
         """
+        if self.window_depth is not None:
+            yield from self._window_acquire()
+            try:
+                result = yield from self._call_task_inner(
+                    prog, vers, proc, arg_codec, args, res_codec, cred,
+                    _observe,
+                )
+            finally:
+                self._window_release()
+            return result
+        return (yield from self._call_task_inner(
+            prog, vers, proc, arg_codec, args, res_codec, cred, _observe,
+        ))
+
+    def _call_task_inner(
+        self,
+        prog: int,
+        vers: int,
+        proc: int,
+        arg_codec: Codec,
+        args: Any,
+        res_codec: Codec,
+        cred: OpaqueAuth,
+        observe: bool,
+    ):
         self._xid += 1
         xid = self._xid
         header = CallHeader(xid, prog, vers, proc, cred=cred)
@@ -647,12 +744,28 @@ class RpcPeer:
         policy = self.retry_policy
         attempts = policy.max_attempts if policy is not None else 1
         timeout = policy.base_delay if policy is not None else 0.0
+        if policy is not None and not self.synchronous_delivery:
+            # Asynchronous transports have real wire time between send
+            # and reply: propagation (2x RTT margin) plus serialization
+            # of large vectored replies, which the sender cannot size in
+            # advance.  Floor the first retransmission timeout so only
+            # genuine loss — not a reply still on the wire — triggers a
+            # resend (and, worse, the second-retry channel rekey).  Under
+            # synchronous delivery the reply beats the timer by
+            # construction, so legacy timing is untouched.
+            timeout = max(timeout, 2.0 * self.rtt_estimate,
+                          _ASYNC_RTO_FLOOR)
         try:
             reply = None
             for attempt in range(attempts):
                 if attempt:
                     self.retransmissions += 1
                     self._m_retransmissions.inc()
+                    if self.trace:
+                        self.trace(
+                            f"{self.name}: retransmit xid={xid} "
+                            f"(attempt {attempt + 1}/{attempts})"
+                        )
                     if attempt >= 2 and self.recovery_hook is not None:
                         try:
                             if self.recovery_hook():
@@ -681,7 +794,8 @@ class RpcPeer:
                     break  # nested synchronous delivery answered already
                 if clock is not None and policy is not None:
                     def expire(future=future, xid=xid) -> None:
-                        future.fail(RpcTimeout(f"no reply for xid {xid}"))
+                        if not future.done:  # reply already landed: no-op
+                            future.fail(RpcTimeout(f"no reply for xid {xid}"))
                     clock.call_at(clock.now + timeout, expire)
                     timeout = min(timeout * policy.multiplier,
                                   policy.max_delay)
@@ -706,5 +820,5 @@ class RpcPeer:
             self._pending.pop(xid, None)
             self._results.pop(xid, None)
             self._call_futures.pop(xid, None)
-            if self.metrics.enabled and clock is not None:
+            if observe and self.metrics.enabled and clock is not None:
                 self._m_call_seconds.observe(clock.now - sim0)

@@ -68,8 +68,15 @@ class Clock:
         self._fire_due()
 
     def _fire_due(self) -> None:
-        if self._firing:
-            return  # a callback advanced the clock; the outer loop drains
+        # Re-entrant by design: a callback that advances the clock (a
+        # relay synchronously waiting out a pipelined reply arrival,
+        # say) drains the newly-due timers right there, from the inner
+        # frame.  Each timer is popped before its callback runs, so no
+        # frame can double-fire one, and the heap hands out deadlines
+        # earliest-first no matter which frame is draining — global
+        # firing order is exactly what a single flat drain would give.
+        # Nesting depth is bounded by the relay chain (kernel -> sfscd
+        # -> sfssd), not by message count.
         self._firing = True
         try:
             while self._timers and self._timers[0][0] <= self._now:

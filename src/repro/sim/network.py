@@ -379,6 +379,7 @@ class Link:
         adversary: Adversary | None = None,
         metrics=None,
         media: "dict[str, Medium] | None" = None,
+        pipelined: bool = False,
     ) -> None:
         self._clock = clock
         self._params = params or NetworkParameters.instant()
@@ -386,6 +387,22 @@ class Link:
         self._a = _Endpoint()
         self._b = _Endpoint()
         self._open = True
+        #: Pipelined delivery: instead of charging the *sender* the
+        #: full latency+transmission inline (nested synchronous
+        #: delivery), the record departs immediately and arrives via a
+        #: clock timer at ``depart + tx + latency``.  Transmissions in
+        #: one direction serialize on the wire (per-direction
+        #: ``busy_until``), but propagation, remote processing, and the
+        #: return path all overlap across in-flight records — what
+        #: windowed RPC pipelining exploits.  Off by default: the
+        #: synchronous model stays bit-identical for every existing
+        #: test and figure.
+        self.pipelined = pipelined
+        self._busy_until = {"a->b": 0.0, "b->a": 0.0}
+        #: Advisory RPC send-window depth for peers built over this
+        #: link (None = unwindowed); set by World.enable_pipelining and
+        #: surfaced to RpcPeer via ``suggested_window_depth``.
+        self.window_depth: "int | None" = None
         #: Optional per-direction shared media ({"a->b": ..., "b->a": ...});
         #: see :class:`Medium`.  None = independent per-message charges.
         self._media = media or {}
@@ -409,6 +426,19 @@ class Link:
         self._m_medium_waits = self._metrics.counter("net.medium_waits")
         self._m_medium_wait_s = self._metrics.histogram(
             "net.medium_wait_seconds"
+        )
+        # Pipelined-delivery visibility: total wire time spent off the
+        # sender's critical path (queueing + transmission + propagation),
+        # record count, and records lost because the link closed while
+        # they were in flight.  ``wire_seconds`` is what the bench
+        # attribution table cites to show the network time that a
+        # depth-N window overlapped instead of serializing.
+        self._m_wire_records = self._metrics.counter("net.pipelined.records")
+        self._m_wire_seconds = self._metrics.counter(
+            "net.pipelined.wire_seconds"
+        )
+        self._m_inflight_lost = self._metrics.counter(
+            "net.pipelined.lost_in_flight"
         )
 
     @property
@@ -502,10 +532,52 @@ class Link:
             self.bytes_carried += len(record)
             self._m_messages.inc()
             self._m_bytes.inc(len(record))
+            if self.pipelined:
+                self._schedule_arrival(endpoint, record, direction)
+                continue
             self._charge(len(record), direction)
             if endpoint.handler is None:
                 raise LinkDown("no handler installed at destination")
             endpoint.handler(record)
+
+    def _schedule_arrival(self, endpoint: _Endpoint, record: bytes,
+                          direction: str) -> None:
+        """Pipelined delivery: depart now, arrive via a clock timer.
+
+        The sender pays nothing inline.  Transmission serializes per
+        direction (shared :class:`Medium` when present, otherwise this
+        link's own ``busy_until``), then the record propagates for
+        ``latency`` and is handed to the destination handler when the
+        clock crosses the arrival time.  Records in flight when the
+        link closes are lost silently — exactly a cable pull.
+        """
+        params = self._params
+        total = len(record) + params.per_message_overhead
+        tx = (total / params.bandwidth
+              if params.bandwidth != float("inf") else 0.0)
+        now = self._clock.now
+        medium = self._media.get(direction)
+        if medium is not None:
+            wait = medium.occupy(now, tx)
+        else:
+            busy = self._busy_until[direction]
+            start = busy if busy > now else now
+            self._busy_until[direction] = start + tx
+            wait = start - now
+        if wait > 0:
+            self._m_medium_waits.inc()
+            self._m_medium_wait_s.observe(wait)
+        arrival = now + wait + tx + params.latency
+        self._m_wire_records.inc()
+        self._m_wire_seconds.inc(arrival - now)
+
+        def arrive() -> None:
+            if not self._open or endpoint.handler is None:
+                self._m_inflight_lost.inc()
+                return
+            endpoint.handler(record)
+
+        self._clock.call_at(arrival, arrive)
 
     def send_a(self, data: bytes) -> None:
         """Send from endpoint a to endpoint b."""
@@ -519,11 +591,16 @@ class Link:
 class LinkSide:
     """One side of a link presented as a simple send/receive object."""
 
-    #: Virtual-network delivery happens inside ``send`` — a reply to a
-    #: call arrives via nested handler invocation before ``send``
-    #: returns.  RpcPeer reads this to tell a genuinely lost record from
-    #: a transport that simply has no way to wait.
-    synchronous_delivery = True
+    @property
+    def synchronous_delivery(self) -> bool:
+        """Whether a reply can arrive via nested handler invocation
+        before ``send`` returns.  True on the classic synchronous
+        network; False on a pipelined link, where records only arrive
+        when the clock crosses their arrival timer.  RpcPeer reads this
+        to tell a genuinely lost record from a transport that simply
+        has no way to wait.
+        """
+        return not self._link.pipelined
 
     def __init__(self, link: Link, side: str) -> None:
         if side not in ("a", "b"):
@@ -547,6 +624,20 @@ class LinkSide:
         switchable pipe) pass this through so RpcPeer and friends land
         their counters in the owning World's registry."""
         return self._link.metrics
+
+    @property
+    def suggested_window_depth(self) -> "int | None":
+        """Advisory RPC send-window depth for this link (None = off)."""
+        return self._link.window_depth
+
+    @property
+    def suggested_rtt(self) -> float:
+        """Round-trip propagation estimate (2x one-way latency).
+
+        RPC peers floor their retransmission timers at twice this, so
+        pipelined links with real wire time don't retransmit calls
+        whose replies are still in flight."""
+        return 2.0 * self._link._params.latency
 
     @property
     def suggested_reply_waiter(self):
@@ -587,7 +678,9 @@ def link_pair(
     adversary: Adversary | None = None,
     metrics=None,
     media: dict[str, Medium] | None = None,
+    pipelined: bool = False,
 ) -> tuple[LinkSide, LinkSide]:
     """Create a link and return its two sides (client side first)."""
-    link = Link(clock, params, adversary, metrics, media=media)
+    link = Link(clock, params, adversary, metrics, media=media,
+                pipelined=pipelined)
     return LinkSide(link, "a"), LinkSide(link, "b")

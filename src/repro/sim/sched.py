@@ -26,6 +26,7 @@ layer treats that exactly like an elapsed retransmission timer.
 from __future__ import annotations
 
 import random
+from contextlib import contextmanager
 from typing import Any, Callable, Generator, Iterable
 
 from ..obs.registry import NULL_REGISTRY
@@ -37,6 +38,9 @@ class SchedulerStalled(RuntimeError):
 
     Whatever the caller is waiting for cannot arrive without outside
     help (e.g. a retransmission): the record carrying it was lost.
+    The message names the blocked tasks (and what each one is waiting
+    on) plus the oldest pending timer deadline, so a wedged
+    1024-client run points at its culprit instead of shrugging.
     """
 
 
@@ -96,11 +100,41 @@ class Future:
         return True
 
 
+def gather(futures: "Iterable[Future]", name: str = "gather") -> Future:
+    """One Future that completes when *all* of ``futures`` have.
+
+    Resolves with the list of values in input order.  The first
+    failure wins immediately (matching Future's first-call-wins rule),
+    so a window of pipelined calls collapses as soon as one of them
+    dies — the callers' cleanup runs instead of waiting out the rest.
+    An empty iterable resolves at once with ``[]``.
+    """
+    futures = list(futures)
+    combined = Future(name)
+    if not futures:
+        combined.resolve([])
+        return combined
+    remaining = [len(futures)]
+
+    def on_done(future: Future) -> None:
+        if future.exception is not None:
+            combined.fail(future.exception)
+            return
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            combined.resolve([f.value for f in futures])
+
+    for future in futures:
+        future.add_done_callback(on_done)
+    return combined
+
+
 class Task:
     """One cooperative task: a generator plus its lifecycle state."""
 
     __slots__ = ("name", "daemon", "gen", "finished", "failed", "result",
-                 "exception", "_running", "_queued", "_pending_resume")
+                 "exception", "waiting_on", "_running", "_queued",
+                 "_pending_resume")
 
     def __init__(self, gen: Generator, name: str, daemon: bool) -> None:
         self.name = name
@@ -113,6 +147,9 @@ class Task:
         self.failed = False
         self.result: Any = None
         self.exception: BaseException | None = None
+        #: What the task last parked on ("future:<name>" or
+        #: "sleep until <t>"); stall and drain reports print it.
+        self.waiting_on: str | None = None
         self._running = False
         self._queued = False
         self._pending_resume: Future | None = None
@@ -134,9 +171,19 @@ class Scheduler:
         self._ready: list[Task] = []
         self.tasks: list[Task] = []
         self.steps = 0
+        #: The task currently being stepped, if any — how re-entrant
+        #: (legacy sync) code can tell it is running inside a task.
+        self.current: Task | None = None
+        #: With strict_pump on, :meth:`legacy_pump` asserts it is only
+        #: reached from true sync entry points (no task mid-step) — the
+        #: task-native worlds turn it on to prove their hot paths never
+        #: fall back to pump re-entrancy.
+        self.strict_pump = False
+        self._pump_allowances = 0
         self._m_steps = self.metrics.counter("sched.steps")
         self._m_spawned = self.metrics.counter("sched.tasks_spawned")
         self._m_failed = self.metrics.counter("sched.tasks_failed")
+        self._m_legacy_pumps = self.metrics.counter("sched.legacy_pumps")
 
     # -- task creation ----------------------------------------------------
 
@@ -174,6 +221,8 @@ class Scheduler:
         self.steps += 1
         self._m_steps.inc()
         task._running = True
+        task.waiting_on = None
+        previous, self.current = self.current, task
         try:
             if throw is not None:
                 waited = task.gen.throw(throw)
@@ -191,10 +240,13 @@ class Scheduler:
             return
         finally:
             task._running = False
+            self.current = previous
         self._park(task, waited)
 
     def _park(self, task: Task, waited: Any) -> None:
         if isinstance(waited, Future):
+            task.waiting_on = f"future:{waited.name}"
+
             def wake(future: Future, task=task) -> None:
                 self._resume_with(task, future)
             waited.add_done_callback(wake)
@@ -212,8 +264,9 @@ class Scheduler:
         # Timer callbacks only *enqueue*: the task runs on the next
         # scheduler step, never from inside Clock.advance, so a timer
         # firing mid-charge cannot re-enter a task that is mid-step.
-        self.clock.call_at(self.clock.now + seconds,
-                           lambda: self._enqueue(task))
+        deadline = self.clock.now + seconds
+        task.waiting_on = f"sleep until {deadline:.6f}"
+        self.clock.call_at(deadline, lambda: self._enqueue(task))
 
     def _resume_with(self, task: Task, future: Future) -> None:
         """Queue *task* to resume with the future's (immutable) outcome."""
@@ -233,6 +286,20 @@ class Scheduler:
     def _live(self) -> list[Task]:
         return [t for t in self.tasks if not t.finished and not t.daemon]
 
+    def _describe_blocked(self, limit: int = 8) -> str:
+        """Render who is stuck on what, for stall/drain messages."""
+        blocked = [t for t in self._live()
+                   if not t._queued and not t._running]
+        if self.current is not None:
+            blocked.insert(0, self.current)
+        if not blocked:
+            return "no live tasks"
+        parts = [f"{t.name}({t.waiting_on or 'mid-step'})"
+                 for t in blocked[:limit]]
+        if len(blocked) > limit:
+            parts.append(f"... {len(blocked) - limit} more")
+        return ", ".join(parts)
+
     def pump_once(self) -> None:
         """Make one unit of progress: step a ready task or advance time.
 
@@ -247,9 +314,49 @@ class Scheduler:
         deadline = self.clock.next_deadline()
         if deadline is None:
             raise SchedulerStalled(
-                "no runnable task and no pending timer"
+                "no runnable task and no pending timer; blocked: "
+                f"{self._describe_blocked()}; oldest pending timer: none "
+                f"(now={self.clock.now:.6f})"
             )
         self.clock.advance(max(0.0, deadline - self.clock.now))
+
+    def legacy_pump(self) -> None:
+        """Deprecation shim around :meth:`pump_once` for sync callers.
+
+        This is what :class:`~repro.kernel.world.World` wires into
+        ``link.pump``: legacy synchronous entry points (handshakes run
+        outside any task, tests) still make progress by pumping, but
+        every use is counted (``sched.legacy_pumps``), and under
+        ``strict_pump`` a pump *from inside a task step* — the
+        re-entrancy the task-native core exists to retire — is an
+        assertion failure naming the offending task.
+        """
+        self._m_legacy_pumps.inc()
+        if (self.strict_pump and self.current is not None
+                and not self._pump_allowances):
+            raise AssertionError(
+                "legacy scheduler pump reached from inside task "
+                f"{self.current.name!r}: this path must be task-native "
+                "(yield on a Future/Sleep) under strict_pump"
+            )
+        self.pump_once()
+
+    @contextmanager
+    def allow_legacy_pump(self):
+        """Permit :meth:`legacy_pump` inside a task for this scope.
+
+        The explicit cold-path escape hatch under ``strict_pump``: crash
+        recovery (redial, HostID re-verification, key renegotiation) is
+        a synchronous engine by design, and a worker task that trips
+        over a dead transport runs it inline rather than dying.  Scoping
+        the allowance keeps the strict check meaningful everywhere else
+        — a hot-path pump still fails loudly.
+        """
+        self._pump_allowances += 1
+        try:
+            yield
+        finally:
+            self._pump_allowances -= 1
 
     def run(self) -> list[Task]:
         """Run until every non-daemon task finishes or nothing can move.
@@ -268,7 +375,9 @@ class Scheduler:
         """Assert a clean shutdown: no blocked or unfinished tasks."""
         blocked = self.run()
         if blocked:
-            names = ", ".join(t.name for t in blocked)
+            names = ", ".join(
+                f"{t.name}({t.waiting_on or 'never ran'})" for t in blocked
+            )
             raise AssertionError(f"tasks hung at drain: {names}")
 
     # -- helpers ----------------------------------------------------------

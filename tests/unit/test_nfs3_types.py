@@ -111,8 +111,11 @@ def test_create_how_arms():
 
 def test_every_proc_has_codecs():
     # All NFS3 procedures except MKNOD (11), which this stack does not
-    # implement (device nodes have no meaning on the simulated machines).
-    expected = set(range(22)) - {const.NFSPROC3_MKNOD}
+    # implement (device nodes have no meaning on the simulated machines),
+    # plus the vectored READV/WRITEV extension procs (22/23).
+    expected = (set(range(22)) - {const.NFSPROC3_MKNOD}) | {
+        const.NFSPROC3_READV, const.NFSPROC3_WRITEV,
+    }
     assert set(types.PROC_CODECS) == expected
     for proc, (arg_codec, res_codec) in types.PROC_CODECS.items():
         assert arg_codec is not None and res_codec is not None
